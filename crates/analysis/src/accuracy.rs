@@ -1,0 +1,116 @@
+//! Error metrics between precise and estimated attributions (E5).
+
+use std::collections::HashMap;
+
+/// Per-class comparison of a precise value against an estimate.
+#[derive(Debug, Clone)]
+pub struct ClassAccuracy {
+    /// Class name.
+    pub name: String,
+    /// Ground-truth value (precise counting).
+    pub truth: u64,
+    /// Estimated value (sampling × period).
+    pub estimate: u64,
+}
+
+impl ClassAccuracy {
+    /// Signed relative error of the estimate, in `[-1, ∞)`.
+    pub fn relative_error(&self) -> f64 {
+        if self.truth == 0 {
+            if self.estimate == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate as f64 - self.truth as f64) / self.truth as f64
+        }
+    }
+}
+
+/// The accuracy comparison across classes.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyReport {
+    /// Per-class rows.
+    pub classes: Vec<ClassAccuracy>,
+}
+
+impl AccuracyReport {
+    /// Builds a report by joining truth and estimate maps on class name.
+    /// Classes absent from a map count as zero.
+    pub fn build(truth: &HashMap<String, u64>, estimate: &HashMap<String, u64>) -> Self {
+        let mut names: Vec<&String> = truth.keys().chain(estimate.keys()).collect();
+        names.sort();
+        names.dedup();
+        AccuracyReport {
+            classes: names
+                .into_iter()
+                .map(|n| ClassAccuracy {
+                    name: n.clone(),
+                    truth: truth.get(n).copied().unwrap_or(0),
+                    estimate: estimate.get(n).copied().unwrap_or(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Mean absolute relative error across classes with non-zero truth.
+    pub fn mean_abs_error(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .classes
+            .iter()
+            .filter(|c| c.truth > 0)
+            .map(|c| c.relative_error().abs())
+            .collect();
+        if errs.is_empty() {
+            0.0
+        } else {
+            errs.iter().sum::<f64>() / errs.len() as f64
+        }
+    }
+
+    /// The worst absolute relative error (classes with non-zero truth).
+    pub fn worst_abs_error(&self) -> f64 {
+        self.classes
+            .iter()
+            .filter(|c| c.truth > 0)
+            .map(|c| c.relative_error().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Looks up a class row.
+    pub fn class(&self, name: &str) -> Option<&ClassAccuracy> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn join_and_errors() {
+        let truth = map(&[("a", 1000), ("b", 500)]);
+        let est = map(&[("a", 900), ("b", 1000), ("c", 10)]);
+        let r = AccuracyReport::build(&truth, &est);
+        assert_eq!(r.classes.len(), 3);
+        let a = r.class("a").unwrap();
+        assert!((a.relative_error() + 0.1).abs() < 1e-9);
+        let b = r.class("b").unwrap();
+        assert!((b.relative_error() - 1.0).abs() < 1e-9);
+        // c: truth 0, estimate > 0 -> infinite error, excluded from means.
+        assert!((r.mean_abs_error() - 0.55).abs() < 1e-9);
+        assert!((r.worst_abs_error() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_truth_zero_estimate_is_exact() {
+        let r = AccuracyReport::build(&map(&[("a", 0)]), &map(&[]));
+        assert_eq!(r.class("a").unwrap().relative_error(), 0.0);
+        assert_eq!(r.mean_abs_error(), 0.0);
+    }
+}

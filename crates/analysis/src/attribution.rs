@@ -1,0 +1,171 @@
+//! Attribution: mapping measurements to code regions.
+//!
+//! Two paths, mirroring the paper's comparison:
+//!
+//! * **precise** — instrumentation records carry exact per-region deltas;
+//!   summing them per region is attribution by construction,
+//! * **statistical** — sampling hits carry only a PC; attributing them
+//!   requires mapping PCs to the named ranges of the program and scaling
+//!   by the sampling period.
+
+use limit::report::RegionRecord;
+use sim_core::ThreadId;
+use sim_cpu::Program;
+use sim_os::Sample;
+use std::collections::HashMap;
+
+/// A resolved set of named PC ranges, ordered for binary search.
+#[derive(Debug, Clone)]
+pub struct RangeMap {
+    ranges: Vec<(u32, u32, String)>,
+}
+
+impl RangeMap {
+    /// Builds from the program's named ranges whose name starts with
+    /// `prefix` (e.g. `"fx.task."`).
+    pub fn from_program(prog: &Program, prefix: &str) -> RangeMap {
+        let mut ranges: Vec<(u32, u32, String)> = prog
+            .iter_ranges()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(name, (s, e))| (s, e, name.to_string()))
+            .collect();
+        ranges.sort_by_key(|&(s, _, _)| s);
+        RangeMap { ranges }
+    }
+
+    /// The range containing `pc`, if any.
+    pub fn resolve(&self, pc: u32) -> Option<&str> {
+        self.ranges
+            .iter()
+            .find(|&&(s, e, _)| pc >= s && pc < e)
+            .map(|(_, _, n)| n.as_str())
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// All range names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.ranges.iter().map(|(_, _, n)| n.as_str())
+    }
+}
+
+/// Attributes sampling hits to ranges; returns `name -> estimated events`
+/// (hit count × period). Hits outside every range land under `"<other>"`.
+pub fn samples_by_range(samples: &[Sample], map: &RangeMap, period: u64) -> HashMap<String, u64> {
+    let mut out: HashMap<String, u64> = HashMap::new();
+    for s in samples {
+        let name = map.resolve(s.pc).unwrap_or("<other>");
+        *out.entry(name.to_string()).or_insert(0) += period;
+    }
+    out
+}
+
+/// Sums precise record deltas per region id: `region -> total of
+/// deltas[delta_idx]`.
+pub fn precise_cycles_by_region(
+    records: &[(ThreadId, RegionRecord)],
+    delta_idx: usize,
+) -> HashMap<u64, u64> {
+    let mut out: HashMap<u64, u64> = HashMap::new();
+    for (_, r) in records {
+        if let Some(&d) = r.deltas.get(delta_idx) {
+            *out.entry(r.region).or_insert(0) += d;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::CoreId;
+    use sim_cpu::Asm;
+
+    fn prog_with_ranges() -> Program {
+        let mut a = Asm::new();
+        a.begin_range("fx.task.ui");
+        a.burst(10);
+        a.nop();
+        a.end_range("fx.task.ui");
+        a.begin_range("fx.task.gc");
+        a.burst(10);
+        a.end_range("fx.task.gc");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn sample(pc: u32) -> Sample {
+        Sample {
+            tid: ThreadId::new(0),
+            pc,
+            core: CoreId::new(0),
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn range_map_resolves_pcs() {
+        let map = RangeMap::from_program(&prog_with_ranges(), "fx.task.");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.resolve(0), Some("fx.task.ui"));
+        assert_eq!(map.resolve(1), Some("fx.task.ui"));
+        assert_eq!(map.resolve(2), Some("fx.task.gc"));
+        assert_eq!(map.resolve(3), None, "halt is outside both");
+    }
+
+    #[test]
+    fn prefix_filters_ranges() {
+        let map = RangeMap::from_program(&prog_with_ranges(), "fx.task.ui");
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn samples_scale_by_period() {
+        let map = RangeMap::from_program(&prog_with_ranges(), "fx.task.");
+        let hits = vec![sample(0), sample(0), sample(2), sample(3)];
+        let est = samples_by_range(&hits, &map, 1000);
+        assert_eq!(est["fx.task.ui"], 2000);
+        assert_eq!(est["fx.task.gc"], 1000);
+        assert_eq!(est["<other>"], 1000);
+    }
+
+    #[test]
+    fn precise_sums_per_region() {
+        let records = vec![
+            (
+                ThreadId::new(0),
+                RegionRecord {
+                    region: 5,
+                    deltas: vec![10, 100],
+                },
+            ),
+            (
+                ThreadId::new(1),
+                RegionRecord {
+                    region: 5,
+                    deltas: vec![20, 200],
+                },
+            ),
+            (
+                ThreadId::new(0),
+                RegionRecord {
+                    region: 9,
+                    deltas: vec![1, 2],
+                },
+            ),
+        ];
+        let by0 = precise_cycles_by_region(&records, 0);
+        assert_eq!(by0[&5], 30);
+        assert_eq!(by0[&9], 1);
+        let by1 = precise_cycles_by_region(&records, 1);
+        assert_eq!(by1[&5], 300);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bottleneck identification: rank instrumented regions by cycle share.
+//!
+//! The paper's title operation — *rapid identification of architectural
+//! bottlenecks* — reduces, once precise per-region counts exist, to
+//! sorting regions by their share of total cycles and reading the top of
+//! the list. This module does that, with per-region means so a reader can
+//! distinguish "many short" from "few long" bottlenecks.
+
+use crate::table::{fmt_count, Table};
+use limit::report::{RegionRecord, Regions};
+use sim_core::ThreadId;
+use std::collections::HashMap;
+
+/// One ranked region.
+#[derive(Debug, Clone)]
+pub struct Bottleneck {
+    /// Region name (or `#id` when unnamed).
+    pub name: String,
+    /// Total cycles attributed to the region.
+    pub cycles: u64,
+    /// Share of the workload's total cycles, `[0, 1]`.
+    pub share: f64,
+    /// Number of region executions.
+    pub count: u64,
+    /// Mean cycles per execution.
+    pub mean: f64,
+}
+
+/// Regions ranked by cycle share, descending.
+#[derive(Debug, Clone, Default)]
+pub struct BottleneckReport {
+    /// Ranked regions.
+    pub items: Vec<Bottleneck>,
+    /// The denominator used for shares.
+    pub total_cycles: u64,
+}
+
+impl BottleneckReport {
+    /// Builds a ranking from instrumentation records whose
+    /// `deltas[delta_idx]` is a cycle count.
+    pub fn from_records(
+        records: &[(ThreadId, RegionRecord)],
+        regions: &Regions,
+        total_cycles: u64,
+        delta_idx: usize,
+    ) -> Self {
+        let mut cycles: HashMap<u64, (u64, u64)> = HashMap::new();
+        for (_, r) in records {
+            if let Some(&d) = r.deltas.get(delta_idx) {
+                let e = cycles.entry(r.region).or_insert((0, 0));
+                e.0 += d;
+                e.1 += 1;
+            }
+        }
+        let mut items: Vec<Bottleneck> = cycles
+            .into_iter()
+            .map(|(id, (cy, n))| Bottleneck {
+                name: {
+                    let name = regions.name(id);
+                    if name == "?" {
+                        format!("#{id}")
+                    } else {
+                        name.to_string()
+                    }
+                },
+                cycles: cy,
+                share: if total_cycles == 0 {
+                    0.0
+                } else {
+                    cy as f64 / total_cycles as f64
+                },
+                count: n,
+                mean: cy as f64 / n.max(1) as f64,
+            })
+            .collect();
+        items.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.name.cmp(&b.name)));
+        BottleneckReport {
+            items,
+            total_cycles,
+        }
+    }
+
+    /// The top `n` regions by cycle share.
+    pub fn top(&self, n: usize) -> &[Bottleneck] {
+        &self.items[..n.min(self.items.len())]
+    }
+
+    /// The single heaviest region, if any.
+    pub fn heaviest(&self) -> Option<&Bottleneck> {
+        self.items.first()
+    }
+
+    /// Renders the ranking.
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &["rank", "region", "cycles", "share", "execs", "mean"],
+        );
+        for (i, b) in self.items.iter().enumerate() {
+            t.row(&[
+                (i + 1).to_string(),
+                b.name.clone(),
+                fmt_count(b.cycles),
+                format!("{:.1}%", b.share * 100.0),
+                b.count.to_string(),
+                format!("{:.0}", b.mean),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(region: u64, cycles: u64) -> (ThreadId, RegionRecord) {
+        (
+            ThreadId::new(0),
+            RegionRecord {
+                region,
+                deltas: vec![cycles],
+            },
+        )
+    }
+
+    #[test]
+    fn ranking_orders_by_total_cycles() {
+        let mut regions = Regions::new();
+        let a = regions.define("hot");
+        let b = regions.define("cold");
+        let records = vec![rec(a, 500), rec(a, 500), rec(b, 100)];
+        let r = BottleneckReport::from_records(&records, &regions, 2_000, 0);
+        assert_eq!(r.items.len(), 2);
+        assert_eq!(r.heaviest().unwrap().name, "hot");
+        assert_eq!(r.heaviest().unwrap().cycles, 1_000);
+        assert!((r.heaviest().unwrap().share - 0.5).abs() < 1e-9);
+        assert_eq!(r.heaviest().unwrap().count, 2);
+        assert_eq!(r.top(1).len(), 1);
+        assert_eq!(r.top(10).len(), 2);
+    }
+
+    #[test]
+    fn unnamed_regions_get_hash_ids() {
+        let regions = Regions::new();
+        let records = vec![rec(42, 10)];
+        let r = BottleneckReport::from_records(&records, &regions, 10, 0);
+        assert_eq!(r.items[0].name, "#42");
+    }
+
+    #[test]
+    fn table_renders_ranked_rows() {
+        let mut regions = Regions::new();
+        let a = regions.define("x");
+        let r = BottleneckReport::from_records(&[rec(a, 7)], &regions, 7, 0);
+        let s = r.table("ranking").to_string();
+        assert!(s.contains("100.0%"));
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn empty_records_empty_report() {
+        let regions = Regions::new();
+        let r = BottleneckReport::from_records(&[], &regions, 100, 0);
+        assert!(r.heaviest().is_none());
+        assert!(r.top(5).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! A/B comparison of two bottleneck rankings: the "did the fix work?"
+//! view of the measure → rank → fix → re-measure workflow.
+
+use crate::bottleneck::BottleneckReport;
+use crate::table::{fmt_count, Table};
+
+/// One region's before/after comparison.
+#[derive(Debug, Clone)]
+pub struct RegionDelta {
+    /// Region name.
+    pub name: String,
+    /// Cycles before.
+    pub before: u64,
+    /// Cycles after.
+    pub after: u64,
+}
+
+impl RegionDelta {
+    /// Relative change (`after/before - 1`); 0 when before is 0.
+    pub fn change(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            self.after as f64 / self.before as f64 - 1.0
+        }
+    }
+}
+
+/// A before/after comparison joined on region name.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Per-region rows, sorted by absolute cycle change, largest first.
+    pub rows: Vec<RegionDelta>,
+}
+
+impl Comparison {
+    /// Joins two rankings on region name. Regions absent from one side
+    /// count as zero cycles there.
+    pub fn between(before: &BottleneckReport, after: &BottleneckReport) -> Comparison {
+        let mut names: Vec<&str> = before
+            .items
+            .iter()
+            .chain(&after.items)
+            .map(|b| b.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let cycles_of = |r: &BottleneckReport, name: &str| {
+            r.items
+                .iter()
+                .find(|b| b.name == name)
+                .map(|b| b.cycles)
+                .unwrap_or(0)
+        };
+        let mut rows: Vec<RegionDelta> = names
+            .into_iter()
+            .map(|name| RegionDelta {
+                name: name.to_string(),
+                before: cycles_of(before, name),
+                after: cycles_of(after, name),
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.before.abs_diff(r.after)));
+        Comparison { rows }
+    }
+
+    /// The region whose cycles changed the most.
+    pub fn biggest_mover(&self) -> Option<&RegionDelta> {
+        self.rows.first()
+    }
+
+    /// Looks up a region's delta.
+    pub fn row(&self, name: &str) -> Option<&RegionDelta> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the comparison.
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["region", "before", "after", "change"]);
+        for r in &self.rows {
+            t.row(&[
+                r.name.clone(),
+                fmt_count(r.before),
+                fmt_count(r.after),
+                format!("{:+.1}%", r.change() * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::report::{RegionRecord, Regions};
+    use sim_core::ThreadId;
+
+    fn report(pairs: &[(u64, u64)], regions: &Regions) -> BottleneckReport {
+        let records: Vec<(ThreadId, RegionRecord)> = pairs
+            .iter()
+            .map(|&(region, cycles)| {
+                (
+                    ThreadId::new(0),
+                    RegionRecord {
+                        region,
+                        deltas: vec![cycles],
+                    },
+                )
+            })
+            .collect();
+        BottleneckReport::from_records(&records, regions, 10_000, 0)
+    }
+
+    #[test]
+    fn join_and_biggest_mover() {
+        let mut regions = Regions::new();
+        let a = regions.define("lock");
+        let b = regions.define("work");
+        let before = report(&[(a, 5_000), (b, 1_000)], &regions);
+        let after = report(&[(a, 500), (b, 1_100)], &regions);
+        let cmp = Comparison::between(&before, &after);
+        assert_eq!(cmp.rows.len(), 2);
+        let mover = cmp.biggest_mover().unwrap();
+        assert_eq!(mover.name, "lock");
+        assert!((mover.change() + 0.9).abs() < 1e-9);
+        assert_eq!(cmp.row("work").unwrap().after, 1_100);
+    }
+
+    #[test]
+    fn regions_missing_on_one_side_count_as_zero() {
+        let mut regions = Regions::new();
+        let a = regions.define("gone");
+        let before = report(&[(a, 100)], &regions);
+        let after = report(&[], &regions);
+        let cmp = Comparison::between(&before, &after);
+        assert_eq!(cmp.row("gone").unwrap().after, 0);
+        assert!((cmp.row("gone").unwrap().change() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_changes() {
+        let mut regions = Regions::new();
+        let a = regions.define("x");
+        let before = report(&[(a, 200)], &regions);
+        let after = report(&[(a, 100)], &regions);
+        let s = Comparison::between(&before, &after)
+            .table("cmp")
+            .to_string();
+        assert!(s.contains("-50.0%"));
+    }
+}

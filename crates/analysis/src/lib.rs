@@ -1,0 +1,33 @@
+//! Turning raw measurements into the paper's tables and figures.
+//!
+//! * [`lockstats`] — lock hold/wait distributions and synchronization-
+//!   overhead shares (the MySQL case study, E6/E7),
+//! * [`attribution`] — attributing sampling hits to named PC ranges and
+//!   precise records to regions (the precision comparison, E5),
+//! * [`accuracy`] — error metrics between a precise and an estimated
+//!   attribution,
+//! * [`bottleneck`] — the title operation: rank regions by cycle share
+//!   and name the offender,
+//! * [`overhead`] — instrumentation-overhead accounting (E2),
+//! * [`table`] — plain-text table rendering shared by every `exp_*`
+//!   binary.
+
+pub mod accuracy;
+pub mod attribution;
+pub mod bottleneck;
+pub mod compare;
+pub mod lockstats;
+pub mod metrics;
+pub mod overhead;
+pub mod profile;
+pub mod table;
+
+pub use accuracy::AccuracyReport;
+pub use attribution::{precise_cycles_by_region, samples_by_range, RangeMap};
+pub use bottleneck::{Bottleneck, BottleneckReport};
+pub use compare::Comparison;
+pub use lockstats::{LockClassStats, LockReport};
+pub use metrics::Rates;
+pub use overhead::OverheadRow;
+pub use profile::FlatProfile;
+pub use table::Table;

@@ -1,0 +1,170 @@
+//! Lock statistics: the MySQL case-study analysis (E6/E7).
+//!
+//! Consumes instrumentation records whose deltas[0] is a cycle count and
+//! produces, per lock class, the hold-time distribution, the acquire
+//! (wait) distribution, and the share of total cycles spent in
+//! synchronization.
+
+use limit::report::RegionRecord;
+use sim_core::{Histogram, ThreadId};
+
+/// Distribution statistics for one lock class.
+#[derive(Debug, Clone)]
+pub struct LockClassStats {
+    /// Class name ("table", "bufpool", "log", ...).
+    pub name: String,
+    /// Critical-section (hold) cycle distribution.
+    pub hold: Histogram,
+    /// Acquire-path (wait + handoff) cycle distribution.
+    pub acquire: Histogram,
+}
+
+impl LockClassStats {
+    /// Total cycles spent holding this class's locks.
+    pub fn hold_cycles(&self) -> u64 {
+        (self.hold.mean().unwrap_or(0.0) * self.hold.count() as f64) as u64
+    }
+
+    /// Total cycles spent acquiring this class's locks.
+    pub fn acquire_cycles(&self) -> u64 {
+        (self.acquire.mean().unwrap_or(0.0) * self.acquire.count() as f64) as u64
+    }
+
+    /// Fraction of critical sections shorter than `threshold` cycles.
+    pub fn short_fraction(&self, threshold: u64) -> f64 {
+        self.hold.fraction_below(threshold)
+    }
+}
+
+/// The full lock report across classes.
+#[derive(Debug, Clone, Default)]
+pub struct LockReport {
+    /// Per-class statistics.
+    pub classes: Vec<LockClassStats>,
+    /// Total user cycles across all measured threads (denominator for the
+    /// synchronization share).
+    pub total_cycles: u64,
+}
+
+impl LockReport {
+    /// Builds a report from tagged records.
+    ///
+    /// `classes` maps a class name to its `(acquire_region, hold_region)`
+    /// id pair; `total_cycles` is the workload's total user-cycle count.
+    pub fn build(
+        records: &[(ThreadId, RegionRecord)],
+        classes: &[(&str, u64, u64)],
+        total_cycles: u64,
+    ) -> LockReport {
+        let mut out = LockReport {
+            classes: Vec::new(),
+            total_cycles,
+        };
+        for &(name, acq_id, hold_id) in classes {
+            let mut stats = LockClassStats {
+                name: name.to_string(),
+                hold: Histogram::new(),
+                acquire: Histogram::new(),
+            };
+            for (_, rec) in records {
+                let Some(&cycles) = rec.deltas.first() else {
+                    continue;
+                };
+                if rec.region == hold_id {
+                    stats.hold.record(cycles);
+                } else if rec.region == acq_id {
+                    stats.acquire.record(cycles);
+                }
+            }
+            out.classes.push(stats);
+        }
+        out
+    }
+
+    /// Total synchronization cycles (acquire + hold across classes).
+    pub fn sync_cycles(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| c.hold_cycles() + c.acquire_cycles())
+            .sum()
+    }
+
+    /// Synchronization share of total cycles, in `[0, 1]`.
+    pub fn sync_share(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.sync_cycles() as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&LockClassStats> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(region: u64, cycles: u64) -> (ThreadId, RegionRecord) {
+        (
+            ThreadId::new(0),
+            RegionRecord {
+                region,
+                deltas: vec![cycles],
+            },
+        )
+    }
+
+    #[test]
+    fn build_separates_classes_and_kinds() {
+        let records = vec![
+            rec(0, 100), // acq table
+            rec(1, 400), // hold table
+            rec(1, 600),
+            rec(2, 50), // acq log
+            rec(3, 90), // hold log
+        ];
+        let report = LockReport::build(&records, &[("table", 0, 1), ("log", 2, 3)], 10_000);
+        let table = report.class("table").unwrap();
+        assert_eq!(table.hold.count(), 2);
+        assert_eq!(table.acquire.count(), 1);
+        assert_eq!(table.hold_cycles(), 1000);
+        assert_eq!(table.acquire_cycles(), 100);
+        let log = report.class("log").unwrap();
+        assert_eq!(log.hold_cycles(), 90);
+        assert_eq!(report.sync_cycles(), 1000 + 100 + 50 + 90);
+        assert!((report.sync_share() - 0.124).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_fraction_counts_small_sections() {
+        let records = vec![rec(1, 10), rec(1, 20), rec(1, 100_000)];
+        let report = LockReport::build(&records, &[("t", 0, 1)], 1);
+        let c = report.class("t").unwrap();
+        assert!(c.short_fraction(1024) > 0.6);
+    }
+
+    #[test]
+    fn empty_report_is_harmless() {
+        let report = LockReport::build(&[], &[("t", 0, 1)], 0);
+        assert_eq!(report.sync_cycles(), 0);
+        assert_eq!(report.sync_share(), 0.0);
+        assert!(report.class("missing").is_none());
+    }
+
+    #[test]
+    fn records_without_deltas_are_skipped() {
+        let records = vec![(
+            ThreadId::new(0),
+            RegionRecord {
+                region: 1,
+                deltas: vec![],
+            },
+        )];
+        let report = LockReport::build(&records, &[("t", 0, 1)], 1);
+        assert_eq!(report.class("t").unwrap().hold.count(), 0);
+    }
+}

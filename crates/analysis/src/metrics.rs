@@ -1,0 +1,80 @@
+//! Derived microarchitectural metrics from raw event counts.
+//!
+//! The paper's characterizations report rates, not raw counts: IPC,
+//! misses per kilo-instruction (MPKI), mispredicts per kilo-instruction.
+//! This module derives them safely (no division by zero) from any
+//! `(cycles, instructions, events...)` tuple.
+
+use serde::{Deserialize, Serialize};
+
+/// Derived rates for one measured region/class/thread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rates {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Cycles per instruction (the reciprocal view).
+    pub cpi: f64,
+}
+
+impl Rates {
+    /// Computes IPC/CPI from raw counts. Zero denominators yield zero
+    /// rates rather than NaN.
+    pub fn new(cycles: u64, instructions: u64) -> Rates {
+        Rates {
+            ipc: ratio(instructions, cycles),
+            cpi: ratio(cycles, instructions),
+        }
+    }
+}
+
+/// `a / b` with zero-denominator safety.
+pub fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Events per kilo-instruction (the MPKI family).
+pub fn per_kilo_instruction(events: u64, instructions: u64) -> f64 {
+    ratio(events, instructions) * 1_000.0
+}
+
+/// Event rate as a percentage of a base count (e.g. mispredicts per
+/// branch).
+pub fn rate_percent(events: u64, base: u64) -> f64 {
+    ratio(events, base) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_compute_both_views() {
+        let r = Rates::new(1_000, 2_000);
+        assert!((r.ipc - 2.0).abs() < 1e-9);
+        assert!((r.cpi - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let r = Rates::new(0, 100);
+        assert_eq!(r.cpi, 0.0);
+        assert!((r.ipc - 0.0).abs() < 1e-9 || r.ipc > 0.0);
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(per_kilo_instruction(5, 0), 0.0);
+    }
+
+    #[test]
+    fn mpki_scales_by_thousand() {
+        assert!((per_kilo_instruction(10, 1_000) - 10.0).abs() < 1e-9);
+        assert!((per_kilo_instruction(1, 10_000) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_percent_is_a_percentage() {
+        assert!((rate_percent(25, 100) - 25.0).abs() < 1e-9);
+    }
+}

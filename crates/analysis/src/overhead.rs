@@ -1,0 +1,93 @@
+//! Instrumentation-overhead accounting (experiment E2).
+
+use sim_core::Freq;
+
+/// One method's overhead measurement against an uninstrumented baseline.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Access-method name.
+    pub method: String,
+    /// Uninstrumented runtime in cycles.
+    pub baseline_cycles: u64,
+    /// Instrumented runtime in cycles.
+    pub instrumented_cycles: u64,
+    /// Instrumentation reads performed (two per region).
+    pub reads: u64,
+}
+
+impl OverheadRow {
+    /// Relative overhead: `instrumented/baseline - 1`.
+    pub fn overhead(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            0.0
+        } else {
+            self.instrumented_cycles as f64 / self.baseline_cycles as f64 - 1.0
+        }
+    }
+
+    /// Overhead as a percentage.
+    pub fn overhead_percent(&self) -> f64 {
+        self.overhead() * 100.0
+    }
+
+    /// Added cycles per read (total inflation divided by read count).
+    pub fn cycles_per_read(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.instrumented_cycles
+                .saturating_sub(self.baseline_cycles) as f64
+                / self.reads as f64
+        }
+    }
+
+    /// Added time per read in nanoseconds.
+    pub fn nanos_per_read(&self, freq: Freq) -> f64 {
+        self.cycles_per_read() / freq.ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let row = OverheadRow {
+            method: "perf".into(),
+            baseline_cycles: 1_000_000,
+            instrumented_cycles: 1_500_000,
+            reads: 1_000,
+        };
+        assert!((row.overhead() - 0.5).abs() < 1e-9);
+        assert!((row.overhead_percent() - 50.0).abs() < 1e-9);
+        assert!((row.cycles_per_read() - 500.0).abs() < 1e-9);
+        assert!((row.nanos_per_read(Freq::DEFAULT) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_divide_by_zero() {
+        let row = OverheadRow {
+            method: "none".into(),
+            baseline_cycles: 0,
+            instrumented_cycles: 0,
+            reads: 0,
+        };
+        assert_eq!(row.overhead(), 0.0);
+        assert_eq!(row.cycles_per_read(), 0.0);
+    }
+
+    #[test]
+    fn faster_than_baseline_clamps_read_cost() {
+        // Scheduling noise can make an instrumented run marginally faster;
+        // the per-read cost must not underflow.
+        let row = OverheadRow {
+            method: "limit".into(),
+            baseline_cycles: 1_000,
+            instrumented_cycles: 990,
+            reads: 10,
+        };
+        assert_eq!(row.cycles_per_read(), 0.0);
+        assert!(row.overhead() < 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Flat sampling profiles: the `perf report`-style view of PMI samples.
+//!
+//! Complements [`crate::attribution`] (which scales hits into event
+//! estimates) with the classic hit-count profile sorted by weight — what a
+//! developer using the sampling baseline would actually look at, and what
+//! the precision experiments compare against.
+
+use crate::attribution::RangeMap;
+use crate::table::Table;
+use sim_os::Sample;
+
+/// One profile line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Range name, or `"<other>"` for unattributed hits.
+    pub name: String,
+    /// Sampling hits.
+    pub hits: u64,
+    /// Share of all hits, `[0, 1]`.
+    pub share: f64,
+}
+
+/// A flat profile, heaviest first.
+#[derive(Debug, Clone, Default)]
+pub struct FlatProfile {
+    /// Rows, descending by hits.
+    pub rows: Vec<ProfileRow>,
+    /// Total hits.
+    pub total: u64,
+}
+
+impl FlatProfile {
+    /// Builds a profile by attributing every sample PC through `map`.
+    pub fn build(samples: &[Sample], map: &RangeMap) -> FlatProfile {
+        let mut counts: std::collections::HashMap<&str, u64> = Default::default();
+        for s in samples {
+            *counts
+                .entry(map.resolve(s.pc).unwrap_or("<other>"))
+                .or_insert(0) += 1;
+        }
+        let total = samples.len() as u64;
+        let mut rows: Vec<ProfileRow> = counts
+            .into_iter()
+            .map(|(name, hits)| ProfileRow {
+                name: name.to_string(),
+                hits,
+                share: if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| b.hits.cmp(&a.hits).then(a.name.cmp(&b.name)));
+        FlatProfile { rows, total }
+    }
+
+    /// The heaviest row, if any hits exist.
+    pub fn hottest(&self) -> Option<&ProfileRow> {
+        self.rows.first()
+    }
+
+    /// Looks up a row by name.
+    pub fn row(&self, name: &str) -> Option<&ProfileRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the profile.
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["share", "hits", "range"]);
+        for r in &self.rows {
+            t.row(&[
+                format!("{:.1}%", r.share * 100.0),
+                r.hits.to_string(),
+                r.name.clone(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{CoreId, ThreadId};
+    use sim_cpu::Asm;
+
+    fn sample(pc: u32) -> Sample {
+        Sample {
+            tid: ThreadId::new(0),
+            pc,
+            core: CoreId::new(0),
+            cycle: pc as u64,
+        }
+    }
+
+    fn map() -> RangeMap {
+        let mut a = Asm::new();
+        a.begin_range("fx.task.hot");
+        a.burst(10);
+        a.nop();
+        a.end_range("fx.task.hot");
+        a.begin_range("fx.task.cold");
+        a.burst(10);
+        a.end_range("fx.task.cold");
+        a.halt();
+        RangeMap::from_program(&a.assemble().unwrap(), "fx.task.")
+    }
+
+    #[test]
+    fn profile_ranks_by_hits() {
+        let samples = vec![sample(0), sample(1), sample(0), sample(2), sample(3)];
+        let p = FlatProfile::build(&samples, &map());
+        assert_eq!(p.total, 5);
+        assert_eq!(p.hottest().unwrap().name, "fx.task.hot");
+        assert_eq!(p.hottest().unwrap().hits, 3);
+        assert!((p.hottest().unwrap().share - 0.6).abs() < 1e-9);
+        assert_eq!(p.row("fx.task.cold").unwrap().hits, 1);
+        assert_eq!(p.row("<other>").unwrap().hits, 1);
+    }
+
+    #[test]
+    fn empty_samples_build_empty_profile() {
+        let p = FlatProfile::build(&[], &map());
+        assert!(p.hottest().is_none());
+        assert_eq!(p.total, 0);
+    }
+
+    #[test]
+    fn table_renders_shares() {
+        let p = FlatProfile::build(&[sample(0)], &map());
+        let s = p.table("profile").to_string();
+        assert!(s.contains("100.0%"));
+        assert!(s.contains("fx.task.hot"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline counter-access methods the paper compares LiMiT against.
+//!
+//! All implement the same [`limit::CounterReader`] trait as the LiMiT
+//! reader, so workloads can be instrumented identically and the access
+//! method swapped per run:
+//!
+//! * [`PerfReader`] — `perf_event`-style counting: attach via
+//!   `perf_open`, read via the `perf_read` **syscall**. Every read pays
+//!   syscall entry + kernel reconciliation + syscall exit (microseconds,
+//!   not nanoseconds).
+//! * [`PapiReader`] — a PAPI-flavoured shim: the same syscall read plus
+//!   the library's userspace bookkeeping overhead.
+//! * [`RdtscReader`] — raw timestamp reads: the cheapest possible probe,
+//!   but measures *time only* (no event counts, no virtualization); the
+//!   paper's reference floor.
+//! * [`SamplingSetup`] — no reads at all: arms a PMI-driven sampling fd in
+//!   the thread prologue; post-run attribution of the recorded (PC) hits
+//!   is statistical — the imprecision experiment E5 quantifies.
+//! * [`SeqlockReader`] — the protocol Linux later shipped for userspace
+//!   self-monitoring: the same virtualized accumulators, but the read
+//!   retries on a kernel-bumped sequence word instead of relying on the
+//!   LiMiT kernel fix-up. The alternative design point in E1/E4.
+
+pub mod papi;
+pub mod perf_read;
+pub mod rdtsc;
+pub mod sampling;
+pub mod seqlock;
+
+pub use papi::PapiReader;
+pub use perf_read::PerfReader;
+pub use rdtsc::RdtscReader;
+pub use sampling::SamplingSetup;
+pub use seqlock::SeqlockReader;

@@ -1,0 +1,79 @@
+//! Raw timestamp reads: the floor of probe cost.
+//!
+//! `rdtsc` measures wall-clock cycles only — no event selection, no
+//! per-thread virtualization (time keeps running while the thread is
+//! descheduled). The paper uses it as the lower bound a counter-read
+//! interface could hope to approach; LiMiT gets within a small factor of
+//! it while returning *virtualized event counts*.
+
+use limit::tls::TLS_REG;
+use limit::CounterReader;
+use sim_cpu::{Asm, Reg};
+
+/// The timestamp-only reader.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RdtscReader;
+
+impl RdtscReader {
+    /// The reader.
+    pub fn new() -> Self {
+        RdtscReader
+    }
+}
+
+impl CounterReader for RdtscReader {
+    fn counters(&self) -> usize {
+        1
+    }
+
+    fn emit_thread_setup(&self, asm: &mut Asm) {
+        asm.mov(TLS_REG, Reg::R0);
+    }
+
+    fn emit_read(&self, asm: &mut Asm, _i: usize, dst: Reg, _scratch: Reg) {
+        asm.rdtsc(dst);
+    }
+
+    fn name(&self) -> &'static str {
+        "rdtsc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+    use sim_os::syscall::nr as sysnr;
+
+    #[test]
+    fn rdtsc_is_not_virtualized() {
+        // A descheduled thread's rdtsc keeps advancing with wall time; a
+        // LiMiT cycle counter does not. Demonstrate the non-virtualization:
+        // sleeping inflates the rdtsc delta far beyond executed cycles.
+        let r = RdtscReader::new();
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        r.emit_thread_setup(&mut asm);
+        r.emit_read(&mut asm, 0, Reg::R8, Reg::R5);
+        asm.imm(Reg::R0, 1_000_000);
+        asm.syscall(sysnr::NANOSLEEP);
+        r.emit_read(&mut asm, 0, Reg::R9, Reg::R5);
+        asm.sub(Reg::R9, Reg::R8);
+        asm.mov(Reg::R0, Reg::R9);
+        asm.syscall(sysnr::LOG_VALUE);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        assert!(s.kernel.log()[0] >= 1_000_000);
+    }
+
+    #[test]
+    fn read_is_a_single_instruction() {
+        let r = RdtscReader::new();
+        let mut asm = Asm::new();
+        r.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        assert_eq!(asm.assemble().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! The sampling profiler baseline: statistical attribution via PMIs.
+//!
+//! No read instrumentation at all — the thread prologue arms one sampling
+//! perf fd; every `period` events the PMI handler records the interrupted
+//! user PC. Post-run, samples are attributed to code regions by PC (the
+//! `analysis` crate owns that step). The method's overhead is low but its
+//! attribution is statistical: short regions (the MySQL critical sections)
+//! are systematically mis-measured — the imprecision experiment E5
+//! quantifies exactly that against LiMiT ground truth.
+
+use limit::tls::TLS_REG;
+use limit::CounterReader;
+use sim_cpu::{Asm, EventKind, Reg};
+use sim_os::syscall::{encode_event, nr};
+
+/// Arms a sampling fd in the thread prologue; emits no reads.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingSetup {
+    /// The sampled event.
+    pub event: EventKind,
+    /// Events between samples.
+    pub period: u64,
+}
+
+impl SamplingSetup {
+    /// Samples `event` every `period` occurrences.
+    pub fn new(event: EventKind, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        SamplingSetup { event, period }
+    }
+}
+
+impl CounterReader for SamplingSetup {
+    /// Zero: sampling needs no read instrumentation, so instrumented
+    /// workloads skip their enter/exit emission entirely under this
+    /// "reader".
+    fn counters(&self) -> usize {
+        0
+    }
+
+    fn emit_thread_setup(&self, asm: &mut Asm) {
+        asm.mov(TLS_REG, Reg::R0);
+        asm.imm(Reg::R0, encode_event(self.event));
+        asm.imm(Reg::R1, self.period);
+        asm.syscall(nr::PERF_OPEN);
+        // The fd is never read from guest code; samples are extracted
+        // host-side after the run.
+    }
+
+    fn emit_read(&self, asm: &mut Asm, _i: usize, dst: Reg, _scratch: Reg) {
+        asm.imm(dst, 0);
+    }
+
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+
+    #[test]
+    fn sampling_collects_pc_hits() {
+        let s = SamplingSetup::new(EventKind::Instructions, 500);
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        s.emit_thread_setup(&mut asm);
+        asm.export("hot_loop");
+        asm.burst(10_000);
+        asm.halt();
+        let mut sess = b.build(asm).unwrap();
+        sess.spawn_instrumented("main", &[]).unwrap();
+        sess.run().unwrap();
+        let samples = sess.kernel.all_samples();
+        assert!(
+            (15..=25).contains(&samples.len()),
+            "expected ~20 samples, got {}",
+            samples.len()
+        );
+        // Every sample must land at the burst instruction's PC (5) or
+        // just after.
+        let hot = sess.kernel.machine.prog.entry("hot_loop").unwrap();
+        for smp in &samples {
+            assert!(smp.pc >= hot, "sample at pc {}", smp.pc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = SamplingSetup::new(EventKind::Cycles, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The seqlock read protocol: userspace retry instead of kernel rewind.
+//!
+//! This is the design Linux later shipped for self-monitoring
+//! (`perf_event_mmap_page`): the kernel exports a *sequence word* it bumps
+//! on every event that disturbs the accumulator/counter pair (context
+//! switch fold, overflow fold), and the userspace read brackets the
+//! load/`rdpmc`/add with two sequence loads, retrying on mismatch:
+//!
+//! ```text
+//! retry:
+//!   s1  = load [seq]
+//!   dst = load [accum]
+//!   tmp = rdpmc i
+//!   dst += tmp
+//!   s2  = load [seq]
+//!   if s1 != s2 goto retry
+//! ```
+//!
+//! Compared with LiMiT's kernel-assisted restartable sequence, the seqlock
+//! needs no kernel knowledge of user PC ranges, but pays two extra loads
+//! and a compare on *every* read — the trade-off the E1/E4 extensions
+//! quantify. Both protocols share the same kernel virtualization.
+
+use limit::tls::{self, TLS_REG};
+use limit::CounterReader;
+use sim_cpu::{Asm, Cond, EventKind, Reg};
+use sim_os::syscall::{encode_event, nr};
+
+/// The seqlock-protocol reader.
+///
+/// Attaches LiMiT virtualized counters (same `limit_open` syscall) plus a
+/// fold-sequence word; reads retry in userspace instead of relying on the
+/// kernel fix-up, so it stays correct even with `restart_fixup` disabled.
+///
+/// `emit_read` clobbers `r0`/`r1` (the sequence snapshots) in addition to
+/// the usual `dst`/`scratch`.
+#[derive(Debug, Clone)]
+pub struct SeqlockReader {
+    events: Vec<EventKind>,
+}
+
+impl SeqlockReader {
+    /// A reader attaching `n` default events (same order as
+    /// [`limit::LimitReader::new`]).
+    pub fn new(n: usize) -> Self {
+        const DEFAULT: [EventKind; 4] = [
+            EventKind::Instructions,
+            EventKind::Cycles,
+            EventKind::LlcMisses,
+            EventKind::BranchMisses,
+        ];
+        SeqlockReader::with_events(DEFAULT[..n.min(4)].to_vec())
+    }
+
+    /// A reader attaching the given events.
+    pub fn with_events(events: Vec<EventKind>) -> Self {
+        assert!(
+            events.len() <= tls::MAX_COUNTERS,
+            "at most {} counters",
+            tls::MAX_COUNTERS
+        );
+        SeqlockReader { events }
+    }
+}
+
+impl CounterReader for SeqlockReader {
+    fn counters(&self) -> usize {
+        self.events.len()
+    }
+
+    fn emit_thread_setup(&self, asm: &mut Asm) {
+        asm.mov(TLS_REG, Reg::R0);
+        asm.imm(Reg::R3, 0); // no tag filter
+        for (i, &event) in self.events.iter().enumerate() {
+            asm.imm(Reg::R0, i as u64);
+            asm.imm(Reg::R1, encode_event(event));
+            asm.mov(Reg::R2, TLS_REG);
+            asm.alui_add(Reg::R2, tls::accum_off(i) as u64);
+            asm.syscall(nr::LIMIT_OPEN);
+        }
+        // Register the fold-sequence word.
+        asm.mov(Reg::R0, TLS_REG);
+        asm.alui_add(Reg::R0, tls::SEQ as u64);
+        asm.syscall(nr::LIMIT_SET_SEQ);
+    }
+
+    fn emit_read(&self, asm: &mut Asm, i: usize, dst: Reg, scratch: Reg) {
+        assert!(i < self.events.len(), "counter {i} not attached");
+        let retry = asm.new_label();
+        asm.bind(retry);
+        asm.load(Reg::R0, TLS_REG, tls::SEQ);
+        asm.load(dst, TLS_REG, tls::accum_off(i));
+        asm.rdpmc(scratch, i as u8);
+        asm.add(dst, scratch);
+        asm.load(Reg::R1, TLS_REG, tls::SEQ);
+        asm.br(Cond::Ne, Reg::R0, Reg::R1, retry);
+    }
+
+    fn name(&self) -> &'static str {
+        "seqlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+    use sim_os::syscall::nr as sysnr;
+
+    #[test]
+    fn seqlock_read_returns_exact_count_solo() {
+        let reader = SeqlockReader::new(1);
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        asm.burst(400);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        asm.mov(Reg::R0, Reg::R4);
+        asm.syscall(sysnr::LOG_VALUE);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        // Counted after LIMIT_OPEN returns: the 3-instruction
+        // LIMIT_SET_SEQ registration + burst(400) + seq-load + accum-load
+        // = 405 before the rdpmc reads.
+        assert_eq!(s.kernel.log(), &[405]);
+    }
+
+    #[test]
+    fn seqlock_needs_no_kernel_fixup() {
+        // Heavy preemption with the restart fix-up DISABLED: the seqlock
+        // retry must keep every read monotone anyway.
+        use sim_cpu::{Cond, MachineConfig, MemLayout, PmuConfig};
+        let reads = 1_000u64;
+        let mut layout = MemLayout::default();
+        let out = layout.alloc(reads * 8, 64);
+        let reader = SeqlockReader::new(1);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .with_layout(layout)
+            .machine_config(MachineConfig::new(1).with_pmu(PmuConfig {
+                counter_bits: 10,
+                ..Default::default()
+            }))
+            .kernel_config(sim_os::KernelConfig {
+                quantum: 900,
+                restart_fixup: false,
+                ..Default::default()
+            });
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.mov(Reg::R11, Reg::R1);
+        reader.emit_thread_setup(&mut asm);
+        asm.imm(Reg::R9, reads);
+        asm.imm(Reg::R10, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        asm.store(Reg::R4, Reg::R11, 0);
+        asm.alui_add(Reg::R11, 8);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        asm.export("noise");
+        asm.burst(40_000);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[out]).unwrap();
+        s.spawn_instrumented("noise", &[]).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.preemptions > 0 || report.pmis > 0, "need a storm");
+        let mut prev = 0;
+        for i in 0..reads {
+            let v = s.read_u64(out + i * 8).unwrap();
+            assert!(v >= prev, "read {i} decreased: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn name_and_counters() {
+        let r = SeqlockReader::new(2);
+        assert_eq!(r.name(), "seqlock");
+        assert_eq!(r.counters(), 2);
+    }
+}

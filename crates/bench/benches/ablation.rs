@@ -1,0 +1,56 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! restartable-sequence fix-up on/off (E4), counter width (PMI rate), and
+//! the self-virtualizing overflow extension (E10.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use limit::harness::SessionBuilder;
+use limit::{CounterReader, LimitReader};
+use sim_cpu::{EventKind, MachineConfig, PmuConfig};
+use sim_os::KernelConfig;
+use std::hint::black_box;
+use workloads::kernels;
+
+/// Runs a counted loop under the given PMU/kernel knobs; returns guest
+/// cycles (the quantity the ablation compares).
+fn run_knobs(counter_bits: u32, self_virt: bool, fixup: bool) -> u64 {
+    let reader = LimitReader::new(1);
+    let mut builder = SessionBuilder::new(1)
+        .events(&[EventKind::Instructions])
+        .machine_config(MachineConfig::new(1).with_pmu(PmuConfig {
+            counter_bits,
+            ext_self_virtualizing: self_virt,
+            ..Default::default()
+        }))
+        .kernel_config(KernelConfig {
+            restart_fixup: fixup,
+            ..Default::default()
+        });
+    let mut asm = builder.asm();
+    asm.export("main");
+    reader.emit_thread_setup(&mut asm);
+    kernels::emit_counted_loop(&mut asm, 2_000, 40);
+    asm.halt();
+    let mut s = builder.build(asm).expect("builds");
+    s.spawn_instrumented("main", &[]).expect("spawns");
+    s.run().expect("runs").total_cycles
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for bits in [12u32, 24, 48] {
+        group.bench_function(format!("counter_width_{bits}bit_pmi"), |b| {
+            b.iter(|| black_box(run_knobs(black_box(bits), false, true)))
+        });
+    }
+    group.bench_function("overflow_selfvirt_12bit", |b| {
+        b.iter(|| black_box(run_knobs(12, true, true)))
+    });
+    group.bench_function("fixup_off", |b| {
+        b.iter(|| black_box(run_knobs(48, false, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

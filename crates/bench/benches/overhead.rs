@@ -1,0 +1,50 @@
+//! Criterion bench behind experiment E2: host time to simulate the
+//! instrumented mysqld workload under each access method.
+
+use baselines::PerfReader;
+use criterion::{criterion_group, criterion_main, Criterion};
+use limit::{CounterReader, LimitReader, NullReader};
+use sim_cpu::EventKind;
+use sim_os::KernelConfig;
+use std::hint::black_box;
+use workloads::mysqld::{self, MysqlConfig};
+
+const EVENTS: [EventKind; 2] = [EventKind::Cycles, EventKind::Instructions];
+
+fn small_cfg() -> MysqlConfig {
+    MysqlConfig {
+        threads: 4,
+        queries_per_thread: 40,
+        ..MysqlConfig::default()
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mysqld_instrumented");
+    group.sample_size(10);
+    let methods: Vec<(&str, Box<dyn CounterReader>)> = vec![
+        ("none", Box::new(NullReader::new())),
+        ("limit", Box::new(LimitReader::with_events(EVENTS.to_vec()))),
+        ("perf", Box::new(PerfReader::with_events(EVENTS.to_vec()))),
+    ];
+    for (name, reader) in &methods {
+        let events: &[EventKind] = if *name == "none" { &[] } else { &EVENTS };
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let run = mysqld::run(
+                    &small_cfg(),
+                    reader.as_ref(),
+                    4,
+                    events,
+                    KernelConfig::default(),
+                )
+                .expect("workload runs");
+                black_box(run.report.total_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

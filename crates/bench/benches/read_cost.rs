@@ -1,0 +1,34 @@
+//! Criterion bench behind experiment E1: host time to simulate the
+//! read-cost microbenchmark under each access method. The guest-quantity
+//! table itself comes from `exp_e1`; this bench tracks simulator
+//! performance and keeps the E1 path exercised under `cargo bench`.
+
+use baselines::{PapiReader, PerfReader, RdtscReader};
+use criterion::{criterion_group, criterion_main, Criterion};
+use limit::{CounterReader, LimitReader};
+use std::hint::black_box;
+use workloads::microbench;
+
+fn bench_read_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_cost");
+    group.sample_size(10);
+    let readers: Vec<(&str, Box<dyn CounterReader>)> = vec![
+        ("rdtsc", Box::new(RdtscReader::new())),
+        ("limit", Box::new(LimitReader::new(1))),
+        ("perf", Box::new(PerfReader::new(1))),
+        ("papi", Box::new(PapiReader::new(1))),
+    ];
+    for (name, reader) in &readers {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let rc = microbench::measure_read_cost(reader.as_ref(), black_box(500))
+                    .expect("measurement runs");
+                black_box(rc.cycles_per_read())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_cost);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Simulator throughput benches: how fast the substrate executes guest
+//! instructions on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use limit::harness::SessionBuilder;
+use limit::{CounterReader, LimitReader};
+use sim_cpu::EventKind;
+use sim_os::KernelConfig;
+use std::hint::black_box;
+use workloads::{firefox, kernels};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    const ITERS: u64 = 20_000;
+    group.throughput(Throughput::Elements(ITERS * 42));
+    group.bench_function("alu_loop_instructions", |b| {
+        b.iter(|| {
+            let reader = LimitReader::new(1);
+            let mut builder = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+            let mut asm = builder.asm();
+            asm.export("main");
+            reader.emit_thread_setup(&mut asm);
+            kernels::emit_counted_loop(&mut asm, black_box(ITERS), 40);
+            asm.halt();
+            let mut s = builder.build(asm).expect("builds");
+            s.spawn_instrumented("main", &[]).expect("spawns");
+            black_box(s.run().expect("runs").total_cycles)
+        })
+    });
+    group.bench_function("firefox_small", |b| {
+        b.iter(|| {
+            let cfg = firefox::FirefoxConfig {
+                tasks: 100,
+                helpers: 1,
+                dom_bytes: 64 << 10,
+                heap_bytes: 256 << 10,
+                fb_bytes: 64 << 10,
+                img_bytes: 64 << 10,
+                ..Default::default()
+            };
+            let reader = limit::NullReader::new();
+            let run = firefox::run(&cfg, &reader, 2, &[], KernelConfig::default()).expect("runs");
+            black_box(run.report.total_cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

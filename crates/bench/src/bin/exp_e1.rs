@@ -1,0 +1,18 @@
+//! E1: the read-cost table. `cargo run -p bench --bin exp_e1`
+
+use bench::e1;
+
+fn main() {
+    let rows = e1::run(5_000).expect("E1 runs");
+    println!("{}", e1::table(&rows));
+    let multi = e1::run_multi(2_000).expect("E1b runs");
+    println!("{}", e1::multi_table(&multi));
+    let limit = e1::row(&rows, "limit").unwrap();
+    let perf = e1::row(&rows, "perf").unwrap();
+    println!(
+        "LiMiT: {:.1} ns/read; perf syscall: {:.1} ns/read ({:.0}x slower).",
+        limit.nanos,
+        perf.nanos,
+        perf.nanos / limit.nanos
+    );
+}

@@ -1,0 +1,22 @@
+//! E11 (extension): co-location interference. `cargo run -p bench --bin exp_e11 --release`
+
+use bench::e11;
+
+fn main() {
+    let rows = e11::run(8).expect("E11 runs");
+    println!("{}", e11::table(&rows));
+    let worst = rows
+        .iter()
+        .filter(|r| r.count > 0)
+        .max_by(|a, b| a.slowdown().total_cmp(&b.slowdown()))
+        .expect("at least one class ran");
+    println!(
+        "Worst-hit class: `{}` at {:.2}x (LLC misses {:.1} -> {:.1} per task).",
+        worst.class,
+        worst.slowdown(),
+        worst.alone_llc,
+        worst.coloc_llc
+    );
+    println!("Per-task precise reads attribute the interference to the victim code —");
+    println!("the cloud-era measurement the paper's implications call for.");
+}

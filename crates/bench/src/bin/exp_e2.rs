@@ -1,0 +1,18 @@
+//! E2: instrumentation overhead on mysqld. `cargo run -p bench --bin exp_e2 --release`
+
+use bench::e2;
+
+fn main() {
+    let rows = e2::run(&[1, 4, 8, 16], 120, 8).expect("E2 runs");
+    println!("{}", e2::table(&rows));
+    if let (Some(l), Some(p)) = (
+        e2::overhead_of(&rows, 16, "limit"),
+        e2::overhead_of(&rows, 16, "perf"),
+    ) {
+        println!(
+            "At 16 threads: limit adds {:.1}% runtime; perf adds {:.1}%.",
+            l * 100.0,
+            p * 100.0
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! E3: virtualized-count exactness. `cargo run -p bench --bin exp_e3`
+
+use bench::e3;
+
+fn main() {
+    let rows = e3::run().expect("E3 runs");
+    println!("{}", e3::table(&rows));
+    let (virt, rdtsc) = e3::wallclock_comparison().expect("comparison runs");
+    println!("Under 4-way time sharing on one core:");
+    println!("  virtualized cycle counter: {virt} cycles (the thread's own work)");
+    println!(
+        "  rdtsc wall-clock delta:    {rdtsc} cycles ({:.1}x inflated)",
+        rdtsc as f64 / virt as f64
+    );
+}

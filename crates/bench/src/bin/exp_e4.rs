@@ -1,0 +1,24 @@
+//! E4: the read-race ablation. `cargo run -p bench --bin exp_e4`
+
+use bench::e4;
+
+fn main() {
+    let rows = e4::run_all().expect("E4 runs");
+    let refs: Vec<&e4::E4Result> = rows.iter().collect();
+    println!("{}", e4::table_of(&refs));
+    let on = &rows[0];
+    let off = &rows[1];
+    let seq = &rows[2];
+    println!(
+        "With the fix-up off, {} of {} reads were corrupted ({} races seen by the kernel).",
+        off.violations, off.reads, off.unfixed_races
+    );
+    println!(
+        "With the fix-up on, {} corrupted reads across {} rewinds.",
+        on.violations, on.fixups
+    );
+    println!(
+        "The seqlock protocol self-corrects in userspace: {} corrupted reads with no kernel fix-up.",
+        seq.violations
+    );
+}

@@ -1,0 +1,11 @@
+//! E5: sampling vs precise attribution. `cargo run -p bench --bin exp_e5 --release`
+
+use bench::e5;
+use workloads::firefox::FirefoxConfig;
+
+fn main() {
+    let cfg = FirefoxConfig::default();
+    let rows = e5::run(&cfg, &[1_024, 8_192, 65_536]).expect("E5 runs");
+    println!("{}", e5::sweep_table(&rows));
+    println!("{}", e5::class_table(&rows[1]));
+}

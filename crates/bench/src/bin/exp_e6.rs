@@ -1,0 +1,41 @@
+//! E6: mysqld critical-section histograms. `cargo run -p bench --bin exp_e6 --release`
+
+use analysis::BottleneckReport;
+use bench::e6;
+use workloads::mysqld::MysqlConfig;
+
+fn main() {
+    let cfg = MysqlConfig {
+        threads: 16,
+        queries_per_thread: 150,
+        ..MysqlConfig::default()
+    };
+    let result = e6::run(&cfg, 8).expect("E6 runs");
+    println!("{}", e6::table(&result));
+    println!("{}", e6::histograms(&result));
+    println!(
+        "Synchronization share of user cycles: {:.1}%",
+        result.report.sync_share() * 100.0
+    );
+
+    // The title operation: rank the instrumented regions and name the
+    // bottleneck.
+    let records = result.run.session.all_records().expect("records parse");
+    let ranking = BottleneckReport::from_records(
+        &records,
+        &result.run.session.regions,
+        result.report.total_cycles,
+        0,
+    );
+    println!(
+        "\n{}",
+        ranking.table("bottleneck ranking (share of user cycles)")
+    );
+    if let Some(top) = ranking.heaviest() {
+        println!(
+            "identified bottleneck: `{}` ({:.1}% of cycles)",
+            top.name,
+            top.share * 100.0
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! E7: synchronization share vs thread count. `cargo run -p bench --bin exp_e7 --release`
+
+use bench::e7;
+
+fn main() {
+    let rows = e7::run(&[1, 2, 4, 8, 16, 32], 100, 8).expect("E7 runs");
+    println!("{}", e7::table(&rows));
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    println!(
+        "Total sync share (busy + blocked) grows from {:.1}% at {} thread(s) to {:.1}% at {} threads.",
+        first.combined_share * 100.0,
+        first.threads,
+        last.combined_share * 100.0,
+        last.threads
+    );
+}

@@ -1,0 +1,11 @@
+//! E8: firefox task-class characterization. `cargo run -p bench --bin exp_e8 --release`
+
+use bench::e8;
+use workloads::firefox::FirefoxConfig;
+
+fn main() {
+    let rows = e8::run(&FirefoxConfig::default(), 4).expect("E8 runs");
+    println!("{}", e8::table(&rows));
+    println!("Per-task precise reads separate classes sampling blurs together:");
+    println!("GC is memory-bound (LLC misses), JS is mispredict-bound, UI is neither.");
+}

@@ -1,0 +1,18 @@
+//! E9: apache per-request accounting. `cargo run -p bench --bin exp_e9 --release`
+
+use bench::e9;
+use workloads::apache::ApacheConfig;
+
+fn main() {
+    let result = e9::run(&ApacheConfig::default(), 8).expect("E9 runs");
+    println!("{}", e9::table(&result));
+    let h = &result.handler_sorted;
+    if !h.is_empty() {
+        let p50 = h[h.len() / 2];
+        let p99 = h[(h.len() * 99 / 100).min(h.len() - 1)];
+        println!(
+            "handler tail: p50 {} cycles / {} misses; p99 {} cycles / {} misses",
+            p50.0, p50.1, p99.0, p99.1
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Suite characterization. `cargo run -p bench --bin exp_kernels --release`
+
+use bench::kernels_char;
+
+fn main() {
+    let rows = kernels_char::run(20_000, 1 << 20).expect("characterization runs");
+    println!("{}", kernels_char::table(&rows));
+    let ablation = kernels_char::prefetch_ablation(20_000, 1 << 20).expect("ablation runs");
+    println!("{}", kernels_char::prefetch_table(&ablation));
+}

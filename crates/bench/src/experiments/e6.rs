@@ -1,0 +1,70 @@
+//! E6 — the MySQL critical-section-length histogram.
+//!
+//! The "previously obscured" insight: the vast majority of critical
+//! sections are far shorter than either a sampling interval or a syscall-
+//! priced probe, so only a ~tens-of-ns read can measure them.
+
+use analysis::{LockReport, Table};
+use limit::LimitReader;
+use sim_core::SimResult;
+use sim_cpu::EventKind;
+use sim_os::KernelConfig;
+use workloads::mysqld::{self, MysqlConfig, MysqlRun};
+
+/// The E6 outputs: the lock report and the run it came from.
+#[derive(Debug)]
+pub struct E6Result {
+    /// Per-class hold/acquire distributions.
+    pub report: LockReport,
+    /// The underlying run.
+    pub run: MysqlRun,
+}
+
+/// Runs the instrumented workload and builds the lock report.
+pub fn run(cfg: &MysqlConfig, cores: usize) -> SimResult<E6Result> {
+    let events = [EventKind::Cycles, EventKind::Instructions];
+    let reader = LimitReader::with_events(events.to_vec());
+    let run = mysqld::run(cfg, &reader, cores, &events, KernelConfig::default())?;
+    let records = run.session.all_records()?;
+    let regions = run.image.regions;
+    let classes: Vec<(&str, u64, u64)> = regions
+        .acq_regions()
+        .iter()
+        .zip(regions.hold_regions().iter())
+        .map(|(&(acq, name), &(hold, _))| (name, acq, hold))
+        .collect();
+    // Denominator: the sum of every thread's *virtualized* cycle counter
+    // (counter 0) — user cycles only, kernel time excluded.
+    let total = run.session.counter_grand_total(0)?;
+    let report = LockReport::build(&records, &classes, total);
+    Ok(E6Result { report, run })
+}
+
+/// Renders the summary table.
+pub fn table(result: &E6Result) -> Table {
+    let mut t = Table::new(
+        "E6: critical-section lengths by lock class (cycles)",
+        &["class", "sections", "mean", "p50~", "p99~", "<1k cycles"],
+    );
+    for c in &result.report.classes {
+        t.row(&[
+            c.name.clone(),
+            c.hold.count().to_string(),
+            format!("{:.0}", c.hold.mean().unwrap_or(0.0)),
+            c.hold.quantile(0.5).map_or("-".into(), |v| v.to_string()),
+            c.hold.quantile(0.99).map_or("-".into(), |v| v.to_string()),
+            format!("{:.0}%", c.short_fraction(1024) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Renders the ASCII histograms per class.
+pub fn histograms(result: &E6Result) -> String {
+    let mut out = String::new();
+    for c in &result.report.classes {
+        out.push_str(&format!("\nhold-time distribution: `{}`\n", c.name));
+        out.push_str(&c.hold.render_ascii(40));
+    }
+    out
+}

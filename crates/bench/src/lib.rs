@@ -1,0 +1,10 @@
+//! Shared experiment drivers for the `exp_*` binaries and criterion
+//! benches. Each experiment in DESIGN.md §4 has a function here that
+//! produces its table(s); the binaries print them, the benches time the
+//! underlying simulator.
+
+pub mod experiments;
+pub mod parallel;
+
+pub use experiments::*;
+pub use parallel::parmap;

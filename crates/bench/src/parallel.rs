@@ -1,0 +1,71 @@
+//! Host-side parallel experiment driver.
+//!
+//! Experiments are deterministic and independent, so sweep cells (thread
+//! counts × methods, sampling periods, ablation arms) can run on separate
+//! host threads. `parmap` preserves input order and propagates panics.
+
+use crossbeam::thread;
+
+/// Maps `f` over `items` on one host thread per item (sweeps are small),
+/// returning results in input order.
+///
+/// # Panics
+///
+/// Propagates any panic from `f`.
+pub fn parmap<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(|_| f(item))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parmap((0..16).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..16).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_closures_in_parallel_without_interference() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counter = AtomicU32::new(0);
+        let out = parmap(vec![1u32; 8], |x| {
+            counter.fetch_add(x, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(parmap(vec![7], |x: u64| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment thread panicked")]
+    fn panics_propagate() {
+        let _ = parmap(vec![1, 2], |x: i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,594 @@
+//! The host-side experiment harness: build a machine, lay out per-thread
+//! state, spawn instrumented threads, run, extract results.
+//!
+//! [`SessionBuilder`] fixes the hardware/kernel configuration and the
+//! counter set; [`Session`] owns the booted kernel plus the memory layout
+//! of every spawned thread's TLS block and log buffer.
+//!
+//! The counter set passed to [`SessionBuilder::events`] must match the
+//! events the workload's [`crate::reader::CounterReader`] attaches — the
+//! session uses its length to size and parse log records.
+
+use crate::report::{parse_log, RegionRecord, Regions};
+use crate::tls;
+use sim_core::{CoreId, Freq, SimError, SimResult, ThreadId};
+use sim_cpu::{Asm, EventKind, Machine, MachineConfig, MemLayout};
+use sim_os::{Kernel, KernelConfig, RunReport};
+use std::collections::HashMap;
+
+/// Configuration for a [`Session`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    machine_cfg: MachineConfig,
+    kernel_cfg: KernelConfig,
+    events: Vec<EventKind>,
+    log_capacity: usize,
+    tls_user_bytes: u64,
+    layout: Option<MemLayout>,
+    aggregate_regions: usize,
+}
+
+impl SessionBuilder {
+    /// A session on `cores` cores with default hardware and kernel.
+    pub fn new(cores: usize) -> Self {
+        SessionBuilder {
+            machine_cfg: MachineConfig::new(cores),
+            kernel_cfg: KernelConfig::default(),
+            events: Vec::new(),
+            log_capacity: 65_536,
+            tls_user_bytes: 256,
+            layout: None,
+            aggregate_regions: 0,
+        }
+    }
+
+    /// Enables aggregate-mode instrumentation: every spawned thread gets a
+    /// per-region table of `regions` entries, addressed via
+    /// [`tls::AGG_BASE`] and filled by
+    /// [`crate::Instrumenter::emit_exit_aggregate`].
+    pub fn aggregate_regions(mut self, regions: usize) -> Self {
+        self.aggregate_regions = regions;
+        self
+    }
+
+    /// Continues allocating from a layout the workload already used during
+    /// emission (so session allocations cannot overlap workload data).
+    pub fn with_layout(mut self, layout: MemLayout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Sets the counter events (at most [`tls::MAX_COUNTERS`]).
+    pub fn events(mut self, events: &[EventKind]) -> Self {
+        self.events = events.to_vec();
+        self
+    }
+
+    /// Replaces the machine configuration.
+    pub fn machine_config(mut self, cfg: MachineConfig) -> Self {
+        self.machine_cfg = cfg;
+        self
+    }
+
+    /// Replaces the kernel configuration.
+    pub fn kernel_config(mut self, cfg: KernelConfig) -> Self {
+        self.kernel_cfg = cfg;
+        self
+    }
+
+    /// Sets the per-thread log capacity in records.
+    pub fn log_capacity(mut self, records: usize) -> Self {
+        self.log_capacity = records;
+        self
+    }
+
+    /// Sets the size of the workload-defined TLS area.
+    pub fn tls_user_bytes(mut self, bytes: u64) -> Self {
+        self.tls_user_bytes = bytes;
+        self
+    }
+
+    /// A fresh assembler (convenience).
+    pub fn asm(&mut self) -> Asm {
+        Asm::new()
+    }
+
+    /// Assembles the program, boots the kernel, and registers every
+    /// `limit_read.*` restart range with the LiMiT extension.
+    pub fn build(self, asm: Asm) -> SimResult<Session> {
+        if self.events.len() > tls::MAX_COUNTERS {
+            return Err(SimError::Config(format!(
+                "at most {} counter events",
+                tls::MAX_COUNTERS
+            )));
+        }
+        let prog = asm.assemble()?;
+        let issues = sim_cpu::verify(&prog);
+        if !issues.is_empty() {
+            let listing: Vec<String> = issues.iter().map(|i| i.to_string()).collect();
+            return Err(SimError::Program(format!(
+                "program failed verification: {}",
+                listing.join("; ")
+            )));
+        }
+        let ranges: Vec<(u32, u32)> = prog
+            .iter_ranges()
+            .filter(|(name, _)| name.starts_with("limit_read"))
+            .map(|(_, r)| r)
+            .collect();
+        let machine = Machine::new(self.machine_cfg, prog)?;
+        let mut kernel = Kernel::new(machine, self.kernel_cfg);
+        for (s, e) in ranges {
+            kernel.register_restart_range(s, e);
+        }
+        Ok(Session {
+            kernel,
+            regions: Regions::new(),
+            events: self.events,
+            layout: self.layout.unwrap_or_default(),
+            log_capacity: self.log_capacity,
+            tls_user_bytes: self.tls_user_bytes,
+            aggregate_regions: self.aggregate_regions,
+            tls_of: HashMap::new(),
+            report: None,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlsInfo {
+    base: u64,
+    log_base: u64,
+    agg_base: u64,
+}
+
+/// A booted, instrumented experiment run.
+#[derive(Debug)]
+pub struct Session {
+    /// The kernel (and, through it, the machine).
+    pub kernel: Kernel,
+    /// Region-name registry shared with the workload generator.
+    pub regions: Regions,
+    events: Vec<EventKind>,
+    layout: MemLayout,
+    log_capacity: usize,
+    tls_user_bytes: u64,
+    aggregate_regions: usize,
+    tls_of: HashMap<ThreadId, TlsInfo>,
+    report: Option<RunReport>,
+}
+
+impl Session {
+    /// The counter events in force.
+    pub fn events(&self) -> &[EventKind] {
+        &self.events
+    }
+
+    /// The guest core frequency (for converting cycles to time).
+    pub fn freq(&self) -> Freq {
+        self.kernel.machine.freq()
+    }
+
+    /// Allocates guest memory for workload data.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        self.layout.alloc(bytes, align)
+    }
+
+    /// Writes a 64-bit word into guest memory (host-side initialization).
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> SimResult<()> {
+        self.kernel.machine.mem.write_u64(addr, value)
+    }
+
+    /// Reads a 64-bit word from guest memory.
+    pub fn read_u64(&self, addr: u64) -> SimResult<u64> {
+        self.kernel.machine.mem.read_u64(addr)
+    }
+
+    /// Spawns a thread at `entry` with a fresh TLS block and log buffer.
+    /// The TLS base is passed in `r0`; `extra` arguments (at most 5) follow
+    /// in `r1..`.
+    pub fn spawn_instrumented(&mut self, entry: &str, extra: &[u64]) -> SimResult<ThreadId> {
+        self.spawn_inner(entry, extra, None)
+    }
+
+    /// Like [`Session::spawn_instrumented`], pinned to `core`.
+    pub fn spawn_instrumented_pinned(
+        &mut self,
+        entry: &str,
+        extra: &[u64],
+        core: CoreId,
+    ) -> SimResult<ThreadId> {
+        self.spawn_inner(entry, extra, Some(core))
+    }
+
+    fn spawn_inner(
+        &mut self,
+        entry: &str,
+        extra: &[u64],
+        core: Option<CoreId>,
+    ) -> SimResult<ThreadId> {
+        if extra.len() > 5 {
+            return Err(SimError::Harness("at most 5 extra spawn args".into()));
+        }
+        let rec = tls::record_size(self.events.len().max(1));
+        let tls_base = self.layout.alloc(tls::TLS_SIZE + self.tls_user_bytes, 64);
+        let log_base = self.layout.alloc(self.log_capacity as u64 * rec, 64);
+        let agg_base = if self.aggregate_regions > 0 {
+            let entry = crate::instrument::aggregate_entry_size(self.events.len());
+            self.layout.alloc(self.aggregate_regions as u64 * entry, 64)
+        } else {
+            0
+        };
+        let mem = &mut self.kernel.machine.mem;
+        mem.write_u64(tls_base + tls::LOG_CURSOR as u64, log_base)?;
+        mem.write_u64(
+            tls_base + tls::LOG_END as u64,
+            log_base + self.log_capacity as u64 * rec,
+        )?;
+        if agg_base != 0 {
+            mem.write_u64(tls_base + tls::AGG_BASE as u64, agg_base)?;
+        }
+        let mut args = vec![tls_base];
+        args.extend_from_slice(extra);
+        let pc = self.kernel.machine.prog.entry(entry)?;
+        let tid = self.kernel.spawn_at(pc, &args, core);
+        self.tls_of.insert(
+            tid,
+            TlsInfo {
+                base: tls_base,
+                log_base,
+                agg_base,
+            },
+        );
+        Ok(tid)
+    }
+
+    /// Runs to completion, retaining the report.
+    pub fn run(&mut self) -> SimResult<RunReport> {
+        let report = self.kernel.run()?;
+        self.report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Runs until the given thread exits (background threads may still be
+    /// live), retaining the report.
+    pub fn run_until_exit(&mut self, tid: ThreadId) -> SimResult<RunReport> {
+        let report = self.kernel.run_until_exit(tid)?;
+        self.report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The retained run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Session::run`].
+    pub fn report(&self) -> &RunReport {
+        self.report.as_ref().expect("session has not run yet")
+    }
+
+    fn tls(&self, tid: ThreadId) -> TlsInfo {
+        *self
+            .tls_of
+            .get(&tid)
+            .expect("thread was not spawned through this session")
+    }
+
+    /// The TLS base address of a spawned thread.
+    pub fn tls_base(&self, tid: ThreadId) -> u64 {
+        self.tls(tid).base
+    }
+
+    /// All threads spawned through this session, in spawn order.
+    pub fn spawned_tids(&self) -> Vec<ThreadId> {
+        let mut v: Vec<_> = self.tls_of.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sum of the final virtualized values of counter `i` across every
+    /// spawned thread — e.g. total user cycles when counter `i` counts
+    /// [`EventKind::Cycles`](sim_cpu::EventKind::Cycles).
+    pub fn counter_grand_total(&self, i: usize) -> SimResult<u64> {
+        self.spawned_tids()
+            .into_iter()
+            .map(|t| self.counter_total(t, i))
+            .sum()
+    }
+
+    /// The final 64-bit virtualized value of LiMiT counter `i` for `tid`
+    /// (valid after the thread exits: the kernel folds the live counter on
+    /// the final switch-out).
+    pub fn counter_total(&self, tid: ThreadId, i: usize) -> SimResult<u64> {
+        if i >= self.events.len() {
+            return Err(SimError::Harness(format!("no counter {i} configured")));
+        }
+        self.read_u64(self.tls(tid).base + tls::accum_off(i) as u64)
+    }
+
+    /// Extracts a thread's instrumentation records (deltas sized by the
+    /// session's event count).
+    pub fn records(&self, tid: ThreadId) -> SimResult<Vec<RegionRecord>> {
+        self.records_with(tid, self.events.len())
+    }
+
+    /// Extracts records with an explicit per-record delta count (for runs
+    /// whose reader attaches a different counter set than the session's).
+    pub fn records_with(&self, tid: ThreadId, counters: usize) -> SimResult<Vec<RegionRecord>> {
+        let info = self.tls(tid);
+        let cursor = self.read_u64(info.base + tls::LOG_CURSOR as u64)?;
+        Ok(parse_log(
+            &self.kernel.machine.mem,
+            info.log_base,
+            cursor,
+            counters,
+        ))
+    }
+
+    /// Records from every spawned thread, tagged by thread.
+    pub fn all_records(&self) -> SimResult<Vec<(ThreadId, RegionRecord)>> {
+        let mut tids: Vec<_> = self.tls_of.keys().copied().collect();
+        tids.sort_unstable();
+        let mut out = Vec::new();
+        for tid in tids {
+            for r in self.records(tid)? {
+                out.push((tid, r));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of records a thread dropped to a full log buffer.
+    pub fn dropped(&self, tid: ThreadId) -> SimResult<u64> {
+        self.read_u64(self.tls(tid).base + tls::DROPPED as u64)
+    }
+
+    /// Extracts a thread's aggregate table: one
+    /// `(count, sums-per-counter)` row per region id `0..regions`
+    /// configured at build time.
+    pub fn aggregates(&self, tid: ThreadId) -> SimResult<Vec<RegionAggregate>> {
+        let info = self.tls(tid);
+        if info.agg_base == 0 {
+            return Err(SimError::Harness(
+                "session was built without aggregate_regions".into(),
+            ));
+        }
+        let k = self.events.len();
+        let entry = crate::instrument::aggregate_entry_size(k);
+        (0..self.aggregate_regions as u64)
+            .map(|r| {
+                let base = info.agg_base + r * entry;
+                Ok(RegionAggregate {
+                    region: r,
+                    count: self.read_u64(base)?,
+                    sums: (0..k)
+                        .map(|i| self.read_u64(base + 8 * (1 + i as u64)))
+                        .collect::<SimResult<_>>()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Sums aggregate tables across every spawned thread.
+    pub fn aggregates_total(&self) -> SimResult<Vec<RegionAggregate>> {
+        let mut total: Vec<RegionAggregate> = (0..self.aggregate_regions as u64)
+            .map(|r| RegionAggregate {
+                region: r,
+                count: 0,
+                sums: vec![0; self.events.len()],
+            })
+            .collect();
+        for tid in self.spawned_tids() {
+            for (acc, row) in total.iter_mut().zip(self.aggregates(tid)?) {
+                acc.count += row.count;
+                for (a, s) in acc.sums.iter_mut().zip(&row.sums) {
+                    *a += s;
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// One region's aggregate-mode totals for one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionAggregate {
+    /// Region id (the table index).
+    pub region: u64,
+    /// Exits recorded.
+    pub count: u64,
+    /// Per-counter delta sums.
+    pub sums: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::Instrumenter;
+    use crate::reader::{CounterReader, LimitReader};
+    use sim_cpu::Reg;
+    use sim_os::syscall::nr;
+
+    fn two_counter_builder(cores: usize) -> SessionBuilder {
+        SessionBuilder::new(cores).events(&[EventKind::Instructions, EventKind::Cycles])
+    }
+
+    #[test]
+    fn limit_read_sequence_counts_exactly() {
+        let reader = LimitReader::new(1);
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        asm.burst(500);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        asm.mov(Reg::R0, Reg::R4);
+        asm.syscall(nr::LOG_VALUE);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        // Counted after LIMIT_OPEN returns: burst(500) + load = 501 before
+        // the rdpmc reads.
+        assert_eq!(s.kernel.log(), &[501]);
+    }
+
+    #[test]
+    fn restart_ranges_are_registered_automatically() {
+        let reader = LimitReader::new(1);
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        asm.halt();
+        let s = b.build(asm).unwrap();
+        assert_eq!(s.kernel.limit().ranges().len(), 2);
+    }
+
+    #[test]
+    fn instrumented_region_produces_records() {
+        let reader = LimitReader::new(2);
+        let ins = Instrumenter::new(&reader);
+        let mut b = two_counter_builder(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        ins.emit_enter(&mut asm);
+        asm.burst(200);
+        ins.emit_exit(&mut asm, 42);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        let recs = s.records(tid).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].region, 42);
+        // Instruction delta = instructions retired between the enter rdpmc
+        // read and the exit rdpmc read of counter 0: the enter rdpmc's own
+        // retirement + add + store (3), counter 1's enter block (4), the
+        // burst (200), the exit preamble (2 loads + br + imm + store = 5),
+        // and the exit read's load (1) = 213.
+        assert_eq!(recs[0].deltas[0], 213);
+        // Cycle delta is at least the instruction delta.
+        assert!(recs[0].deltas[1] >= recs[0].deltas[0]);
+        assert_eq!(s.dropped(tid).unwrap(), 0);
+    }
+
+    #[test]
+    fn counter_total_survives_thread_exit() {
+        let reader = LimitReader::new(1);
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        asm.burst(1234);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        // Final fold at exit: burst + halt = 1235 exactly.
+        assert_eq!(s.counter_total(tid, 0).unwrap(), 1235);
+        assert!(s.counter_total(tid, 5).is_err());
+    }
+
+    #[test]
+    fn log_overflow_increments_dropped() {
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .log_capacity(2);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        for _ in 0..5 {
+            ins.emit_enter(&mut asm);
+            asm.burst(10);
+            ins.emit_exit(&mut asm, 1);
+        }
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        assert_eq!(s.records(tid).unwrap().len(), 2);
+        assert_eq!(s.dropped(tid).unwrap(), 3);
+    }
+
+    #[test]
+    fn extra_args_flow_to_registers() {
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        // r1 (first extra) logged.
+        asm.mov(Reg::R0, Reg::R1);
+        asm.syscall(nr::LOG_VALUE);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[777]).unwrap();
+        s.run().unwrap();
+        assert_eq!(s.kernel.log(), &[777]);
+    }
+
+    #[test]
+    fn too_many_extra_args_rejected() {
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        assert!(s.spawn_instrumented("main", &[1, 2, 3, 4, 5, 6]).is_err());
+    }
+
+    #[test]
+    fn aggregate_mode_accumulates_counts_and_sums() {
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .aggregate_regions(3);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        for (region, work) in [(0u64, 50u32), (2, 80), (0, 50)] {
+            ins.emit_enter(&mut asm);
+            asm.burst(work);
+            ins.emit_exit_aggregate(&mut asm, region);
+        }
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        let agg = s.aggregates(tid).unwrap();
+        assert_eq!(agg.len(), 3);
+        assert_eq!(agg[0].count, 2);
+        assert_eq!(agg[1].count, 0);
+        assert_eq!(agg[2].count, 1);
+        // Each exit measures its burst plus a fixed instrumentation
+        // preamble; region 0's sum covers two 50-instruction bursts.
+        assert!(agg[0].sums[0] >= 100);
+        assert!(agg[2].sums[0] >= 80);
+        assert!(agg[0].sums[0] < 2 * agg[2].sums[0]);
+        let total = s.aggregates_total().unwrap();
+        assert_eq!(total[0], agg[0]);
+    }
+
+    #[test]
+    fn aggregates_require_configuration() {
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        assert!(s.aggregates(tid).is_err());
+    }
+
+    #[test]
+    fn too_many_events_rejected_at_build() {
+        let b = SessionBuilder::new(1).events(&[EventKind::Cycles; 5]);
+        assert!(b.build(Asm::new()).is_err());
+    }
+}

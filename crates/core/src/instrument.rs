@@ -1,0 +1,152 @@
+//! Region instrumentation: the code the paper wraps around every critical
+//! section and task.
+//!
+//! [`Instrumenter::emit_enter`] snapshots every attached counter into the
+//! thread's TLS scratch slots; [`Instrumenter::emit_exit`] re-reads them,
+//! computes deltas, and appends a `(region_id, delta...)` record to the
+//! thread's log buffer. The log append is plain guest code — its cost (and
+//! cache perturbation) is *part of the measured overhead*, as it is in the
+//! real tool.
+//!
+//! Register discipline: enter/exit clobber `r4..r7` (plus `r0..r3` under
+//! syscall-based readers). `r15` is the TLS base.
+
+use crate::reader::CounterReader;
+use crate::tls;
+use sim_cpu::{Asm, Cond, Reg};
+
+/// Emits region enter/exit instrumentation for a given reader.
+pub struct Instrumenter<'a> {
+    reader: &'a dyn CounterReader,
+}
+
+impl<'a> Instrumenter<'a> {
+    /// Wraps a reader.
+    pub fn new(reader: &'a dyn CounterReader) -> Self {
+        Instrumenter { reader }
+    }
+
+    /// The wrapped reader.
+    pub fn reader(&self) -> &dyn CounterReader {
+        self.reader
+    }
+
+    /// Emits a region entry: snapshot every counter into TLS scratch.
+    pub fn emit_enter(&self, asm: &mut Asm) {
+        for i in 0..self.reader.counters() {
+            self.reader.emit_read(asm, i, Reg::R4, Reg::R5);
+            asm.store(Reg::R4, tls::TLS_REG, tls::scratch_off(i));
+        }
+    }
+
+    /// Emits a region exit for `region_id`: read counters, compute deltas
+    /// against the entry snapshot, and append one record to the thread's
+    /// log (or bump the dropped count if the buffer is full).
+    pub fn emit_exit(&self, asm: &mut Asm, region_id: u64) {
+        let k = self.reader.counters();
+        // r6 = cursor; r7 = end.
+        asm.load(Reg::R6, tls::TLS_REG, tls::LOG_CURSOR);
+        asm.load(Reg::R7, tls::TLS_REG, tls::LOG_END);
+        let full = asm.new_label();
+        let done = asm.new_label();
+        asm.br(Cond::Ge, Reg::R6, Reg::R7, full);
+        // Record header.
+        asm.imm(Reg::R4, region_id);
+        asm.store(Reg::R4, Reg::R6, 0);
+        // Deltas.
+        for i in 0..k {
+            self.reader.emit_read(asm, i, Reg::R4, Reg::R5);
+            asm.load(Reg::R5, tls::TLS_REG, tls::scratch_off(i));
+            asm.sub(Reg::R4, Reg::R5);
+            asm.store(Reg::R4, Reg::R6, (8 * (1 + i)) as i32);
+        }
+        // Advance the cursor.
+        asm.alui_add(Reg::R6, tls::record_size(k));
+        asm.store(Reg::R6, tls::TLS_REG, tls::LOG_CURSOR);
+        asm.jmp(done);
+        asm.bind(full);
+        asm.load(Reg::R4, tls::TLS_REG, tls::DROPPED);
+        asm.alui_add(Reg::R4, 1);
+        asm.store(Reg::R4, tls::TLS_REG, tls::DROPPED);
+        asm.bind(done);
+    }
+
+    /// Emits a zero-counter "event mark": appends a record with no deltas
+    /// (used to count occurrences without measuring them).
+    pub fn emit_mark(&self, asm: &mut Asm, region_id: u64) {
+        let null = crate::reader::NullReader::new();
+        Instrumenter::new(&null).emit_exit(asm, region_id);
+    }
+
+    /// Emits a region exit in **aggregate mode**: instead of appending a
+    /// record, increments the region's count and adds each delta into the
+    /// region's running sums in the thread's aggregate table (see
+    /// [`crate::harness::SessionBuilder::aggregate_regions`]).
+    ///
+    /// Aggregate mode trades per-event detail (no histograms) for bounded
+    /// memory and a slightly shorter exit path — the right choice for
+    /// always-on production accounting.
+    pub fn emit_exit_aggregate(&self, asm: &mut Asm, region_id: u64) {
+        let k = self.reader.counters();
+        let entry = aggregate_entry_size(k);
+        // r6 = this region's table entry.
+        asm.load(Reg::R6, tls::TLS_REG, tls::AGG_BASE);
+        asm.alui_add(Reg::R6, region_id * entry);
+        // count += 1
+        asm.load(Reg::R4, Reg::R6, 0);
+        asm.alui_add(Reg::R4, 1);
+        asm.store(Reg::R4, Reg::R6, 0);
+        // sums[i] += delta_i
+        for i in 0..k {
+            self.reader.emit_read(asm, i, Reg::R4, Reg::R5);
+            asm.load(Reg::R5, tls::TLS_REG, tls::scratch_off(i));
+            asm.sub(Reg::R4, Reg::R5);
+            asm.load(Reg::R7, Reg::R6, (8 * (1 + i)) as i32);
+            asm.add(Reg::R7, Reg::R4);
+            asm.store(Reg::R7, Reg::R6, (8 * (1 + i)) as i32);
+        }
+    }
+}
+
+/// Bytes per aggregate-table entry with `counters` event sums: a count
+/// plus one sum per counter.
+pub const fn aggregate_entry_size(counters: usize) -> u64 {
+    8 * (1 + counters as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{LimitReader, NullReader};
+
+    #[test]
+    fn enter_emits_one_snapshot_per_counter() {
+        let r = LimitReader::new(2);
+        let ins = Instrumenter::new(&r);
+        let mut asm = Asm::new();
+        ins.emit_enter(&mut asm);
+        // Per counter: 3 (read) + 1 (store) = 4 instructions.
+        assert_eq!(asm.assemble().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn exit_emits_record_append() {
+        let r = LimitReader::new(1);
+        let ins = Instrumenter::new(&r);
+        let mut asm = Asm::new();
+        ins.emit_exit(&mut asm, 7);
+        let p = asm.assemble().unwrap();
+        // Fixed parts: 2 loads + br + imm + store + advance(2) + jmp +
+        // full-path(3) = 11, plus per-counter 3(read)+load+sub+store = 6.
+        assert_eq!(p.len(), 17);
+    }
+
+    #[test]
+    fn mark_uses_no_counters() {
+        let r = NullReader::new();
+        let ins = Instrumenter::new(&r);
+        let mut asm = Asm::new();
+        ins.emit_mark(&mut asm, 3);
+        assert!(asm.assemble().unwrap().len() >= 8);
+    }
+}

@@ -1,0 +1,71 @@
+//! # LiMiT: precise, lightweight performance-counter access
+//!
+//! This crate is the reproduction's implementation of the paper's primary
+//! contribution (Demme & Sethumadhavan, *Rapid identification of
+//! architectural bottlenecks via precise event counting*, ISCA 2011): a
+//! userspace library for reading **64-bit virtualized performance counters
+//! in a handful of instructions** — no syscall on the read path — backed by
+//! the kernel extension in `sim-os` (counter virtualization into
+//! user-memory accumulators plus the restartable-sequence fix-up).
+//!
+//! The pieces:
+//!
+//! * [`tls`] — the per-thread memory block (accumulators, instrumentation
+//!   scratch, event-log cursors) addressed off the `r15` convention
+//!   register,
+//! * [`reader`] — the [`reader::CounterReader`] abstraction over "emit
+//!   guest code that reads counter *i*", with the LiMiT implementation
+//!   ([`reader::LimitReader`], the 3-instruction load/rdpmc/add sequence
+//!   wrapped in a restart range) and the no-op baseline
+//!   ([`reader::NullReader`]). The syscall-based baselines live in the
+//!   `baselines` crate behind the same trait,
+//! * [`instrument`] — region instrumentation: enter/exit emission that
+//!   snapshots counters and appends `(region, deltas...)` records to the
+//!   thread's log,
+//! * [`routine`] — callable (shared) read routines: one emitted sequence
+//!   serving many call sites, trading 4 cycles per read for code space,
+//! * [`harness`] — the host-side [`harness::Session`]: builds the machine
+//!   and kernel, lays out TLS blocks and log buffers, spawns instrumented
+//!   threads, runs, and extracts results,
+//! * [`report`] — post-run extraction of counter values and region
+//!   records.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use limit::harness::SessionBuilder;
+//! use limit::reader::{CounterReader, LimitReader};
+//! use sim_cpu::{EventKind, Reg};
+//!
+//! // Guest program: do some work, then read counter 0 into r4 and report.
+//! let reader = LimitReader::new(2);
+//! let mut builder = SessionBuilder::new(1)
+//!     .events(&[EventKind::Instructions, EventKind::Cycles]);
+//! let mut asm = builder.asm();
+//! asm.export("main");
+//! reader.emit_thread_setup(&mut asm);
+//! asm.burst(1_000);
+//! reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+//! asm.mov(Reg::R0, Reg::R4);
+//! asm.syscall(sim_os::syscall::nr::LOG_VALUE);
+//! asm.halt();
+//!
+//! let mut session = builder.build(asm).unwrap();
+//! session.spawn_instrumented("main", &[]).unwrap();
+//! session.run().unwrap();
+//! let count = session.kernel.log()[0];
+//! assert!(count >= 1_000);
+//! ```
+
+pub mod harness;
+pub mod instrument;
+pub mod reader;
+pub mod report;
+pub mod routine;
+pub mod tls;
+
+pub use harness::{Session, SessionBuilder};
+pub use instrument::Instrumenter;
+pub use reader::{CounterReader, LimitReader, NullReader};
+pub use report::{RegionRecord, Regions};
+pub use routine::ReadRoutines;

@@ -1,0 +1,207 @@
+//! The counter-read abstraction and the LiMiT implementation.
+//!
+//! A [`CounterReader`] knows how to emit guest code that (a) attaches up to
+//! [`crate::tls::MAX_COUNTERS`] counters to the calling thread and (b)
+//! reads the 64-bit virtualized value of counter `i` into a register. The
+//! three access methods the paper compares all implement this trait:
+//!
+//! * [`LimitReader`] (here) — the paper's contribution: a 3-instruction
+//!   load/`rdpmc`/add sequence, each emission wrapped in a named restart
+//!   range the kernel uses for the atomicity fix-up,
+//! * `PerfReader` / `PapiReader` (crate `baselines`) — syscall round-trips,
+//! * [`NullReader`] — reads nothing (the uninstrumented baseline).
+
+use crate::tls::{self, TLS_REG};
+use sim_cpu::{Asm, EventKind, Reg};
+use sim_os::syscall::{encode_event, nr};
+use std::cell::Cell;
+
+/// Emits guest code for counter attachment and reads.
+pub trait CounterReader {
+    /// Number of counters this reader attaches.
+    fn counters(&self) -> usize;
+
+    /// Emits the per-thread prologue: binds `r15` to the TLS base passed in
+    /// `r0` and attaches the configured counters. Must be the first thing a
+    /// thread executes.
+    fn emit_thread_setup(&self, asm: &mut Asm);
+
+    /// Emits code reading the 64-bit virtualized value of counter `i` into
+    /// `dst`, clobbering `scratch` (and, for syscall-based readers,
+    /// `r0..r3`).
+    fn emit_read(&self, asm: &mut Asm, i: usize, dst: Reg, scratch: Reg);
+
+    /// A short name for reports ("limit", "perf", "papi", "none").
+    fn name(&self) -> &'static str;
+}
+
+/// The LiMiT userspace reader.
+///
+/// `emit_read` produces exactly the sequence the paper's kernel extension
+/// protects:
+///
+/// ```text
+/// load  dst, [r15 + accum(i)]   ; 64-bit accumulator (kernel-maintained)
+/// rdpmc scratch, i              ; live hardware counter
+/// add   dst, scratch
+/// ```
+///
+/// Each emission is wrapped in a uniquely-named `limit_read.N` range;
+/// [`crate::harness::Session`] registers every such range with the kernel
+/// so an interrupt landing mid-sequence rewinds to the load.
+#[derive(Debug)]
+pub struct LimitReader {
+    events: Vec<EventKind>,
+    next_range: Cell<u32>,
+}
+
+impl LimitReader {
+    /// A reader attaching `n` counters with default events (instructions,
+    /// cycles, LLC misses, branch misses — in that order).
+    pub fn new(n: usize) -> Self {
+        const DEFAULT: [EventKind; 4] = [
+            EventKind::Instructions,
+            EventKind::Cycles,
+            EventKind::LlcMisses,
+            EventKind::BranchMisses,
+        ];
+        LimitReader::with_events(DEFAULT[..n.min(4)].to_vec())
+    }
+
+    /// A reader attaching the given events to slots `0..events.len()`.
+    pub fn with_events(events: Vec<EventKind>) -> Self {
+        assert!(
+            events.len() <= tls::MAX_COUNTERS,
+            "at most {} counters",
+            tls::MAX_COUNTERS
+        );
+        LimitReader {
+            events,
+            next_range: Cell::new(0),
+        }
+    }
+
+    /// The configured events.
+    pub fn events(&self) -> &[EventKind] {
+        &self.events
+    }
+}
+
+impl CounterReader for LimitReader {
+    fn counters(&self) -> usize {
+        self.events.len()
+    }
+
+    fn emit_thread_setup(&self, asm: &mut Asm) {
+        asm.mov(TLS_REG, Reg::R0);
+        asm.imm(Reg::R3, 0); // no tag filter (spawn args may have left r3 set)
+        for (i, &event) in self.events.iter().enumerate() {
+            asm.imm(Reg::R0, i as u64);
+            asm.imm(Reg::R1, encode_event(event));
+            asm.mov(Reg::R2, TLS_REG);
+            asm.alui_add(Reg::R2, tls::accum_off(i) as u64);
+            asm.syscall(nr::LIMIT_OPEN);
+        }
+    }
+
+    fn emit_read(&self, asm: &mut Asm, i: usize, dst: Reg, scratch: Reg) {
+        assert!(i < self.events.len(), "counter {i} not attached");
+        let range = format!("limit_read.{}", self.next_range.get());
+        self.next_range.set(self.next_range.get() + 1);
+        asm.begin_range(&range);
+        asm.load(dst, TLS_REG, tls::accum_off(i));
+        asm.rdpmc(scratch, i as u8);
+        asm.add(dst, scratch);
+        asm.end_range(&range);
+    }
+
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+}
+
+/// The uninstrumented baseline: attaches nothing, reads return zero.
+///
+/// `emit_read` emits a single `imm dst, 0` so downstream logging code can
+/// be emitted unconditionally; overhead comparisons use the *no logging*
+/// path by not calling the instrumenter at all.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullReader;
+
+impl NullReader {
+    /// The null reader.
+    pub fn new() -> Self {
+        NullReader
+    }
+}
+
+impl CounterReader for NullReader {
+    fn counters(&self) -> usize {
+        0
+    }
+
+    fn emit_thread_setup(&self, asm: &mut Asm) {
+        asm.mov(TLS_REG, Reg::R0);
+    }
+
+    fn emit_read(&self, asm: &mut Asm, _i: usize, dst: Reg, _scratch: Reg) {
+        asm.imm(dst, 0);
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_reader_emits_unique_ranges() {
+        let r = LimitReader::new(2);
+        let mut asm = Asm::new();
+        r.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        r.emit_read(&mut asm, 1, Reg::R4, Reg::R5);
+        let prog = asm.assemble().unwrap();
+        let ranges: Vec<_> = prog.iter_ranges().collect();
+        assert_eq!(ranges.len(), 2);
+        for (name, (s, e)) in ranges {
+            assert!(name.starts_with("limit_read."));
+            assert_eq!(e - s, 3, "3-instruction sequence");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not attached")]
+    fn reading_unattached_counter_panics() {
+        let r = LimitReader::new(1);
+        let mut asm = Asm::new();
+        r.emit_read(&mut asm, 3, Reg::R4, Reg::R5);
+    }
+
+    #[test]
+    fn default_events_order() {
+        let r = LimitReader::new(2);
+        assert_eq!(r.events(), &[EventKind::Instructions, EventKind::Cycles]);
+        assert_eq!(r.counters(), 2);
+        assert_eq!(r.name(), "limit");
+    }
+
+    #[test]
+    fn null_reader_is_empty() {
+        let r = NullReader::new();
+        assert_eq!(r.counters(), 0);
+        let mut asm = Asm::new();
+        r.emit_thread_setup(&mut asm);
+        r.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        let prog = asm.assemble().unwrap();
+        assert_eq!(prog.len(), 2); // mov + imm
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_events_rejected() {
+        let _ = LimitReader::with_events(vec![EventKind::Cycles; 5]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Post-run extraction of instrumentation results from guest memory.
+
+use serde::{Deserialize, Serialize};
+use sim_cpu::GuestMem;
+use std::collections::HashMap;
+
+/// One extracted instrumentation record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionRecord {
+    /// The region id written by `emit_exit`.
+    pub region: u64,
+    /// Counter deltas, one per attached counter.
+    pub deltas: Vec<u64>,
+}
+
+/// A host-side registry mapping region ids to human-readable names.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Regions {
+    names: HashMap<u64, String>,
+    next: u64,
+}
+
+impl Regions {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Regions::default()
+    }
+
+    /// Registers a region name, returning its id.
+    pub fn define(&mut self, name: &str) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        self.names.insert(id, name.to_string());
+        id
+    }
+
+    /// Looks up a region name.
+    pub fn name(&self, id: u64) -> &str {
+        self.names.get(&id).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Finds an id by name.
+    pub fn id(&self, name: &str) -> Option<u64> {
+        self.names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(&id, _)| id)
+    }
+
+    /// Number of defined regions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no regions are defined.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &str)> {
+        let mut v: Vec<_> = self.names.iter().map(|(&i, n)| (i, n.as_str())).collect();
+        v.sort_by_key(|&(i, _)| i);
+        v.into_iter()
+    }
+}
+
+/// Parses the records in a log buffer spanning `[base, cursor)` with
+/// `counters` deltas per record.
+pub fn parse_log(mem: &GuestMem, base: u64, cursor: u64, counters: usize) -> Vec<RegionRecord> {
+    let rec = crate::tls::record_size(counters);
+    let mut out = Vec::new();
+    let mut at = base;
+    while at + rec <= cursor {
+        let region = mem.read_u64(at).expect("log buffer is aligned");
+        let deltas = (0..counters)
+            .map(|i| {
+                mem.read_u64(at + 8 * (1 + i as u64))
+                    .expect("log buffer is aligned")
+            })
+            .collect();
+        out.push(RegionRecord { region, deltas });
+        at += rec;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_define_and_lookup() {
+        let mut r = Regions::new();
+        let a = r.define("lock_a");
+        let b = r.define("lock_b");
+        assert_ne!(a, b);
+        assert_eq!(r.name(a), "lock_a");
+        assert_eq!(r.id("lock_b"), Some(b));
+        assert_eq!(r.id("missing"), None);
+        assert_eq!(r.name(999), "?");
+        assert_eq!(r.len(), 2);
+        let pairs: Vec<_> = r.iter().collect();
+        assert_eq!(pairs, vec![(a, "lock_a"), (b, "lock_b")]);
+    }
+
+    #[test]
+    fn parse_log_reads_records() {
+        let mut mem = GuestMem::new();
+        let base = 0x1000u64;
+        // Two records of (region, d0, d1).
+        for (i, vals) in [[7u64, 100, 200], [9, 5, 6]].iter().enumerate() {
+            for (j, &v) in vals.iter().enumerate() {
+                mem.write_u64(base + (i as u64 * 24) + (j as u64 * 8), v)
+                    .unwrap();
+            }
+        }
+        let recs = parse_log(&mem, base, base + 48, 2);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].region, 7);
+        assert_eq!(recs[0].deltas, vec![100, 200]);
+        assert_eq!(recs[1].region, 9);
+    }
+
+    #[test]
+    fn parse_log_ignores_partial_tail() {
+        let mem = GuestMem::new();
+        // Cursor mid-record: nothing parsed.
+        assert!(parse_log(&mem, 0x1000, 0x1000 + 10, 2).is_empty());
+    }
+}

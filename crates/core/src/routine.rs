@@ -1,0 +1,164 @@
+//! Callable read routines: the code-footprint variant of the LiMiT read.
+//!
+//! [`crate::reader::LimitReader::emit_read`] inlines the 3-instruction
+//! sequence at every measurement site — fastest, but each site costs
+//! program space and its own restart range. For programs with many
+//! instrumentation sites, [`ReadRoutines`] emits the sequence **once per
+//! counter** as a callable routine; sites then emit a single `call`.
+//!
+//! The restart fix-up composes naturally with calls: the registered range
+//! covers only the load/`rdpmc`/add body, and rewinding the PC inside the
+//! body re-executes from the body start with the return address still on
+//! the shadow stack — the retry is invisible to the caller.
+//!
+//! Cost: `call` + `ret` add 4 cycles per read (≈ 36 → 40 cycles), the
+//! price of sharing one sequence among all sites.
+
+use crate::tls::{self, TLS_REG};
+use sim_cpu::{Asm, Reg};
+
+/// The register a routine read returns its value in.
+pub const RESULT_REG: Reg = Reg::R4;
+
+/// The scratch register a routine read clobbers.
+pub const SCRATCH_REG: Reg = Reg::R5;
+
+/// Emitted, callable read routines — one per counter slot.
+#[derive(Debug, Clone)]
+pub struct ReadRoutines {
+    entries: Vec<u32>,
+}
+
+impl ReadRoutines {
+    /// Emits one callable routine per counter `0..counters` at the current
+    /// position. Must be emitted at a point control flow never falls into
+    /// (e.g. before any entry point, or after a `halt`/`jmp`).
+    ///
+    /// Each routine: `load r4, [r15+accum(i)]; rdpmc r5, i; add r4, r5;
+    /// ret`, with the body wrapped in an auto-registered `limit_read.*`
+    /// restart range.
+    pub fn emit(asm: &mut Asm, counters: usize) -> ReadRoutines {
+        assert!(counters <= tls::MAX_COUNTERS);
+        let entries = (0..counters)
+            .map(|i| {
+                let entry = asm.here();
+                let range = format!("limit_read.routine{i}.{entry}");
+                asm.begin_range(&range);
+                asm.load(RESULT_REG, TLS_REG, tls::accum_off(i));
+                asm.rdpmc(SCRATCH_REG, i as u8);
+                asm.add(RESULT_REG, SCRATCH_REG);
+                asm.end_range(&range);
+                asm.ret();
+                entry
+            })
+            .collect();
+        ReadRoutines { entries }
+    }
+
+    /// Number of routines emitted.
+    pub fn counters(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Emits a call-site read of counter `i`; the 64-bit virtualized value
+    /// lands in [`RESULT_REG`], clobbering [`SCRATCH_REG`].
+    pub fn emit_call_read(&self, asm: &mut Asm, i: usize) {
+        assert!(i < self.entries.len(), "routine {i} not emitted");
+        asm.call_abs(self.entries[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::SessionBuilder;
+    use crate::reader::{CounterReader, LimitReader};
+    use sim_cpu::{Cond, EventKind, MachineConfig, PmuConfig};
+    use sim_os::syscall::nr;
+
+    #[test]
+    fn routine_read_matches_inline_read() {
+        let reader = LimitReader::new(1);
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        // Routines first (control flow never falls in: `main` is the
+        // spawn entry).
+        let routines = ReadRoutines::emit(&mut asm, 1);
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        asm.burst(300);
+        // Inline read into r6.
+        reader.emit_read(&mut asm, 0, Reg::R6, Reg::R5);
+        // Routine read into r4.
+        routines.emit_call_read(&mut asm, 0);
+        // Instructions retired between the two rdpmc reads: the inline
+        // rdpmc's own retirement + its add + the call + the routine body's
+        // load = 4.
+        asm.sub(Reg::R4, Reg::R6);
+        asm.mov(Reg::R0, Reg::R4);
+        asm.syscall(nr::LOG_VALUE);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        assert_eq!(s.kernel.log(), &[4]);
+    }
+
+    #[test]
+    fn routine_ranges_are_auto_registered() {
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        let _routines = ReadRoutines::emit(&mut asm, 2);
+        asm.export("main");
+        asm.halt();
+        let s = b.build(asm).unwrap();
+        assert_eq!(s.kernel.limit().ranges().len(), 2);
+    }
+
+    #[test]
+    fn routine_reads_stay_exact_under_preemption_storm() {
+        let reader = LimitReader::new(1);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .machine_config(MachineConfig::new(1).with_pmu(PmuConfig {
+                counter_bits: 10,
+                ..Default::default()
+            }))
+            .kernel_config(sim_os::KernelConfig {
+                quantum: 700,
+                ..Default::default()
+            });
+        let mut asm = b.asm();
+        let routines = ReadRoutines::emit(&mut asm, 1);
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        asm.imm(Reg::R9, 500);
+        asm.imm(Reg::R10, 0);
+        asm.imm(Reg::R8, 0); // previous read
+        let top = asm.new_label();
+        asm.bind(top);
+        routines.emit_call_read(&mut asm, 0);
+        // Monotonicity check in guest: r4 >= r8 must always hold.
+        let ok = asm.new_label();
+        asm.br(Cond::Ge, Reg::R4, Reg::R8, ok);
+        asm.imm(Reg::R0, 0xDEAD);
+        asm.syscall(nr::LOG_VALUE); // flag a violation
+        asm.bind(ok);
+        asm.mov(Reg::R8, Reg::R4);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        asm.export("noise");
+        asm.burst(20_000);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.spawn_instrumented("noise", &[]).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.limit_folds > 0, "storm must fold");
+        assert!(
+            s.kernel.log().is_empty(),
+            "no monotonicity violations through the callable routine"
+        );
+    }
+}

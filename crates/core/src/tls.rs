@@ -1,0 +1,110 @@
+//! The per-thread memory block ("TLS") used by instrumented guest code.
+//!
+//! Every instrumented thread receives the guest address of its TLS block as
+//! its first spawn argument and keeps it in register `r15` for its whole
+//! life. All per-thread instrumentation state is addressed at fixed offsets
+//! from that base:
+//!
+//! | offset | contents |
+//! |---|---|
+//! | `0..32`   | LiMiT 64-bit accumulators, one per counter slot (≤ 4) |
+//! | `32..64`  | perf fds, one per counter slot (syscall baselines) |
+//! | `64`      | log cursor (guest address of the next free record) |
+//! | `72`      | log end (guest address one past the buffer) |
+//! | `80..112` | region-enter snapshots, one per counter slot |
+//! | `112`     | dropped-record count (log buffer full) |
+//! | `128..`   | workload-defined area ([`USER_BASE`]) |
+//!
+//! The register conventions instrumented code relies on:
+//!
+//! * `r15` — TLS base; set once in the thread prologue, never clobbered.
+//! * `r4..r7` — scratch owned by instrumentation emission; workload code
+//!   must not keep live values there across an enter/exit/read emission.
+//! * `r0..r3` — syscall arguments (clobbered by syscall-based readers).
+
+use sim_cpu::Reg;
+
+/// Maximum counter slots the TLS layout reserves space for.
+pub const MAX_COUNTERS: usize = 4;
+
+/// The register that holds the TLS base address.
+pub const TLS_REG: Reg = Reg::R15;
+
+/// Byte offset of the LiMiT accumulator for counter `i`.
+pub const fn accum_off(i: usize) -> i32 {
+    assert!(i < MAX_COUNTERS);
+    (8 * i) as i32
+}
+
+/// Byte offset of the perf fd slot for counter `i`.
+pub const fn fd_off(i: usize) -> i32 {
+    assert!(i < MAX_COUNTERS);
+    (32 + 8 * i) as i32
+}
+
+/// Byte offset of the log cursor word.
+pub const LOG_CURSOR: i32 = 64;
+
+/// Byte offset of the log end word.
+pub const LOG_END: i32 = 72;
+
+/// Byte offset of the region-enter snapshot for counter `i`.
+pub const fn scratch_off(i: usize) -> i32 {
+    assert!(i < MAX_COUNTERS);
+    (80 + 8 * i) as i32
+}
+
+/// Byte offset of the dropped-record counter.
+pub const DROPPED: i32 = 112;
+
+/// Byte offset of the fold-sequence word (seqlock-style readers): the
+/// kernel increments it on every virtualization fold affecting the thread.
+pub const SEQ: i32 = 120;
+
+/// Byte offset of the aggregate-table base-address word (aggregate-mode
+/// instrumentation).
+pub const AGG_BASE: i32 = 128;
+
+/// First byte available to workload-defined per-thread state.
+pub const USER_BASE: i32 = 192;
+
+/// Total bytes of a TLS block, excluding the workload area.
+pub const TLS_SIZE: u64 = 192;
+
+/// Size in bytes of one log record with `counters` event deltas:
+/// `region_id` + one delta per counter.
+pub const fn record_size(counters: usize) -> u64 {
+    8 * (1 + counters as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_do_not_overlap() {
+        let mut spans: Vec<(i32, i32)> = Vec::new();
+        for i in 0..MAX_COUNTERS {
+            spans.push((accum_off(i), accum_off(i) + 8));
+            spans.push((fd_off(i), fd_off(i) + 8));
+            spans.push((scratch_off(i), scratch_off(i) + 8));
+        }
+        spans.push((LOG_CURSOR, LOG_CURSOR + 8));
+        spans.push((LOG_END, LOG_END + 8));
+        spans.push((DROPPED, DROPPED + 8));
+        spans.push((SEQ, SEQ + 8));
+        spans.push((AGG_BASE, AGG_BASE + 8));
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+        assert!(spans.last().unwrap().1 <= USER_BASE);
+    }
+
+    #[test]
+    fn record_size_scales_with_counters() {
+        assert_eq!(record_size(0), 8);
+        assert_eq!(record_size(2), 24);
+        assert_eq!(record_size(4), 40);
+    }
+}

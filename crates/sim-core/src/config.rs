@@ -1,0 +1,113 @@
+//! Top-level simulation configuration.
+//!
+//! [`SimConfig`] carries only substrate-wide knobs; subsystem-specific
+//! configuration (cache geometry, PMU counter width, scheduler quantum)
+//! lives next to the subsystem that consumes it and is aggregated by the
+//! machine builder in `sim-cpu`/`sim-os`.
+
+use crate::error::{SimError, SimResult};
+use crate::time::Freq;
+use serde::{Deserialize, Serialize};
+
+/// Substrate-wide simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Core clock frequency; converts cycles to wall-clock time in reports.
+    pub freq: Freq,
+    /// Seed for all deterministic randomness in a run.
+    pub seed: u64,
+    /// Hard cap on simulated cycles; exceeding it is a [`SimError::Timeout`].
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// A small default machine: 8 cores at 2.5 GHz.
+    pub fn new(cores: usize) -> Self {
+        SimConfig {
+            cores,
+            freq: Freq::DEFAULT,
+            seed: 0xC0FFEE,
+            max_cycles: 20_000_000_000,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the core frequency.
+    pub fn with_freq(mut self, freq: Freq) -> Self {
+        self.freq = freq;
+        self
+    }
+
+    /// Sets the simulated-cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.cores == 0 {
+            return Err(SimError::Config("at least one core is required".into()));
+        }
+        if self.cores > 1024 {
+            return Err(SimError::Config(format!(
+                "{} cores exceeds the 1024-core limit",
+                self.cores
+            )));
+        }
+        if self.max_cycles == 0 {
+            return Err(SimError::Config("max_cycles must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let err = SimConfig::new(0).validate().unwrap_err();
+        assert_eq!(err.category(), "config");
+    }
+
+    #[test]
+    fn too_many_cores_rejected() {
+        assert!(SimConfig::new(4096).validate().is_err());
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        assert!(SimConfig::new(2).with_max_cycles(0).validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = SimConfig::new(4)
+            .with_seed(99)
+            .with_freq(Freq::from_ghz(3))
+            .with_max_cycles(123);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.freq, Freq::from_ghz(3));
+        assert_eq!(c.max_cycles, 123);
+    }
+}

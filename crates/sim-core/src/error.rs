@@ -1,0 +1,106 @@
+//! The shared error type for the simulation stack.
+//!
+//! Every fallible operation across the workspace returns [`SimResult`]. The
+//! variants are deliberately coarse: fine-grained context travels in the
+//! message strings, which are always built at the failure site where the
+//! interesting values are in scope.
+
+use std::fmt;
+
+/// Errors produced anywhere in the simulation stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was rejected (zero cores, non-power-of-two cache
+    /// size, counter width out of range, ...).
+    Config(String),
+    /// A guest program referenced an undefined label, register, or address.
+    Program(String),
+    /// The guest performed an illegal operation at runtime (fault): e.g.
+    /// `rdpmc` with user access disabled, access to an unmapped page.
+    Fault(String),
+    /// A syscall was invoked with invalid arguments or an unknown number.
+    Syscall(String),
+    /// A hardware resource was exhausted (no free counter slot, no free fd).
+    Resource(String),
+    /// The simulation exceeded its configured cycle budget without all
+    /// threads exiting — usually a guest-code livelock.
+    Timeout(String),
+    /// An experiment harness invariant was violated.
+    Harness(String),
+}
+
+impl SimError {
+    /// Short machine-readable category name for the error.
+    pub fn category(&self) -> &'static str {
+        match self {
+            SimError::Config(_) => "config",
+            SimError::Program(_) => "program",
+            SimError::Fault(_) => "fault",
+            SimError::Syscall(_) => "syscall",
+            SimError::Resource(_) => "resource",
+            SimError::Timeout(_) => "timeout",
+            SimError::Harness(_) => "harness",
+        }
+    }
+
+    /// The human-readable detail message.
+    pub fn message(&self) -> &str {
+        match self {
+            SimError::Config(m)
+            | SimError::Program(m)
+            | SimError::Fault(m)
+            | SimError::Syscall(m)
+            | SimError::Resource(m)
+            | SimError::Timeout(m)
+            | SimError::Harness(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias used across the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SimError::Fault("rdpmc disabled".into());
+        assert_eq!(e.to_string(), "fault error: rdpmc disabled");
+        assert_eq!(e.category(), "fault");
+        assert_eq!(e.message(), "rdpmc disabled");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::Config("bad".into()));
+    }
+
+    #[test]
+    fn categories_are_distinct() {
+        let all = [
+            SimError::Config(String::new()),
+            SimError::Program(String::new()),
+            SimError::Fault(String::new()),
+            SimError::Syscall(String::new()),
+            SimError::Resource(String::new()),
+            SimError::Timeout(String::new()),
+            SimError::Harness(String::new()),
+        ];
+        let mut cats: Vec<_> = all.iter().map(|e| e.category()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats.len(), all.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! Simulation substrate shared by every other crate in the workspace.
+//!
+//! `sim-core` deliberately knows nothing about CPUs, caches, or kernels. It
+//! provides the vocabulary the rest of the stack is written in:
+//!
+//! * strongly-typed identifiers ([`ids`]) so a core id can never be confused
+//!   with a thread id,
+//! * guest time ([`time`]): cycles, frequencies, and conversion to wall-clock
+//!   nanoseconds at a configured core frequency,
+//! * deterministic pseudo-randomness ([`rng`]) so every experiment in the
+//!   reproduction is replayable bit-for-bit,
+//! * measurement containers ([`stats`]): log-bucketed histograms, running
+//!   summaries, and percentile extraction used by the analysis crate,
+//! * experiment configuration ([`config`]) serialized with `serde`,
+//! * the shared error type ([`error`]).
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use config::SimConfig;
+pub use error::{SimError, SimResult};
+pub use ids::{CoreId, CounterId, LockId, ThreadId};
+pub use rng::DetRng;
+pub use stats::{Histogram, Summary};
+pub use time::{Cycles, Freq};

@@ -1,0 +1,394 @@
+//! Measurement containers: histograms and running summaries.
+//!
+//! The analysis crate builds the paper's distribution figures (e.g. the
+//! MySQL critical-section-length histogram, experiment E6) out of
+//! [`Histogram`], and its tables out of [`Summary`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` for `i >= 1`; bucket 0 holds exact
+/// zeros and ones share bucket 1's lower edge (value 1 lands in bucket 1).
+/// Log buckets match how the paper presents cycle distributions that span
+/// five decades (tens of cycles to tens of millions).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Lower edge of bucket `i` (inclusive).
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Upper edge of bucket `i` (exclusive); `u64::MAX` for the last bucket.
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = Self::bucket_of(value);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the histogram holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of all samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (0.0..=1.0) from the bucket boundaries.
+    ///
+    /// The result is the upper edge of the bucket containing the requested
+    /// rank, so the true quantile is within a factor of 2. `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_hi(i).min(self.max).max(Self::bucket_lo(i)));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fraction of samples strictly below `threshold`.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let b = Self::bucket_of(threshold);
+        // All complete buckets below the threshold's bucket count fully;
+        // within the threshold's own bucket we cannot resolve further, so we
+        // include it only if the threshold is at the bucket's upper edge.
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if i < b || (i == b && threshold >= Self::bucket_hi(i)) {
+                below += n;
+            }
+        }
+        below as f64 / self.count as f64
+    }
+
+    /// Iterates over non-empty buckets as `(lo, hi, count)`.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_lo(i), Self::bucket_hi(i), n))
+    }
+
+    /// Renders an ASCII bar chart of the distribution, `width` chars wide.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (lo, hi, n) in self.iter_buckets() {
+            let bar = (n as f64 / peak as f64 * width as f64).round() as usize;
+            let pct = n as f64 / self.count.max(1) as f64 * 100.0;
+            out.push_str(&format!(
+                "{:>12} - {:<12} | {:<width$} {:>7} ({pct:>5.1}%)\n",
+                lo,
+                hi,
+                "#".repeat(bar.max(if n > 0 { 1 } else { 0 })),
+                n,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// A running summary of `f64` observations: count, mean, variance (Welford),
+/// min, max.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two observations.
+    pub fn stddev(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).sqrt())
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(m) => write!(
+                f,
+                "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+                self.count,
+                m,
+                self.stddev().unwrap_or(0.0),
+                self.min,
+                self.max
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_hi(0), 1);
+        assert_eq!(Histogram::bucket_lo(1), 1);
+        assert_eq!(Histogram::bucket_hi(1), 2);
+        assert_eq!(Histogram::bucket_lo(5), 16);
+        assert_eq!(Histogram::bucket_hi(5), 32);
+    }
+
+    #[test]
+    fn record_and_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - (1105.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_is_within_bucket_resolution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let med = h.quantile(0.5).unwrap();
+        // True median is 500; the bucket answer must be within a factor of 2.
+        assert!((256..=1024).contains(&med), "median bucket was {med}");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= 512);
+    }
+
+    #[test]
+    fn fraction_below_counts_full_buckets() {
+        let mut h = Histogram::new();
+        h.record_n(4, 10); // bucket [4,8)
+        h.record_n(100, 10); // bucket [64,128)
+        assert!((h.fraction_below(64) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_below(8) - 0.5).abs() < 1e-9);
+        assert_eq!(h.fraction_below(1), 0.0);
+        assert!((h.fraction_below(u64::MAX) - 0.5).abs() < 0.51); // last bucket unresolved
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(500);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(500));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_nonempty_bucket() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn summary_welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((s.stddev().unwrap() - var.sqrt()).abs() < 1e-9);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn summary_display() {
+        let mut s = Summary::new();
+        assert_eq!(s.to_string(), "n=0");
+        s.record(2.0);
+        assert!(s.to_string().starts_with("n=1"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Guest time: cycle counts and core frequency.
+//!
+//! Every paper-style quantity this reproduction reports (nanoseconds per
+//! counter read, microseconds per syscall, percent overhead) is derived from
+//! guest [`Cycles`] at a configured [`Freq`]. The default frequency is
+//! 2.5 GHz, i.e. one cycle is 0.4 ns, comparable to the Nehalem-class parts
+//! the original paper measured on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant measured in guest core cycles.
+///
+/// `Cycles` is an absolute point on a core's clock when used as an instant
+/// and a span when used as a duration; the arithmetic is the same either way.
+/// Saturating subtraction is provided via [`Cycles::saturating_sub`] for
+/// situations where clock skew could otherwise underflow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The maximum representable cycle count (used as an "infinite" deadline).
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a cycle count from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Subtracts, clamping at zero rather than panicking on underflow.
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Converts to nanoseconds at the given core frequency.
+    pub fn to_nanos(self, freq: Freq) -> f64 {
+        self.0 as f64 / freq.ghz()
+    }
+
+    /// Converts to microseconds at the given core frequency.
+    pub fn to_micros(self, freq: Freq) -> f64 {
+        self.to_nanos(freq) / 1_000.0
+    }
+
+    /// Converts to milliseconds at the given core frequency.
+    pub fn to_millis(self, freq: Freq) -> f64 {
+        self.to_nanos(freq) / 1_000_000.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// A core clock frequency.
+///
+/// Stored in kilohertz so common frequencies are exactly representable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Freq {
+    khz: u64,
+}
+
+impl Freq {
+    /// The default simulated core frequency: 2.5 GHz.
+    pub const DEFAULT: Freq = Freq::from_mhz(2_500);
+
+    /// Creates a frequency from megahertz.
+    pub const fn from_mhz(mhz: u64) -> Self {
+        Freq { khz: mhz * 1_000 }
+    }
+
+    /// Creates a frequency from gigahertz (whole GHz only).
+    pub const fn from_ghz(ghz: u64) -> Self {
+        Freq::from_mhz(ghz * 1_000)
+    }
+
+    /// Frequency in GHz as a float (cycles per nanosecond).
+    pub fn ghz(self) -> f64 {
+        self.khz as f64 / 1_000_000.0
+    }
+
+    /// Frequency in MHz.
+    pub const fn mhz(self) -> u64 {
+        self.khz / 1_000
+    }
+
+    /// Number of cycles elapsed in the given number of nanoseconds.
+    pub fn cycles_in_nanos(self, nanos: u64) -> Cycles {
+        Cycles(nanos * self.khz / 1_000_000)
+    }
+
+    /// Number of cycles elapsed in the given number of microseconds.
+    pub fn cycles_in_micros(self, micros: u64) -> Cycles {
+        self.cycles_in_nanos(micros * 1_000)
+    }
+
+    /// Number of cycles elapsed in the given number of milliseconds.
+    pub fn cycles_in_millis(self, millis: u64) -> Cycles {
+        self.cycles_in_nanos(millis * 1_000_000)
+    }
+}
+
+impl Default for Freq {
+    fn default() -> Self {
+        Freq::DEFAULT
+    }
+}
+
+impl fmt::Debug for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.mhz())
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GHz", self.ghz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(40);
+        assert_eq!(a + b, Cycles::new(140));
+        assert_eq!(a - b, Cycles::new(60));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a * 3, Cycles::new(300));
+        assert_eq!(a / 4, Cycles::new(25));
+        let total: Cycles = [a, b, Cycles::new(1)].into_iter().sum();
+        assert_eq!(total, Cycles::new(141));
+    }
+
+    #[test]
+    fn nanos_at_default_frequency() {
+        // 2.5 GHz: 1 cycle = 0.4 ns.
+        let f = Freq::DEFAULT;
+        assert!((Cycles::new(100).to_nanos(f) - 40.0).abs() < 1e-9);
+        assert!((Cycles::new(2_500).to_micros(f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freq_conversions_round_trip() {
+        let f = Freq::from_ghz(3);
+        assert_eq!(f.mhz(), 3_000);
+        assert_eq!(f.cycles_in_nanos(10), Cycles::new(30));
+        assert_eq!(f.cycles_in_micros(2), Cycles::new(6_000));
+        assert_eq!(f.cycles_in_millis(1), Cycles::new(3_000_000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycles::new(17).to_string(), "17cy");
+        assert_eq!(Freq::DEFAULT.to_string(), "2.50GHz");
+        assert_eq!(format!("{:?}", Freq::from_mhz(2_500)), "2500MHz");
+    }
+}

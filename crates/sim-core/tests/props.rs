@@ -1,0 +1,113 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use sim_core::{Cycles, DetRng, Freq, Histogram, Summary};
+
+proptest! {
+    /// Every recorded sample lands in a bucket whose bounds contain it,
+    /// and aggregate statistics match a naive recomputation.
+    #[test]
+    fn histogram_matches_naive_statistics(samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), samples.iter().copied().min());
+        prop_assert_eq!(h.max(), samples.iter().copied().max());
+        let naive_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((h.mean().unwrap() - naive_mean).abs() < 1e-6);
+        // Bucket counts sum to the sample count.
+        let bucket_total: u64 = h.iter_buckets().map(|(_, _, n)| n).sum();
+        prop_assert_eq!(bucket_total, h.count());
+        // Every sample is containable: its bucket bounds bracket it.
+        for &s in &samples {
+            let found = h
+                .iter_buckets()
+                .any(|(lo, hi, _)| s >= lo && (s < hi || hi == u64::MAX));
+            prop_assert!(found, "sample {} has no bucket", s);
+        }
+    }
+
+    /// Quantiles are monotone in q and within the recorded min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(samples in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        // The upper quantile cannot be below the true median/2 (bucket
+        // resolution bound).
+        prop_assert!(h.quantile(1.0).unwrap() >= h.max().unwrap() / 2);
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in prop::collection::vec(0u64..100_000, 0..100),
+        b in prop::collection::vec(0u64..100_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        for &s in &a { ha.record(s); }
+        let mut hb = Histogram::new();
+        for &s in &b { hb.record(s); }
+        ha.merge(&hb);
+        let mut hc = Histogram::new();
+        for &s in a.iter().chain(&b) { hc.record(s); }
+        prop_assert_eq!(ha, hc);
+    }
+
+    /// Welford summary matches naive mean/variance for arbitrary inputs.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut s = Summary::new();
+        for &x in &xs { s.record(x); }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((s.mean().unwrap() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.stddev().unwrap() - var.sqrt()).abs() < 1e-5 * var.sqrt().max(1.0));
+    }
+
+    /// RNG bounded draws respect bounds for arbitrary seeds and bounds.
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// Identical seeds give identical streams; split streams diverge.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(va, vb);
+    }
+
+    /// Cycle/time conversions round-trip within rounding error.
+    #[test]
+    fn freq_conversions_are_consistent(mhz in 100u64..6_000, nanos in 0u64..1_000_000) {
+        let f = Freq::from_mhz(mhz);
+        let cy = f.cycles_in_nanos(nanos);
+        let back = cy.to_nanos(f);
+        prop_assert!((back - nanos as f64).abs() <= 1.0 / f.ghz() + 1e-9,
+            "nanos {} -> {} -> {}", nanos, cy, back);
+    }
+
+    /// Cycles arithmetic is associative over sums.
+    #[test]
+    fn cycles_sum_matches_u64(xs in prop::collection::vec(0u64..1_000_000, 0..50)) {
+        let total: Cycles = xs.iter().map(|&x| Cycles::new(x)).sum();
+        prop_assert_eq!(total.get(), xs.iter().sum::<u64>());
+    }
+}

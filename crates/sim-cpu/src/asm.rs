@@ -1,0 +1,328 @@
+//! The guest assembler: an emit-style program builder with labels.
+//!
+//! Workloads and the LiMiT library build guest code through [`Asm`]. Labels
+//! support forward references; [`Asm::assemble`] patches them and fails
+//! loudly on any label that was created but never bound.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_cpu::{Asm, Reg, Cond};
+//!
+//! let mut a = Asm::new();
+//! a.export("main");
+//! a.imm(Reg::R1, 10);          // counter
+//! a.imm(Reg::R2, 0);           // zero
+//! let top = a.new_label();
+//! a.bind(top);
+//! a.alui_sub(Reg::R1, 1);
+//! a.br(Cond::Ne, Reg::R1, Reg::R2, top);
+//! a.halt();
+//! let prog = a.assemble().unwrap();
+//! assert_eq!(prog.entry("main").unwrap(), 0);
+//! ```
+
+use crate::isa::{AluOp, Cond, Instr};
+use crate::prog::{Label, Program};
+use crate::regs::Reg;
+use sim_core::{SimError, SimResult};
+use std::collections::HashMap;
+
+const UNRESOLVED: u32 = u32::MAX;
+
+/// A guest program under construction.
+#[derive(Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    entries: HashMap<String, u32>,
+    open_ranges: HashMap<String, u32>,
+    ranges: HashMap<String, (u32, u32)>,
+}
+
+impl Asm {
+    /// An empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (always a generator bug).
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(here);
+    }
+
+    /// Names the current PC as an entry point.
+    pub fn export(&mut self, name: &str) {
+        self.entries.insert(name.to_string(), self.here());
+    }
+
+    /// Opens a named PC range at the current PC.
+    pub fn begin_range(&mut self, name: &str) {
+        self.open_ranges.insert(name.to_string(), self.here());
+    }
+
+    /// Closes a named PC range at the current PC (exclusive end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range was never opened.
+    pub fn end_range(&mut self, name: &str) {
+        let start = self
+            .open_ranges
+            .remove(name)
+            .unwrap_or_else(|| panic!("range {name:?} was never opened"));
+        self.ranges.insert(name.to_string(), (start, self.here()));
+    }
+
+    fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn emit_jump(&mut self, make: impl FnOnce(u32) -> Instr, target: Label) -> &mut Self {
+        self.fixups.push((self.instrs.len(), target));
+        self.instrs.push(make(UNRESOLVED));
+        self
+    }
+
+    /// `rd = imm`
+    pub fn imm(&mut self, rd: Reg, v: u64) -> &mut Self {
+        self.emit(Instr::Imm(rd, v))
+    }
+
+    /// `rd = rs`
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Mov(rd, rs))
+    }
+
+    /// `rd = rd op rs`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Alu(op, rd, rs))
+    }
+
+    /// `rd = rd + rs`
+    pub fn add(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs)
+    }
+
+    /// `rd = rd - rs`
+    pub fn sub(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs)
+    }
+
+    /// `rd = rd op imm`
+    pub fn alui(&mut self, op: AluOp, rd: Reg, v: u64) -> &mut Self {
+        self.emit(Instr::AluImm(op, rd, v))
+    }
+
+    /// `rd = rd + imm`
+    pub fn alui_add(&mut self, rd: Reg, v: u64) -> &mut Self {
+        self.alui(AluOp::Add, rd, v)
+    }
+
+    /// `rd = rd - imm`
+    pub fn alui_sub(&mut self, rd: Reg, v: u64) -> &mut Self {
+        self.alui(AluOp::Sub, rd, v)
+    }
+
+    /// Straight-line compute burst of `n` instructions.
+    pub fn burst(&mut self, n: u32) -> &mut Self {
+        self.emit(Instr::Burst(n))
+    }
+
+    /// `rd = mem64[ra + off]`
+    pub fn load(&mut self, rd: Reg, ra: Reg, off: i32) -> &mut Self {
+        self.emit(Instr::Load(rd, ra, off))
+    }
+
+    /// `mem64[ra + off] = rs`
+    pub fn store(&mut self, rs: Reg, ra: Reg, off: i32) -> &mut Self {
+        self.emit(Instr::Store(rs, ra, off))
+    }
+
+    /// Atomic exchange of `rd` with `mem64[ra + off]`.
+    pub fn xchg(&mut self, rd: Reg, ra: Reg, off: i32) -> &mut Self {
+        self.emit(Instr::Xchg(rd, ra, off))
+    }
+
+    /// Atomic fetch-add of `rd` into `mem64[ra + off]`; old value in `rd`.
+    pub fn fetch_add(&mut self, rd: Reg, ra: Reg, off: i32) -> &mut Self {
+        self.emit(Instr::FetchAdd(rd, ra, off))
+    }
+
+    /// Conditional branch to `target`.
+    pub fn br(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.emit_jump(|t| Instr::Br(cond, a, b, t), target)
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.emit_jump(Instr::Jmp, target)
+    }
+
+    /// Calls the routine at `target`.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.emit_jump(Instr::Call, target)
+    }
+
+    /// Calls a routine at an already-known absolute PC (cross-fragment).
+    pub fn call_abs(&mut self, pc: u32) -> &mut Self {
+        self.emit(Instr::Call(pc))
+    }
+
+    /// Returns from the current routine.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Ret)
+    }
+
+    /// Reads performance counter `idx` into `rd`.
+    pub fn rdpmc(&mut self, rd: Reg, idx: u8) -> &mut Self {
+        self.emit(Instr::Rdpmc(rd, idx))
+    }
+
+    /// Destructive counter read (hardware extension 1).
+    pub fn rdpmc_clear(&mut self, rd: Reg, idx: u8) -> &mut Self {
+        self.emit(Instr::RdpmcClear(rd, idx))
+    }
+
+    /// Reads the cycle timestamp into `rd`.
+    pub fn rdtsc(&mut self, rd: Reg) -> &mut Self {
+        self.emit(Instr::Rdtsc(rd))
+    }
+
+    /// Sets the core counting tag from `rs` (hardware extension 3).
+    pub fn set_tag(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Instr::SetTag(rs))
+    }
+
+    /// Traps into the kernel.
+    pub fn syscall(&mut self, nr: u64) -> &mut Self {
+        self.emit(Instr::Syscall(nr))
+    }
+
+    /// One-cycle no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// Terminates the executing thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Resolves all labels and produces the immutable [`Program`].
+    pub fn assemble(mut self) -> SimResult<Program> {
+        if let Some(name) = self.open_ranges.keys().next() {
+            return Err(SimError::Program(format!(
+                "range {name:?} opened but never closed"
+            )));
+        }
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let pc = self.labels[label.0].ok_or_else(|| {
+                SimError::Program(format!("label #{} used but never bound", label.0))
+            })?;
+            match &mut self.instrs[idx] {
+                Instr::Br(_, _, _, t) | Instr::Jmp(t) | Instr::Call(t) => *t = pc,
+                other => {
+                    return Err(SimError::Program(format!(
+                        "fixup targets non-jump instruction {other}"
+                    )))
+                }
+            }
+        }
+        Ok(Program {
+            instrs: self.instrs,
+            entries: self.entries,
+            ranges: self.ranges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.new_label();
+        a.jmp(fwd); // pc 0 -> forward
+        a.nop(); // pc 1 (skipped)
+        a.bind(fwd);
+        let back = a.new_label();
+        a.bind(back);
+        a.br(Cond::Eq, Reg::R0, Reg::R0, back); // pc 2 -> 2
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(&Instr::Jmp(2)));
+        assert_eq!(p.fetch(2), Some(&Instr::Br(Cond::Eq, Reg::R0, Reg::R0, 2)));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jmp(l);
+        let err = a.assemble().unwrap_err();
+        assert_eq!(err.category(), "program");
+    }
+
+    #[test]
+    fn unclosed_range_is_an_error() {
+        let mut a = Asm::new();
+        a.begin_range("seq");
+        a.nop();
+        assert!(a.assemble().is_err());
+    }
+
+    #[test]
+    fn ranges_and_entries_are_recorded() {
+        let mut a = Asm::new();
+        a.export("main");
+        a.nop();
+        a.begin_range("read");
+        a.rdpmc(Reg::R1, 0);
+        a.rdpmc(Reg::R2, 1);
+        a.end_range("read");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry("main").unwrap(), 0);
+        assert_eq!(p.range("read").unwrap(), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn builder_chaining_works() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 5).alui_add(Reg::R1, 3).halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.len(), 3);
+    }
+}

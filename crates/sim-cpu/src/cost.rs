@@ -1,0 +1,66 @@
+//! The cycle-cost model.
+//!
+//! Every constant here is a *documented substitution* for a measured
+//! micro-cost on the paper's hardware (Nehalem-class Intel cores). The
+//! reproduction's claims are about shapes and ratios, which these constants
+//! preserve; see DESIGN.md §2.
+
+/// Cycles for a simple ALU / move / immediate instruction.
+pub const ALU: u64 = 1;
+
+/// Cycles for a taken-or-not branch when correctly predicted.
+pub const BRANCH: u64 = 1;
+
+/// Extra cycles charged on a branch mispredict (pipeline refill).
+pub const BRANCH_MISS_PENALTY: u64 = 15;
+
+/// Cycles for `Call` / `Ret` (shadow-stack push/pop).
+pub const CALL: u64 = 2;
+
+/// Base cycles for a load/store before memory-system latency is added.
+pub const MEM_ISSUE: u64 = 1;
+
+/// Extra cycles for an atomic read-modify-write (`Xchg`, `FetchAdd`) beyond
+/// a normal store: bus-lock / cache-lock overhead.
+pub const ATOMIC_PENALTY: u64 = 10;
+
+/// Cycles to execute `rdpmc`. Real Nehalem `rdpmc` costs in the 20-40 cycle
+/// range; the paper's "low tens of nanoseconds" full read sequence is this
+/// plus the surrounding loads/adds.
+pub const RDPMC: u64 = 30;
+
+/// Cycles to execute `rdtsc`.
+pub const RDTSC: u64 = 25;
+
+/// Cycles to execute `settag` (hardware extension 3).
+pub const SETTAG: u64 = 1;
+
+/// Cycles charged by hardware to spill a self-virtualizing counter to
+/// memory on overflow (hardware extension 2).
+pub const SPILL: u64 = 10;
+
+/// Cycles for the trap into the kernel on `syscall` (mode switch, register
+/// save). The matching return cost is [`SYSCALL_EXIT`]. Entry + exit ≈ 400
+/// cycles ≈ 160 ns at 2.5 GHz, matching a measured Linux syscall round-trip
+/// of the paper's era.
+pub const SYSCALL_ENTRY: u64 = 200;
+
+/// Cycles for the return from kernel to user mode.
+pub const SYSCALL_EXIT: u64 = 200;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_round_trip_dwarfs_rdpmc() {
+        // The paper's headline ratio depends on this ordering: a kernel
+        // round-trip must cost an order of magnitude more than rdpmc.
+        const { assert!(SYSCALL_ENTRY + SYSCALL_EXIT >= 10 * RDPMC) }
+    }
+
+    #[test]
+    fn atomic_costs_more_than_plain_access() {
+        const { assert!(ATOMIC_PENALTY > MEM_ISSUE) }
+    }
+}

@@ -1,0 +1,866 @@
+//! The multicore machine: cores + guest memory + memory hierarchy + program.
+//!
+//! [`Machine::step`] executes exactly one guest instruction on one core,
+//! charging cycles (including memory stalls and mispredict penalties) and
+//! feeding architectural events to that core's PMU. The OS layer above picks
+//! which core steps next, handles the returned traps, and delivers
+//! interrupts between steps — giving interrupt semantics at instruction
+//! granularity, which is what the LiMiT read-race reproduction requires.
+
+use crate::core::{Core, Mode, Step, Trap};
+use crate::cost;
+use crate::events::EventKind;
+use crate::gmem::GuestMem;
+use crate::isa::Instr;
+use crate::pmu::PmuConfig;
+use crate::prog::Program;
+use serde::{Deserialize, Serialize};
+use sim_core::{CoreId, Freq, SimError, SimResult};
+use sim_mem::{HierarchyConfig, MemAccess, MemorySystem};
+
+/// Maximum shadow-call-stack depth before a fault is raised.
+const MAX_CALL_DEPTH: usize = 1024;
+
+/// Hardware configuration for the whole machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Per-core PMU configuration.
+    pub pmu: PmuConfig,
+    /// Memory-hierarchy configuration.
+    pub hierarchy: HierarchyConfig,
+    /// Core clock frequency (for reporting only; timing is in cycles).
+    pub freq: Freq,
+}
+
+impl MachineConfig {
+    /// A machine with `cores` cores and default everything else.
+    pub fn new(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            pmu: PmuConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            freq: Freq::DEFAULT,
+        }
+    }
+
+    /// Replaces the PMU configuration.
+    pub fn with_pmu(mut self, pmu: PmuConfig) -> Self {
+        self.pmu = pmu;
+        self
+    }
+
+    /// Replaces the hierarchy configuration.
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// All cores.
+    pub cores: Vec<Core>,
+    /// Guest memory (values).
+    pub mem: GuestMem,
+    /// Memory hierarchy (timing + events).
+    pub memsys: MemorySystem,
+    /// The single program image all threads execute from.
+    pub prog: Program,
+    freq: Freq,
+}
+
+impl Machine {
+    /// Builds a machine running `prog`.
+    pub fn new(config: MachineConfig, prog: Program) -> SimResult<Self> {
+        if config.cores == 0 {
+            return Err(SimError::Config("machine needs at least one core".into()));
+        }
+        let cores = (0..config.cores)
+            .map(|i| Core::new(CoreId::new(i as u32), config.pmu))
+            .collect::<SimResult<Vec<_>>>()?;
+        Ok(Machine {
+            cores,
+            mem: GuestMem::new(),
+            memsys: MemorySystem::new(config.cores, config.hierarchy)?,
+            prog,
+            freq: config.freq,
+        })
+    }
+
+    /// The core clock frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn count(core: &mut Core, event: EventKind, n: u64) {
+        let tag = core.ctx.tag;
+        core.pmu.count(event, n, core.mode, tag);
+    }
+
+    fn mem_access_events(core: &mut Core, acc: &MemAccess) {
+        if acc.events.l1_miss {
+            Self::count(core, EventKind::L1dMisses, 1);
+        }
+        if acc.events.l2_miss {
+            Self::count(core, EventKind::L2Misses, 1);
+        }
+        if acc.events.llc_miss {
+            Self::count(core, EventKind::LlcMisses, 1);
+        }
+        if acc.events.invalidations > 0 {
+            Self::count(
+                core,
+                EventKind::CoherenceInvalidations,
+                acc.events.invalidations as u64,
+            );
+        }
+        if acc.events.remote_hit {
+            Self::count(core, EventKind::RemoteHits, 1);
+        }
+        if acc.events.tlb_miss {
+            Self::count(core, EventKind::TlbMisses, 1);
+        }
+        let stall = acc.latency.saturating_sub(1);
+        if stall > 0 {
+            Self::count(core, EventKind::MemStallCycles, stall);
+        }
+    }
+
+    /// Charges `cycles`/`instrs` to a core without executing guest code —
+    /// the kernel uses this to account for syscall entry/exit, interrupt
+    /// handlers, and context-switch work. Events are counted in the core's
+    /// *current* mode (the kernel sets `Mode::Kernel` first).
+    pub fn charge(&mut self, core: CoreId, cycles: u64, instrs: u64) {
+        let c = &mut self.cores[core.index()];
+        c.clock += cycles;
+        Self::count(c, EventKind::Cycles, cycles);
+        Self::count(c, EventKind::Instructions, instrs);
+    }
+
+    /// Executes one instruction of the thread installed on `core`.
+    ///
+    /// Returns the step outcome; the caller (the kernel) is responsible for
+    /// handling traps and checking for pending PMIs afterwards.
+    pub fn step(&mut self, core_id: CoreId) -> SimResult<Step> {
+        let fault = |msg: String| Step {
+            cycles: 1,
+            instrs: 0,
+            trap: Some(Trap::Fault(msg)),
+        };
+
+        // Split borrows: core is taken by index, memory systems separately.
+        let core_idx = core_id.index();
+        if core_idx >= self.cores.len() {
+            return Err(SimError::Program(format!("no such core {core_id}")));
+        }
+        if self.cores[core_idx].running.is_none() {
+            return Err(SimError::Program(format!("{core_id} is idle")));
+        }
+
+        let pc = self.cores[core_idx].ctx.pc;
+        let Some(&instr) = self.prog.fetch(pc) else {
+            let step = fault(format!("pc {pc} out of program bounds"));
+            self.finish_step(core_idx, &step);
+            return Ok(step);
+        };
+
+        let cycles: u64;
+        let mut instrs: u64 = 1;
+        let mut trap: Option<Trap> = None;
+        let mut next_pc = pc + 1;
+
+        {
+            let core = &mut self.cores[core_idx];
+            let (clock, tid) = (core.clock, core.running);
+            if let Some(trace) = &mut core.trace {
+                trace.record(crate::trace::TraceEntry {
+                    clock,
+                    pc,
+                    tid,
+                    instr,
+                });
+            }
+        }
+
+        match instr {
+            Instr::Imm(rd, v) => {
+                cycles = cost::ALU;
+                self.cores[core_idx].ctx.set(rd, v);
+            }
+            Instr::Mov(rd, rs) => {
+                cycles = cost::ALU;
+                let v = self.cores[core_idx].ctx.get(rs);
+                self.cores[core_idx].ctx.set(rd, v);
+            }
+            Instr::Alu(op, rd, rs) => {
+                cycles = cost::ALU;
+                let ctx = &mut self.cores[core_idx].ctx;
+                let v = op.apply(ctx.get(rd), ctx.get(rs));
+                ctx.set(rd, v);
+            }
+            Instr::AluImm(op, rd, v) => {
+                cycles = cost::ALU;
+                let ctx = &mut self.cores[core_idx].ctx;
+                let nv = op.apply(ctx.get(rd), v);
+                ctx.set(rd, nv);
+            }
+            Instr::Burst(n) => {
+                let n = n.max(1) as u64;
+                cycles = n;
+                instrs = n;
+            }
+            Instr::Load(rd, ra, off) => {
+                let addr = self.cores[core_idx]
+                    .ctx
+                    .get(ra)
+                    .wrapping_add(off as i64 as u64);
+                match self.mem.read_u64(addr) {
+                    Ok(v) => {
+                        let now = self.cores[core_idx].clock;
+                        let acc = self.memsys.access(core_id, addr, false, now);
+                        let core = &mut self.cores[core_idx];
+                        core.ctx.set(rd, v);
+                        Self::count(core, EventKind::Loads, 1);
+                        Self::mem_access_events(core, &acc);
+                        cycles = cost::MEM_ISSUE + acc.latency;
+                    }
+                    Err(e) => {
+                        let step = fault(e.message().to_string());
+                        self.finish_step(core_idx, &step);
+                        return Ok(step);
+                    }
+                }
+            }
+            Instr::Store(rs, ra, off) => {
+                let ctx = &self.cores[core_idx].ctx;
+                let addr = ctx.get(ra).wrapping_add(off as i64 as u64);
+                let v = ctx.get(rs);
+                match self.mem.write_u64(addr, v) {
+                    Ok(()) => {
+                        let now = self.cores[core_idx].clock;
+                        let acc = self.memsys.access(core_id, addr, true, now);
+                        let core = &mut self.cores[core_idx];
+                        Self::count(core, EventKind::Stores, 1);
+                        Self::mem_access_events(core, &acc);
+                        cycles = cost::MEM_ISSUE + acc.latency;
+                    }
+                    Err(e) => {
+                        let step = fault(e.message().to_string());
+                        self.finish_step(core_idx, &step);
+                        return Ok(step);
+                    }
+                }
+            }
+            Instr::Xchg(rd, ra, off) | Instr::FetchAdd(rd, ra, off) => {
+                let ctx = &self.cores[core_idx].ctx;
+                let addr = ctx.get(ra).wrapping_add(off as i64 as u64);
+                let operand = ctx.get(rd);
+                let old = match self.mem.read_u64(addr) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        let step = fault(e.message().to_string());
+                        self.finish_step(core_idx, &step);
+                        return Ok(step);
+                    }
+                };
+                let new = match instr {
+                    Instr::Xchg(..) => operand,
+                    _ => old.wrapping_add(operand),
+                };
+                self.mem
+                    .write_u64(addr, new)
+                    .expect("write cannot fail after aligned read");
+                let now = self.cores[core_idx].clock;
+                let acc = self.memsys.access(core_id, addr, true, now);
+                let core = &mut self.cores[core_idx];
+                core.ctx.set(rd, old);
+                Self::count(core, EventKind::Loads, 1);
+                Self::count(core, EventKind::Stores, 1);
+                Self::mem_access_events(core, &acc);
+                cycles = cost::MEM_ISSUE + acc.latency + cost::ATOMIC_PENALTY;
+            }
+            Instr::Br(cond, a, b, target) => {
+                let core = &mut self.cores[core_idx];
+                let taken = cond.eval(core.ctx.get(a), core.ctx.get(b));
+                let missed = core.predictor.observe(pc, taken);
+                if taken {
+                    next_pc = target;
+                }
+                cycles = cost::BRANCH + if missed { cost::BRANCH_MISS_PENALTY } else { 0 };
+                Self::count(core, EventKind::Branches, 1);
+                if missed {
+                    Self::count(core, EventKind::BranchMisses, 1);
+                }
+            }
+            Instr::Jmp(target) => {
+                cycles = cost::BRANCH;
+                next_pc = target;
+                let core = &mut self.cores[core_idx];
+                Self::count(core, EventKind::Branches, 1);
+            }
+            Instr::Call(target) => {
+                cycles = cost::CALL;
+                let core = &mut self.cores[core_idx];
+                if core.ctx.call_stack.len() >= MAX_CALL_DEPTH {
+                    let step = fault("call stack overflow".into());
+                    self.finish_step(core_idx, &step);
+                    return Ok(step);
+                }
+                core.ctx.call_stack.push(next_pc);
+                next_pc = target;
+            }
+            Instr::Ret => {
+                cycles = cost::CALL;
+                match self.cores[core_idx].ctx.call_stack.pop() {
+                    Some(ra) => next_pc = ra,
+                    None => {
+                        let step = fault("ret with empty call stack".into());
+                        self.finish_step(core_idx, &step);
+                        return Ok(step);
+                    }
+                }
+            }
+            Instr::Rdpmc(rd, idx) | Instr::RdpmcClear(rd, idx) => {
+                let destructive = matches!(instr, Instr::RdpmcClear(..));
+                let core = &mut self.cores[core_idx];
+                if core.mode == Mode::User && !core.pmu.user_rdpmc() {
+                    let step = fault("rdpmc: userspace counter access disabled".into());
+                    self.finish_step(core_idx, &step);
+                    return Ok(step);
+                }
+                if destructive && !core.pmu.config().ext_destructive_read {
+                    let step = fault("rdpmc.clr: destructive-read extension disabled".into());
+                    self.finish_step(core_idx, &step);
+                    return Ok(step);
+                }
+                let value = if destructive {
+                    core.pmu.read_clear(idx)
+                } else {
+                    core.pmu.read(idx)
+                };
+                match value {
+                    Ok(v) => {
+                        core.ctx.set(rd, v);
+                        cycles = cost::RDPMC;
+                    }
+                    Err(e) => {
+                        let step = fault(e.message().to_string());
+                        self.finish_step(core_idx, &step);
+                        return Ok(step);
+                    }
+                }
+            }
+            Instr::Rdtsc(rd) => {
+                cycles = cost::RDTSC;
+                let clock = self.cores[core_idx].clock;
+                self.cores[core_idx].ctx.set(rd, clock);
+            }
+            Instr::SetTag(rs) => {
+                cycles = cost::SETTAG;
+                let core = &mut self.cores[core_idx];
+                if core.pmu.config().ext_tag_filter {
+                    core.ctx.tag = core.ctx.get(rs);
+                }
+            }
+            Instr::Syscall(nr) => {
+                cycles = cost::ALU;
+                trap = Some(Trap::Syscall(nr));
+            }
+            Instr::Nop => {
+                cycles = cost::ALU;
+            }
+            Instr::Halt => {
+                cycles = cost::ALU;
+                trap = Some(Trap::Halt);
+            }
+        }
+
+        self.cores[core_idx].ctx.pc = next_pc;
+        let step = Step {
+            cycles,
+            instrs,
+            trap,
+        };
+        self.finish_step(core_idx, &step);
+        Ok(step)
+    }
+
+    /// Applies clock advance, cycle/instruction counting, and pending
+    /// hardware spills for a completed step.
+    fn finish_step(&mut self, core_idx: usize, step: &Step) {
+        {
+            let core = &mut self.cores[core_idx];
+            core.clock += step.cycles;
+            Self::count(core, EventKind::Cycles, step.cycles);
+            Self::count(core, EventKind::Instructions, step.instrs);
+        }
+        // Hardware enhancement 2: self-virtualizing counters spill to guest
+        // memory without kernel involvement.
+        let spills = self.cores[core_idx].pmu.take_spills();
+        for spill in spills {
+            // Spill addresses are validated (aligned) at configuration time
+            // by the kernel; a failure here is a substrate bug.
+            self.mem
+                .fetch_add_u64(spill.addr, spill.amount)
+                .expect("spill address must be aligned");
+            self.cores[core_idx].clock += cost::SPILL;
+        }
+    }
+
+    /// Returns the busy core with the smallest local clock, if any — the
+    /// next core the OS loop should advance.
+    pub fn next_busy_core(&self) -> Option<CoreId> {
+        self.cores
+            .iter()
+            .filter(|c| c.is_busy())
+            .min_by_key(|c| c.clock)
+            .map(|c| c.id)
+    }
+
+    /// The maximum clock across all cores (the machine-wide "time now").
+    pub fn global_clock(&self) -> u64 {
+        self.cores.iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::Cond;
+    use crate::pmu::CounterCfg;
+    use crate::regs::{Context, Reg};
+    use sim_core::ThreadId;
+    use sim_mem::HierarchyConfig;
+
+    fn machine_with(prog: Program) -> Machine {
+        let cfg = MachineConfig::new(2).with_hierarchy(HierarchyConfig::tiny());
+        Machine::new(cfg, prog).unwrap()
+    }
+
+    /// Installs a pseudo-thread at `entry` on core 0 in user mode.
+    fn install(m: &mut Machine, entry: u32) {
+        let core = &mut m.cores[0];
+        core.ctx = Context::at(entry);
+        core.running = Some(ThreadId::new(1));
+        core.mode = Mode::User;
+    }
+
+    /// Steps core 0 until `Halt` or `max` instructions; returns step count.
+    fn run_to_halt(m: &mut Machine, max: usize) -> usize {
+        for i in 0..max {
+            let step = m.step(CoreId::new(0)).unwrap();
+            match step.trap {
+                Some(Trap::Halt) => return i + 1,
+                Some(Trap::Fault(msg)) => panic!("unexpected fault: {msg}"),
+                _ => {}
+            }
+        }
+        panic!("did not halt within {max} steps");
+    }
+
+    #[test]
+    fn arithmetic_program_computes() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 6);
+        a.imm(Reg::R2, 7);
+        a.alu(crate::isa::AluOp::Mul, Reg::R1, Reg::R2);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].ctx.get(Reg::R1), 42);
+    }
+
+    #[test]
+    fn loop_with_branch_iterates_correct_count() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 10);
+        a.imm(Reg::R2, 0);
+        a.imm(Reg::R3, 0); // iteration counter
+        let top = a.new_label();
+        a.bind(top);
+        a.alui_add(Reg::R3, 1);
+        a.alui_sub(Reg::R1, 1);
+        a.br(Cond::Ne, Reg::R1, Reg::R2, top);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        run_to_halt(&mut m, 100);
+        assert_eq!(m.cores[0].ctx.get(Reg::R3), 10);
+    }
+
+    #[test]
+    fn load_store_round_trip_through_guest_memory() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 0x2000); // address
+        a.imm(Reg::R2, 0xABCD);
+        a.store(Reg::R2, Reg::R1, 0);
+        a.load(Reg::R3, Reg::R1, 0);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].ctx.get(Reg::R3), 0xABCD);
+        assert_eq!(m.mem.read_u64(0x2000).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn xchg_swaps_and_fetch_add_accumulates() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 0x3000);
+        a.imm(Reg::R2, 5);
+        a.xchg(Reg::R2, Reg::R1, 0); // mem=5, r2=old(0)
+        a.imm(Reg::R3, 10);
+        a.fetch_add(Reg::R3, Reg::R1, 0); // mem=15, r3=5
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].ctx.get(Reg::R2), 0);
+        assert_eq!(m.cores[0].ctx.get(Reg::R3), 5);
+        assert_eq!(m.mem.read_u64(0x3000).unwrap(), 15);
+    }
+
+    #[test]
+    fn call_ret_uses_shadow_stack() {
+        let mut a = Asm::new();
+        let func = a.new_label();
+        a.call(func); // pc 0
+        a.halt(); // pc 1
+        a.bind(func);
+        a.imm(Reg::R5, 77); // pc 2
+        a.ret(); // pc 3
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].ctx.get(Reg::R5), 77);
+    }
+
+    #[test]
+    fn ret_on_empty_stack_faults() {
+        let mut a = Asm::new();
+        a.ret();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        let step = m.step(CoreId::new(0)).unwrap();
+        assert!(matches!(step.trap, Some(Trap::Fault(_))));
+    }
+
+    #[test]
+    fn rdpmc_faults_in_user_mode_when_disabled() {
+        let mut a = Asm::new();
+        a.rdpmc(Reg::R1, 0);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        let step = m.step(CoreId::new(0)).unwrap();
+        match step.trap {
+            Some(Trap::Fault(msg)) => assert!(msg.contains("rdpmc")),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rdpmc_reads_counter_when_enabled() {
+        let mut a = Asm::new();
+        a.burst(50);
+        a.rdpmc(Reg::R1, 0);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        m.cores[0].pmu.set_user_rdpmc(true);
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        // Burst retired 50 instructions before the read.
+        assert_eq!(m.cores[0].ctx.get(Reg::R1), 50);
+    }
+
+    #[test]
+    fn instruction_and_cycle_counting_is_exact_for_alu_code() {
+        let mut a = Asm::new();
+        for _ in 0..10 {
+            a.nop();
+        }
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        m.cores[0]
+            .pmu
+            .configure(1, CounterCfg::user(EventKind::Cycles))
+            .unwrap();
+        install(&mut m, 0);
+        run_to_halt(&mut m, 20);
+        // 10 nops + halt = 11 instructions, 11 cycles (all single-cycle).
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), 11);
+        assert_eq!(m.cores[0].pmu.read(1).unwrap(), 11);
+    }
+
+    #[test]
+    fn kernel_mode_events_excluded_from_user_counters() {
+        let mut a = Asm::new();
+        a.nop();
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Cycles))
+            .unwrap();
+        install(&mut m, 0);
+        // Kernel work before the thread runs.
+        m.cores[0].mode = Mode::Kernel;
+        m.charge(CoreId::new(0), 1000, 300);
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), 0);
+        m.cores[0].mode = Mode::User;
+        run_to_halt(&mut m, 5);
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn branch_events_and_mispredicts_are_counted() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 100);
+        a.imm(Reg::R2, 0);
+        let top = a.new_label();
+        a.bind(top);
+        a.alui_sub(Reg::R1, 1);
+        a.br(Cond::Ne, Reg::R1, Reg::R2, top);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Branches))
+            .unwrap();
+        m.cores[0]
+            .pmu
+            .configure(1, CounterCfg::user(EventKind::BranchMisses))
+            .unwrap();
+        install(&mut m, 0);
+        run_to_halt(&mut m, 500);
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), 100);
+        let misses = m.cores[0].pmu.read(1).unwrap();
+        assert!(
+            misses <= 5,
+            "loop branch predicts well, got {misses} misses"
+        );
+    }
+
+    #[test]
+    fn cache_miss_events_flow_to_pmu() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 0x10000);
+        // Two loads to the same line: first misses everywhere, second hits L1.
+        a.load(Reg::R2, Reg::R1, 0);
+        a.load(Reg::R3, Reg::R1, 0);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::L1dMisses))
+            .unwrap();
+        m.cores[0]
+            .pmu
+            .configure(1, CounterCfg::user(EventKind::LlcMisses))
+            .unwrap();
+        m.cores[0]
+            .pmu
+            .configure(2, CounterCfg::user(EventKind::Loads))
+            .unwrap();
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), 1);
+        assert_eq!(m.cores[0].pmu.read(1).unwrap(), 1);
+        assert_eq!(m.cores[0].pmu.read(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn memory_latency_is_charged_to_the_clock() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 0x10000);
+        a.load(Reg::R2, Reg::R1, 0);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        let before = m.cores[0].clock;
+        m.step(CoreId::new(0)).unwrap(); // imm
+        let after_imm = m.cores[0].clock;
+        m.step(CoreId::new(0)).unwrap(); // cold load
+        let after_load = m.cores[0].clock;
+        assert_eq!(after_imm - before, 1);
+        // Tiny hierarchy: dram 50 + llc 10 + issue 1 = 61.
+        assert_eq!(after_load - after_imm, 61);
+    }
+
+    #[test]
+    fn rdtsc_returns_clock() {
+        let mut a = Asm::new();
+        a.burst(99);
+        a.rdtsc(Reg::R1);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].ctx.get(Reg::R1), 99);
+    }
+
+    #[test]
+    fn pc_out_of_bounds_faults() {
+        let mut a = Asm::new();
+        a.nop(); // falls off the end
+        let mut m = machine_with(a.assemble().unwrap());
+        install(&mut m, 0);
+        m.step(CoreId::new(0)).unwrap();
+        let step = m.step(CoreId::new(0)).unwrap();
+        assert!(matches!(step.trap, Some(Trap::Fault(_))));
+    }
+
+    #[test]
+    fn stepping_idle_core_is_an_error() {
+        let mut a = Asm::new();
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        assert!(m.step(CoreId::new(0)).is_err());
+    }
+
+    #[test]
+    fn next_busy_core_picks_min_clock() {
+        let mut a = Asm::new();
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        assert_eq!(m.next_busy_core(), None);
+        m.cores[0].running = Some(ThreadId::new(1));
+        m.cores[0].clock = 100;
+        m.cores[1].running = Some(ThreadId::new(2));
+        m.cores[1].clock = 50;
+        assert_eq!(m.next_busy_core(), Some(CoreId::new(1)));
+    }
+
+    #[test]
+    fn tracer_records_execution_order() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 1);
+        a.nop();
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0].enable_trace(16);
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        let trace = m.cores[0].trace.as_ref().unwrap();
+        let pcs: Vec<u32> = trace.iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0, 1, 2]);
+        assert_eq!(trace.total_recorded(), 3);
+        assert!(trace.render().contains("halt"));
+    }
+
+    #[test]
+    fn destructive_read_requires_extension() {
+        let mut a = Asm::new();
+        a.rdpmc_clear(Reg::R1, 0);
+        a.halt();
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0].pmu.set_user_rdpmc(true);
+        install(&mut m, 0);
+        let step = m.step(CoreId::new(0)).unwrap();
+        assert!(matches!(step.trap, Some(Trap::Fault(_))));
+    }
+
+    #[test]
+    fn destructive_read_reads_and_clears_when_enabled() {
+        let mut a = Asm::new();
+        a.burst(10);
+        a.rdpmc_clear(Reg::R1, 0);
+        a.rdpmc(Reg::R2, 0);
+        a.halt();
+        let cfg = MachineConfig::new(1)
+            .with_hierarchy(HierarchyConfig::tiny())
+            .with_pmu(PmuConfig {
+                ext_destructive_read: true,
+                ..Default::default()
+            });
+        let mut m = Machine::new(cfg, a.assemble().unwrap()).unwrap();
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        m.cores[0].pmu.set_user_rdpmc(true);
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        assert_eq!(m.cores[0].ctx.get(Reg::R1), 10);
+        // Second read sees only the destructive read itself.
+        assert_eq!(m.cores[0].ctx.get(Reg::R2), 1);
+    }
+
+    #[test]
+    fn self_virtualizing_spill_lands_in_guest_memory() {
+        let mut a = Asm::new();
+        a.burst(100); // overflows an 8-bit counter even within one burst? no: burst counts as 100 instrs
+        a.burst(100);
+        a.burst(100);
+        a.halt();
+        let cfg = MachineConfig::new(1)
+            .with_hierarchy(HierarchyConfig::tiny())
+            .with_pmu(PmuConfig {
+                counter_bits: 8,
+                ext_self_virtualizing: true,
+                ..Default::default()
+            });
+        let mut m = Machine::new(cfg, a.assemble().unwrap()).unwrap();
+        let spill_addr = 0x8000;
+        m.cores[0]
+            .pmu
+            .configure(
+                0,
+                CounterCfg::user(EventKind::Instructions).with_spill(spill_addr),
+            )
+            .unwrap();
+        install(&mut m, 0);
+        run_to_halt(&mut m, 10);
+        let spilled = m.mem.read_u64(spill_addr).unwrap();
+        let residue = m.cores[0].pmu.read(0).unwrap();
+        // 301 instructions total (3 bursts + halt): spill + residue = 301.
+        assert_eq!(spilled + residue, 301);
+        assert!(spilled >= 256);
+        assert!(!m.cores[0].pmu.pmi_pending());
+    }
+
+    #[test]
+    fn tag_filter_excludes_differently_tagged_code() {
+        let mut a = Asm::new();
+        a.imm(Reg::R1, 1);
+        a.set_tag(Reg::R1); // tag=1
+        a.burst(10); // counted
+        a.imm(Reg::R1, 2);
+        a.set_tag(Reg::R1); // tag=2
+        a.burst(20); // not counted
+        a.halt();
+        let cfg = MachineConfig::new(1)
+            .with_hierarchy(HierarchyConfig::tiny())
+            .with_pmu(PmuConfig {
+                ext_tag_filter: true,
+                ..Default::default()
+            });
+        let mut m = Machine::new(cfg, a.assemble().unwrap()).unwrap();
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Instructions).with_tag(1))
+            .unwrap();
+        install(&mut m, 0);
+        run_to_halt(&mut m, 20);
+        // Counts: imm(r1,2) + settag + burst(10) while tag==1 => 12.
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), 12);
+    }
+}

@@ -1,0 +1,586 @@
+//! The per-core performance-monitoring unit.
+//!
+//! Modeled after the IA32 architectural PMU the paper targets:
+//!
+//! * a small bank of programmable counters (default 4) with per-counter
+//!   event selectors,
+//! * user/kernel mode filter bits,
+//! * configurable counter width (default 48 bits — narrow widths are used
+//!   by tests and experiment E3 to force frequent overflows),
+//! * an overflow-interrupt (PMI) enable per counter,
+//! * a privilege gate on userspace reads (`rdpmc` faults unless the kernel
+//!   set the core's "user rdpmc" flag — the flag LiMiT's kernel extension
+//!   turns on and the stock-kernel baseline leaves off).
+//!
+//! The paper's three proposed **hardware enhancements** are implemented
+//! behind [`PmuConfig`] switches, all off by default:
+//!
+//! 1. **Destructive read** (`ext_destructive_read`): a read-and-clear
+//!    instruction removes the read-subtract-read dance from delta
+//!    measurement.
+//! 2. **Self-virtualizing counters** (`ext_self_virtualizing`): on
+//!    overflow, hardware spills `2^width` into a 64-bit guest-memory
+//!    accumulator instead of raising a PMI, eliminating overflow interrupts
+//!    entirely.
+//! 3. **Tag-filtered counting** (`ext_tag_filter`): a counter only counts
+//!    while the core's software-set tag matches the counter's tag, letting
+//!    instrumentation code exclude itself from its own measurements.
+
+use crate::core::Mode;
+use crate::events::EventKind;
+use serde::{Deserialize, Serialize};
+use sim_core::{SimError, SimResult};
+
+/// PMU-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmuConfig {
+    /// Number of programmable counter slots.
+    pub programmable: usize,
+    /// Counter width in bits (raw values wrap at `2^counter_bits`).
+    pub counter_bits: u32,
+    /// Hardware enhancement 1: destructive (read-and-clear) reads.
+    pub ext_destructive_read: bool,
+    /// Hardware enhancement 2: spill-to-memory on overflow, no PMI.
+    pub ext_self_virtualizing: bool,
+    /// Hardware enhancement 3: tag-filtered counting.
+    pub ext_tag_filter: bool,
+}
+
+impl Default for PmuConfig {
+    fn default() -> Self {
+        PmuConfig {
+            programmable: 4,
+            counter_bits: 48,
+            ext_destructive_read: false,
+            ext_self_virtualizing: false,
+            ext_tag_filter: false,
+        }
+    }
+}
+
+impl PmuConfig {
+    /// Validates counter count and width.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.programmable == 0 || self.programmable > 16 {
+            return Err(SimError::Config(format!(
+                "PMU supports 1..=16 programmable counters, got {}",
+                self.programmable
+            )));
+        }
+        if !(6..=63).contains(&self.counter_bits) {
+            return Err(SimError::Config(format!(
+                "counter width must be 6..=63 bits, got {}",
+                self.counter_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of one counter slot (the event-select register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterCfg {
+    /// The event to count.
+    pub event: EventKind,
+    /// Count events occurring in user mode.
+    pub count_user: bool,
+    /// Count events occurring in kernel mode.
+    pub count_kernel: bool,
+    /// Raise a PMI when the counter wraps.
+    pub pmi_on_overflow: bool,
+    /// Enhancement 3: when `Some(t)` (and the extension is enabled), count
+    /// only while the core's tag equals `t`.
+    pub tag: Option<u64>,
+    /// Enhancement 2: when `Some(addr)` (and the extension is enabled), on
+    /// overflow the hardware adds `2^width` to the 64-bit guest word at
+    /// `addr` instead of raising a PMI.
+    pub spill_addr: Option<u64>,
+    /// Value the counter reloads to on overflow (sampling re-arm). `None`
+    /// reloads to zero. Hardware auto-reload keeps the sampling phase even
+    /// when a multi-event instruction wraps the counter more than once.
+    pub reload: Option<u64>,
+}
+
+impl CounterCfg {
+    /// A user-mode-only counter for `event` with no overflow interrupt.
+    pub fn user(event: EventKind) -> Self {
+        CounterCfg {
+            event,
+            count_user: true,
+            count_kernel: false,
+            pmi_on_overflow: false,
+            tag: None,
+            spill_addr: None,
+            reload: None,
+        }
+    }
+
+    /// A counter for `event` counting in both modes.
+    pub fn all_modes(event: EventKind) -> Self {
+        CounterCfg {
+            count_kernel: true,
+            ..CounterCfg::user(event)
+        }
+    }
+
+    /// Enables the overflow PMI.
+    pub fn with_pmi(mut self) -> Self {
+        self.pmi_on_overflow = true;
+        self
+    }
+
+    /// Sets the tag filter (enhancement 3).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// Sets the spill address (enhancement 2).
+    pub fn with_spill(mut self, addr: u64) -> Self {
+        self.spill_addr = Some(addr);
+        self
+    }
+
+    /// Sets the overflow reload value (sampling re-arm).
+    pub fn with_reload(mut self, reload: u64) -> Self {
+        self.reload = Some(reload);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Slot {
+    cfg: Option<CounterCfg>,
+    raw: u64,
+}
+
+/// A pending hardware spill (enhancement 2): add `amount` to the guest
+/// word at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spill {
+    /// Guest address of the 64-bit accumulator.
+    pub addr: u64,
+    /// Amount to add (`2^width` per overflow).
+    pub amount: u64,
+}
+
+/// One core's PMU.
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    config: PmuConfig,
+    slots: Vec<Slot>,
+    user_rdpmc: bool,
+    pending_pmi: Vec<u8>,
+    pending_spills: Vec<Spill>,
+    overflows: u64,
+}
+
+impl Pmu {
+    /// Builds a PMU from a validated config.
+    pub fn new(config: PmuConfig) -> SimResult<Self> {
+        config.validate()?;
+        Ok(Pmu {
+            slots: vec![Slot::default(); config.programmable],
+            config,
+            user_rdpmc: false,
+            pending_pmi: Vec::new(),
+            pending_spills: Vec::new(),
+            overflows: 0,
+        })
+    }
+
+    /// The PMU-wide configuration.
+    pub fn config(&self) -> PmuConfig {
+        self.config
+    }
+
+    /// Maximum raw value plus one (the wrap modulus).
+    pub fn modulus(&self) -> u64 {
+        1u64 << self.config.counter_bits
+    }
+
+    fn check_idx(&self, idx: u8) -> SimResult<usize> {
+        let i = idx as usize;
+        if i >= self.slots.len() {
+            return Err(SimError::Resource(format!(
+                "counter index {idx} out of range (PMU has {})",
+                self.slots.len()
+            )));
+        }
+        Ok(i)
+    }
+
+    /// Programs counter `idx` (kernel-privileged operation).
+    pub fn configure(&mut self, idx: u8, cfg: CounterCfg) -> SimResult<()> {
+        if cfg.spill_addr.is_some() && !self.config.ext_self_virtualizing {
+            return Err(SimError::Config(
+                "spill_addr requires the self-virtualizing extension".into(),
+            ));
+        }
+        if cfg.tag.is_some() && !self.config.ext_tag_filter {
+            return Err(SimError::Config(
+                "tag filter requires the tag-filter extension".into(),
+            ));
+        }
+        let i = self.check_idx(idx)?;
+        self.slots[i] = Slot {
+            cfg: Some(cfg),
+            raw: 0,
+        };
+        Ok(())
+    }
+
+    /// Disables counter `idx`, clearing its value.
+    pub fn disable(&mut self, idx: u8) -> SimResult<()> {
+        let i = self.check_idx(idx)?;
+        self.slots[i] = Slot::default();
+        Ok(())
+    }
+
+    /// Returns the configuration of counter `idx`, if programmed.
+    pub fn counter_cfg(&self, idx: u8) -> Option<CounterCfg> {
+        self.slots.get(idx as usize).and_then(|s| s.cfg)
+    }
+
+    /// Reads the raw value of counter `idx` (no privilege check — the core
+    /// engine enforces the user-rdpmc gate before calling this).
+    pub fn read(&self, idx: u8) -> SimResult<u64> {
+        let i = self.check_idx(idx)?;
+        Ok(self.slots[i].raw)
+    }
+
+    /// Reads and clears counter `idx` (enhancement 1's semantics; also used
+    /// by the kernel, which may always read-and-clear).
+    pub fn read_clear(&mut self, idx: u8) -> SimResult<u64> {
+        let i = self.check_idx(idx)?;
+        Ok(std::mem::take(&mut self.slots[i].raw))
+    }
+
+    /// Writes the raw value of counter `idx` (kernel-privileged; used to
+    /// restore virtualized state and to arm sampling periods).
+    pub fn write(&mut self, idx: u8, value: u64) -> SimResult<()> {
+        let i = self.check_idx(idx)?;
+        self.slots[i].raw = value & (self.modulus() - 1);
+        Ok(())
+    }
+
+    /// Whether userspace `rdpmc` is permitted on this core.
+    pub fn user_rdpmc(&self) -> bool {
+        self.user_rdpmc
+    }
+
+    /// Sets the userspace-`rdpmc` gate (kernel-privileged; the analogue of
+    /// CR4.PCE).
+    pub fn set_user_rdpmc(&mut self, allowed: bool) {
+        self.user_rdpmc = allowed;
+    }
+
+    /// Records `n` occurrences of `event` in `mode` with the core tag
+    /// `core_tag`. Overflows set PMIs or spills per counter configuration.
+    pub fn count(&mut self, event: EventKind, n: u64, mode: Mode, core_tag: u64) {
+        if n == 0 {
+            return;
+        }
+        let modulus = self.modulus();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            let Some(cfg) = slot.cfg else { continue };
+            if cfg.event != event {
+                continue;
+            }
+            let mode_ok = match mode {
+                Mode::User => cfg.count_user,
+                Mode::Kernel => cfg.count_kernel,
+            };
+            if !mode_ok {
+                continue;
+            }
+            if self.config.ext_tag_filter {
+                if let Some(t) = cfg.tag {
+                    if t != core_tag {
+                        continue;
+                    }
+                }
+            }
+            // Apply events one overflow at a time so the reload value (the
+            // sampling re-arm point) is honoured even when one instruction
+            // retires more events than the remaining counter headroom.
+            let mut remaining = n;
+            loop {
+                let room = modulus - slot.raw;
+                if remaining < room {
+                    slot.raw += remaining;
+                    break;
+                }
+                remaining -= room;
+                slot.raw = cfg.reload.unwrap_or(0) & (modulus - 1);
+                self.overflows += 1;
+                if let Some(addr) = cfg.spill_addr.filter(|_| self.config.ext_self_virtualizing) {
+                    self.pending_spills.push(Spill {
+                        addr,
+                        amount: modulus,
+                    });
+                } else if cfg.pmi_on_overflow {
+                    self.pending_pmi.push(idx as u8);
+                }
+            }
+        }
+    }
+
+    /// Takes the next pending overflow interrupt, if any.
+    pub fn take_pmi(&mut self) -> Option<u8> {
+        if self.pending_pmi.is_empty() {
+            None
+        } else {
+            Some(self.pending_pmi.remove(0))
+        }
+    }
+
+    /// Whether an overflow interrupt is pending.
+    pub fn pmi_pending(&self) -> bool {
+        !self.pending_pmi.is_empty()
+    }
+
+    /// Drains pending hardware spills (enhancement 2); the machine applies
+    /// them to guest memory.
+    pub fn take_spills(&mut self) -> Vec<Spill> {
+        std::mem::take(&mut self.pending_spills)
+    }
+
+    /// Lifetime overflow count (for experiment E3's PMI-rate ablation).
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmu() -> Pmu {
+        Pmu::new(PmuConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PmuConfig::default().validate().is_ok());
+        assert!(PmuConfig {
+            programmable: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PmuConfig {
+            counter_bits: 64,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PmuConfig {
+            counter_bits: 5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn counting_respects_event_kind() {
+        let mut p = pmu();
+        p.configure(0, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        p.count(EventKind::Instructions, 5, Mode::User, 0);
+        p.count(EventKind::Cycles, 100, Mode::User, 0);
+        assert_eq!(p.read(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn counting_respects_mode_filter() {
+        let mut p = pmu();
+        p.configure(0, CounterCfg::user(EventKind::Cycles)).unwrap();
+        p.configure(1, CounterCfg::all_modes(EventKind::Cycles))
+            .unwrap();
+        p.count(EventKind::Cycles, 10, Mode::User, 0);
+        p.count(EventKind::Cycles, 7, Mode::Kernel, 0);
+        assert_eq!(p.read(0).unwrap(), 10, "user-only counter skips kernel");
+        assert_eq!(p.read(1).unwrap(), 17);
+    }
+
+    #[test]
+    fn overflow_wraps_and_raises_pmi() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8, // wrap at 256
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Instructions).with_pmi())
+            .unwrap();
+        p.count(EventKind::Instructions, 300, Mode::User, 0);
+        assert_eq!(p.read(0).unwrap(), 300 - 256);
+        assert!(p.pmi_pending());
+        assert_eq!(p.take_pmi(), Some(0));
+        assert!(!p.pmi_pending());
+        assert_eq!(p.overflows(), 1);
+    }
+
+    #[test]
+    fn multiple_wraps_raise_multiple_pmis() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Cycles).with_pmi())
+            .unwrap();
+        p.count(EventKind::Cycles, 256 * 3 + 5, Mode::User, 0);
+        assert_eq!(p.read(0).unwrap(), 5);
+        assert_eq!(p.take_pmi(), Some(0));
+        assert_eq!(p.take_pmi(), Some(0));
+        assert_eq!(p.take_pmi(), Some(0));
+        assert_eq!(p.take_pmi(), None);
+    }
+
+    #[test]
+    fn overflow_without_pmi_enable_is_silent() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Cycles)).unwrap();
+        p.count(EventKind::Cycles, 300, Mode::User, 0);
+        assert!(!p.pmi_pending());
+    }
+
+    #[test]
+    fn write_masks_to_width() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Cycles)).unwrap();
+        p.write(0, 0x1FF).unwrap();
+        assert_eq!(p.read(0).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn read_clear_takes_value() {
+        let mut p = pmu();
+        p.configure(0, CounterCfg::user(EventKind::Cycles)).unwrap();
+        p.count(EventKind::Cycles, 42, Mode::User, 0);
+        assert_eq!(p.read_clear(0).unwrap(), 42);
+        assert_eq!(p.read(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counter_is_resource_error() {
+        let mut p = pmu();
+        assert_eq!(p.read(9).unwrap_err().category(), "resource");
+        assert!(p.configure(9, CounterCfg::user(EventKind::Cycles)).is_err());
+    }
+
+    #[test]
+    fn spill_requires_extension() {
+        let mut p = pmu();
+        let cfg = CounterCfg::user(EventKind::Cycles).with_spill(0x1000);
+        assert!(p.configure(0, cfg).is_err());
+    }
+
+    #[test]
+    fn tag_requires_extension() {
+        let mut p = pmu();
+        let cfg = CounterCfg::user(EventKind::Cycles).with_tag(3);
+        assert!(p.configure(0, cfg).is_err());
+    }
+
+    #[test]
+    fn self_virtualizing_spills_instead_of_pmi() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ext_self_virtualizing: true,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(
+            0,
+            CounterCfg::user(EventKind::Cycles)
+                .with_pmi()
+                .with_spill(0x4000),
+        )
+        .unwrap();
+        p.count(EventKind::Cycles, 600, Mode::User, 0);
+        assert!(!p.pmi_pending(), "spill replaces PMI");
+        let spills = p.take_spills();
+        let total: u64 = spills.iter().map(|s| s.amount).sum();
+        assert!(spills.iter().all(|s| s.addr == 0x4000));
+        assert_eq!(total, 512);
+        assert_eq!(p.read(0).unwrap(), 600 - 512);
+    }
+
+    #[test]
+    fn reload_preserves_sampling_phase_across_bursts() {
+        // 8-bit counter armed at 256-100 (period 100). A single batch of
+        // 1000 events must fire floor((1000 - 100)/100) + 1 = 10 PMIs and
+        // leave the counter mid-period, exactly as one-at-a-time delivery
+        // would.
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(
+            0,
+            CounterCfg::user(EventKind::Instructions)
+                .with_pmi()
+                .with_reload(256 - 100),
+        )
+        .unwrap();
+        p.write(0, 256 - 100).unwrap();
+        p.count(EventKind::Instructions, 1_000, Mode::User, 0);
+        let mut pmis = 0;
+        while p.take_pmi().is_some() {
+            pmis += 1;
+        }
+        assert_eq!(pmis, 10);
+        let expected_residue = 256 - 100; // reload point; 1000 % 100 == 0 extra
+        assert_eq!(p.read(0).unwrap(), expected_residue);
+    }
+
+    #[test]
+    fn tag_filter_gates_counting() {
+        let mut p = Pmu::new(PmuConfig {
+            ext_tag_filter: true,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Instructions).with_tag(7))
+            .unwrap();
+        p.count(EventKind::Instructions, 5, Mode::User, 7);
+        p.count(EventKind::Instructions, 5, Mode::User, 3);
+        assert_eq!(p.read(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn untagged_counter_counts_regardless_of_core_tag() {
+        let mut p = Pmu::new(PmuConfig {
+            ext_tag_filter: true,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        p.count(EventKind::Instructions, 5, Mode::User, 99);
+        assert_eq!(p.read(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn disable_clears_slot() {
+        let mut p = pmu();
+        p.configure(0, CounterCfg::user(EventKind::Cycles)).unwrap();
+        p.count(EventKind::Cycles, 5, Mode::User, 0);
+        p.disable(0).unwrap();
+        assert_eq!(p.read(0).unwrap(), 0);
+        p.count(EventKind::Cycles, 5, Mode::User, 0);
+        assert_eq!(p.read(0).unwrap(), 0, "disabled slot does not count");
+    }
+}

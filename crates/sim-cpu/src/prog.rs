@@ -1,0 +1,127 @@
+//! Assembled guest programs.
+//!
+//! A [`Program`] is an immutable instruction image plus a symbol table. Two
+//! kinds of symbols exist:
+//!
+//! * **entries** — named PCs used as thread entry points and call targets
+//!   shared between separately-built fragments, and
+//! * **ranges** — named `[start, end)` PC intervals. The LiMiT kernel
+//!   extension uses a range to recognize "this thread was interrupted
+//!   inside the counter-read sequence" (the restartable-sequence fix-up).
+
+use crate::isa::Instr;
+use serde::{Deserialize, Serialize};
+use sim_core::{SimError, SimResult};
+use std::collections::HashMap;
+
+/// A forward-referencable position in a program being assembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) usize);
+
+/// An immutable, fully-resolved guest program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) entries: HashMap<String, u32>,
+    pub(crate) ranges: HashMap<String, (u32, u32)>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`, if in range.
+    pub fn fetch(&self, pc: u32) -> Option<&Instr> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// Resolves a named entry point.
+    pub fn entry(&self, name: &str) -> SimResult<u32> {
+        self.entries
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::Program(format!("no entry named {name:?}")))
+    }
+
+    /// Resolves a named PC range.
+    pub fn range(&self, name: &str) -> SimResult<(u32, u32)> {
+        self.ranges
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::Program(format!("no range named {name:?}")))
+    }
+
+    /// Iterates over all named entries.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all named PC ranges.
+    pub fn iter_ranges(&self) -> impl Iterator<Item = (&str, (u32, u32))> {
+        self.ranges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders a disassembly listing (entries annotated).
+    pub fn disassemble(&self) -> String {
+        let mut by_pc: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, &pc) in &self.entries {
+            by_pc.entry(pc).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            if let Some(names) = by_pc.get(&(pc as u32)) {
+                for n in names {
+                    out.push_str(&format!("{n}:\n"));
+                }
+            }
+            out.push_str(&format!("  {pc:>6}  {instr}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr;
+
+    fn sample() -> Program {
+        Program {
+            instrs: vec![Instr::Nop, Instr::Halt],
+            entries: [("main".to_string(), 0u32)].into_iter().collect(),
+            ranges: [("seq".to_string(), (0u32, 1u32))].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = sample();
+        assert_eq!(p.fetch(0), Some(&Instr::Nop));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn entry_resolution() {
+        let p = sample();
+        assert_eq!(p.entry("main").unwrap(), 0);
+        assert!(p.entry("missing").is_err());
+        assert_eq!(p.range("seq").unwrap(), (0, 1));
+        assert!(p.range("missing").is_err());
+    }
+
+    #[test]
+    fn disassembly_mentions_entry() {
+        let d = sample().disassemble();
+        assert!(d.contains("main:"));
+        assert!(d.contains("nop"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Guest general-purpose registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of general-purpose registers in the guest ISA.
+pub const NUM_REGS: usize = 16;
+
+/// A guest general-purpose register, `r0`..`r15`.
+///
+/// Calling convention used by the assembler helpers and the kernel ABI:
+/// syscall number is encoded in the instruction, syscall arguments travel in
+/// `r0`..`r5`, and the return value comes back in `r0`. Everything else is
+/// caller-managed — guest programs in this workspace are generated, not
+/// hand-written, so no callee-save convention is needed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Syscall argument / return-value register.
+    pub const R0: Reg = Reg(0);
+    /// Second syscall argument.
+    pub const R1: Reg = Reg(1);
+    /// Third syscall argument.
+    pub const R2: Reg = Reg(2);
+    /// Fourth syscall argument.
+    pub const R3: Reg = Reg(3);
+    /// Fifth syscall argument.
+    pub const R4: Reg = Reg(4);
+    /// Sixth syscall argument.
+    pub const R5: Reg = Reg(5);
+    /// General scratch.
+    pub const R6: Reg = Reg(6);
+    /// General scratch.
+    pub const R7: Reg = Reg(7);
+    /// General scratch.
+    pub const R8: Reg = Reg(8);
+    /// General scratch.
+    pub const R9: Reg = Reg(9);
+    /// General scratch.
+    pub const R10: Reg = Reg(10);
+    /// General scratch.
+    pub const R11: Reg = Reg(11);
+    /// General scratch.
+    pub const R12: Reg = Reg(12);
+    /// General scratch.
+    pub const R13: Reg = Reg(13);
+    /// General scratch.
+    pub const R14: Reg = Reg(14);
+    /// General scratch.
+    pub const R15: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`.
+    pub const fn new(idx: u8) -> Reg {
+        assert!(idx < NUM_REGS as u8, "register index out of range");
+        Reg(idx)
+    }
+
+    /// The register's index into a register file.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A thread's architectural register state plus program counter.
+///
+/// The shadow call stack backs the `Call`/`Ret` instructions: guest code in
+/// this workspace never takes return addresses, so a hardware-side stack is
+/// simpler and faster than memory-resident frames.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Context {
+    /// General-purpose register values.
+    pub regs: [u64; NUM_REGS],
+    /// Program counter (instruction index into the program image).
+    pub pc: u32,
+    /// Shadow call stack of return PCs.
+    pub call_stack: Vec<u32>,
+    /// The core's counting tag (hardware-extension 3); saved with the
+    /// context so tags virtualize across context switches.
+    pub tag: u64,
+}
+
+impl Context {
+    /// A fresh context starting at `entry` with all registers zero.
+    pub fn at(entry: u32) -> Context {
+        Context {
+            pc: entry,
+            ..Context::default()
+        }
+    }
+
+    /// Reads a register.
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_constants_have_expected_indices() {
+        assert_eq!(Reg::R0.index(), 0);
+        assert_eq!(Reg::R15.index(), 15);
+        assert_eq!(Reg::new(7), Reg::R7);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn out_of_range_register_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn context_get_set_round_trip() {
+        let mut c = Context::at(5);
+        assert_eq!(c.pc, 5);
+        c.set(Reg::R3, 99);
+        assert_eq!(c.get(Reg::R3), 99);
+        assert_eq!(c.get(Reg::R4), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::R11.to_string(), "r11");
+    }
+}

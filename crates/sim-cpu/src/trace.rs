@@ -1,0 +1,150 @@
+//! Per-core execution tracing: a bounded ring of recently executed
+//! instructions.
+//!
+//! Off by default (no per-step cost beyond a branch); enabled per core by
+//! the host for debugging guest programs and for tests that assert
+//! execution order. The ring holds the *last N* instructions, so a fault
+//! can always be explained from the tail of the trace.
+
+use crate::isa::Instr;
+use sim_core::ThreadId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Core clock at execution start.
+    pub clock: u64,
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Thread installed on the core.
+    pub tid: Option<ThreadId>,
+    /// The instruction.
+    pub instr: Instr,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tid {
+            Some(t) => write!(
+                f,
+                "[{:>10}] {} pc={:<5} {}",
+                self.clock, t, self.pc, self.instr
+            ),
+            None => write!(
+                f,
+                "[{:>10}] ????  pc={:<5} {}",
+                self.clock, self.pc, self.instr
+            ),
+        }
+    }
+}
+
+/// A bounded execution-trace ring.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    ring: VecDeque<TraceEntry>,
+    capacity: usize,
+    total: u64,
+}
+
+impl Trace {
+    /// A ring holding the last `capacity` instructions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Records one executed instruction.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(entry);
+        self.total += 1;
+    }
+
+    /// Instructions currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Lifetime instructions recorded (including those evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates oldest-to-newest over the retained tail.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring.iter()
+    }
+
+    /// The most recent entry.
+    pub fn last(&self) -> Option<&TraceEntry> {
+        self.ring.back()
+    }
+
+    /// Renders the retained tail, one line per instruction.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: u32) -> TraceEntry {
+        TraceEntry {
+            clock: pc as u64 * 10,
+            pc,
+            tid: Some(ThreadId::new(1)),
+            instr: Instr::Nop,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_last_n() {
+        let mut t = Trace::new(3);
+        for pc in 0..5 {
+            t.record(entry(pc));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let pcs: Vec<u32> = t.iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![2, 3, 4]);
+        assert_eq!(t.last().unwrap().pc, 4);
+    }
+
+    #[test]
+    fn render_one_line_per_entry() {
+        let mut t = Trace::new(8);
+        t.record(entry(7));
+        t.record(entry(8));
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("nop"));
+        assert!(s.contains("tid1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Static verification of assembled guest programs.
+//!
+//! The assembler guarantees label resolution; this pass checks the
+//! properties that only hold (or fail) across whole programs: control
+//! transfers stay in bounds, named entries and ranges are valid, no
+//! straight-line path falls off the end of the image, and restart ranges
+//! contain no control flow (a rewind into a range with a branch could
+//! otherwise re-execute a different path). The harness runs it at build
+//! time so emission bugs fault at assembly, not mid-experiment.
+
+use crate::isa::Instr;
+use crate::prog::Program;
+use std::fmt;
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// PC the issue is anchored to (or the program length for end-of-image
+    /// issues).
+    pub pc: u32,
+    /// What is wrong.
+    pub what: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {}: {}", self.pc, self.what)
+    }
+}
+
+/// Verifies a program, returning every issue found (empty = clean).
+pub fn verify(prog: &Program) -> Vec<Issue> {
+    let len = prog.len() as u32;
+    let mut issues = Vec::new();
+
+    for pc in 0..len {
+        let instr = prog.fetch(pc).expect("pc < len");
+        if let Instr::Br(_, _, _, t) | Instr::Jmp(t) | Instr::Call(t) = instr {
+            if *t >= len {
+                issues.push(Issue {
+                    pc,
+                    what: format!("control transfer to out-of-bounds target {t}"),
+                });
+            }
+        }
+    }
+
+    for (name, entry) in prog.iter_entries() {
+        if entry > len {
+            issues.push(Issue {
+                pc: entry,
+                what: format!("entry {name:?} beyond program end"),
+            });
+        }
+    }
+
+    for (name, (start, end)) in prog.iter_ranges() {
+        if start >= end || end > len {
+            issues.push(Issue {
+                pc: start,
+                what: format!("range {name:?} is empty or out of bounds ({start}..{end})"),
+            });
+        }
+        // Restart ranges must be straight-line: a rewind re-executes from
+        // the start, which is only equivalent if no branch can have
+        // diverted within the range.
+        if name.starts_with("limit_read") {
+            for pc in start..end.min(len) {
+                if matches!(
+                    prog.fetch(pc),
+                    Some(Instr::Br(..) | Instr::Jmp(_) | Instr::Call(_) | Instr::Ret)
+                ) {
+                    issues.push(Issue {
+                        pc,
+                        what: format!("restart range {name:?} contains control flow"),
+                    });
+                }
+            }
+        }
+    }
+
+    // The last instruction must not fall through the end of the image.
+    if len > 0 {
+        let last = prog.fetch(len - 1).expect("non-empty");
+        let terminal = matches!(last, Instr::Halt | Instr::Jmp(_) | Instr::Ret)
+            || matches!(last, Instr::Br(..));
+        if !terminal {
+            issues.push(Issue {
+                pc: len - 1,
+                what: "program can fall through past its last instruction".into(),
+            });
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::regs::Reg;
+    use crate::Cond;
+
+    #[test]
+    fn clean_program_has_no_issues() {
+        let mut a = Asm::new();
+        a.export("main");
+        a.begin_range("limit_read.0");
+        a.load(Reg::R4, Reg::R15, 0);
+        a.rdpmc(Reg::R5, 0);
+        a.add(Reg::R4, Reg::R5);
+        a.end_range("limit_read.0");
+        a.halt();
+        assert!(verify(&a.assemble().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn fallthrough_is_flagged() {
+        let mut a = Asm::new();
+        a.nop();
+        let issues = verify(&a.assemble().unwrap());
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].what.contains("fall through"));
+    }
+
+    #[test]
+    fn branch_terminated_programs_are_accepted() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.br(Cond::Eq, Reg::R0, Reg::R0, top);
+        assert!(verify(&a.assemble().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn control_flow_inside_a_restart_range_is_flagged() {
+        let mut a = Asm::new();
+        a.begin_range("limit_read.bad");
+        let l = a.new_label();
+        a.bind(l);
+        a.br(Cond::Eq, Reg::R0, Reg::R1, l);
+        a.end_range("limit_read.bad");
+        a.halt();
+        let issues = verify(&a.assemble().unwrap());
+        assert!(issues.iter().any(|i| i.what.contains("control flow")));
+    }
+
+    #[test]
+    fn non_limit_ranges_may_contain_control_flow() {
+        let mut a = Asm::new();
+        a.begin_range("fx.task.x");
+        let l = a.new_label();
+        a.bind(l);
+        a.br(Cond::Eq, Reg::R0, Reg::R1, l);
+        a.end_range("fx.task.x");
+        a.halt();
+        assert!(verify(&a.assemble().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn empty_range_is_flagged() {
+        let mut a = Asm::new();
+        a.begin_range("r");
+        a.end_range("r");
+        a.halt();
+        let issues = verify(&a.assemble().unwrap());
+        assert!(issues.iter().any(|i| i.what.contains("empty")));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the guest ISA and execution engine.
+
+use proptest::prelude::*;
+use sim_core::{CoreId, ThreadId};
+use sim_cpu::pmu::CounterCfg;
+use sim_cpu::regs::Context;
+use sim_cpu::{
+    AluOp, Asm, Cond, EventKind, Instr, Machine, MachineConfig, Mode, Pmu, PmuConfig, Reg, Trap,
+};
+use sim_mem::HierarchyConfig;
+
+fn alu_ops() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+/// Host-side mirror of the ALU semantics.
+fn host_apply(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+    }
+}
+
+fn run_program(prog: sim_cpu::Program) -> Machine {
+    let cfg = MachineConfig::new(1).with_hierarchy(HierarchyConfig::tiny());
+    let mut m = Machine::new(cfg, prog).unwrap();
+    m.cores[0].ctx = Context::at(0);
+    m.cores[0].running = Some(ThreadId::new(1));
+    m.cores[0].mode = Mode::User;
+    for _ in 0..200_000 {
+        let step = m.step(CoreId::new(0)).unwrap();
+        match step.trap {
+            Some(Trap::Halt) => return m,
+            Some(Trap::Fault(msg)) => panic!("fault: {msg}"),
+            Some(Trap::Syscall(_)) => panic!("no syscalls in these programs"),
+            None => {}
+        }
+    }
+    panic!("program did not halt");
+}
+
+proptest! {
+    /// Executing an ALU chain in the guest matches host arithmetic.
+    #[test]
+    fn alu_chain_matches_host(
+        init in any::<u64>(),
+        ops in prop::collection::vec((alu_ops(), any::<u64>()), 1..40),
+    ) {
+        let mut asm = Asm::new();
+        asm.imm(Reg::R1, init);
+        for &(op, v) in &ops {
+            asm.alui(op, Reg::R1, v);
+        }
+        asm.halt();
+        let m = run_program(asm.assemble().unwrap());
+        let expected = ops.iter().fold(init, |acc, &(op, v)| host_apply(op, acc, v));
+        prop_assert_eq!(m.cores[0].ctx.get(Reg::R1), expected);
+    }
+
+    /// A guest loop iterates exactly its programmed trip count for any
+    /// count, and the instruction counter agrees with arithmetic.
+    #[test]
+    fn loop_trip_counts_are_exact(iters in 1u64..2_000, body in 1u32..30) {
+        let mut asm = Asm::new();
+        asm.imm(Reg::R1, iters);
+        asm.imm(Reg::R2, 0);
+        asm.imm(Reg::R3, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        asm.burst(body);
+        asm.alui_add(Reg::R3, 1);
+        asm.alui_sub(Reg::R1, 1);
+        asm.br(Cond::Ne, Reg::R1, Reg::R2, top);
+        asm.halt();
+        let prog = asm.assemble().unwrap();
+        let cfg = MachineConfig::new(1).with_hierarchy(HierarchyConfig::tiny());
+        let mut m = Machine::new(cfg, prog).unwrap();
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        m.cores[0].ctx = Context::at(0);
+        m.cores[0].running = Some(ThreadId::new(1));
+        m.cores[0].mode = Mode::User;
+        loop {
+            let step = m.step(CoreId::new(0)).unwrap();
+            if matches!(step.trap, Some(Trap::Halt)) {
+                break;
+            }
+            prop_assert!(step.trap.is_none());
+        }
+        prop_assert_eq!(m.cores[0].ctx.get(Reg::R3), iters);
+        // 3 setup + per-iter (body + 3) + halt
+        let expected = 3 + iters * (body as u64 + 3) + 1;
+        prop_assert_eq!(m.cores[0].pmu.read(0).unwrap(), expected);
+    }
+
+    /// Guest memory: a random sequence of stores then loads returns the
+    /// last-written value per address.
+    #[test]
+    fn memory_is_last_writer_wins(
+        writes in prop::collection::vec((0u64..64, any::<u64>()), 1..60),
+    ) {
+        let mut asm = Asm::new();
+        asm.imm(Reg::R10, 0x10000);
+        for &(slot, v) in &writes {
+            asm.imm(Reg::R11, v);
+            asm.store(Reg::R11, Reg::R10, (slot * 8) as i32);
+        }
+        asm.halt();
+        let m = run_program(asm.assemble().unwrap());
+        let mut expected: std::collections::HashMap<u64, u64> = Default::default();
+        for &(slot, v) in &writes {
+            expected.insert(slot, v);
+        }
+        for (&slot, &v) in &expected {
+            prop_assert_eq!(m.mem.read_u64(0x10000 + slot * 8).unwrap(), v);
+        }
+    }
+
+    /// PMU counting is exact under arbitrary interleavings of events,
+    /// modes, and widths: total counted = total matching events (mod 2^w
+    /// accounted by overflows).
+    #[test]
+    fn pmu_conservation_of_events(
+        bits in 6u32..20,
+        batches in prop::collection::vec((0u64..5_000, any::<bool>()), 1..60),
+    ) {
+        let mut pmu = Pmu::new(PmuConfig {
+            counter_bits: bits,
+            ..Default::default()
+        })
+        .unwrap();
+        pmu.configure(0, CounterCfg::user(EventKind::Instructions).with_pmi())
+            .unwrap();
+        let mut user_total = 0u64;
+        for &(n, kernel) in &batches {
+            let mode = if kernel { Mode::Kernel } else { Mode::User };
+            if !kernel {
+                user_total += n;
+            }
+            pmu.count(EventKind::Instructions, n, mode, 0);
+        }
+        let mut overflows = 0u64;
+        while pmu.take_pmi().is_some() {
+            overflows += 1;
+        }
+        let raw = pmu.read(0).unwrap();
+        prop_assert_eq!(raw + overflows * (1u64 << bits), user_total);
+    }
+
+    /// Assembled programs resolve every emitted branch to a valid PC.
+    #[test]
+    fn assembler_targets_are_in_bounds(n_blocks in 1usize..30) {
+        let mut asm = Asm::new();
+        let labels: Vec<_> = (0..n_blocks).map(|_| asm.new_label()).collect();
+        for (i, &l) in labels.iter().enumerate() {
+            asm.bind(l);
+            asm.nop();
+            // Jump to some other block (forward or backward).
+            let target = labels[(i * 7 + 3) % n_blocks];
+            asm.br(Cond::Eq, Reg::R0, Reg::R1, target);
+        }
+        asm.halt();
+        let prog = asm.assemble().unwrap();
+        for pc in 0..prog.len() as u32 {
+            if let Some(Instr::Br(_, _, _, t) | Instr::Jmp(t) | Instr::Call(t)) = prog.fetch(pc) {
+                prop_assert!((*t as usize) < prog.len(), "target {} out of bounds", t);
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic address-stream generators for synthetic workloads.
+//!
+//! Workload code in the guest ISA issues loads/stores whose addresses come
+//! from these generators (pre-materialized into guest arrays or sampled on
+//! the host while emitting guest code). The generators cover the patterns
+//! the case studies need: streaming scans, strided walks, uniform random
+//! working sets, and Zipf-skewed accesses (database buffer pools).
+
+use sim_core::DetRng;
+
+/// A deterministic stream of byte addresses within a region.
+#[derive(Debug, Clone)]
+pub enum AddrStream {
+    /// Sequential walk: `base, base+stride, ...`, wrapping at `len` bytes.
+    Sequential {
+        /// Region start.
+        base: u64,
+        /// Step in bytes.
+        stride: u64,
+        /// Region length in bytes.
+        len: u64,
+        /// Current offset.
+        cursor: u64,
+    },
+    /// Uniform random addresses in `[base, base+len)`, aligned to `align`.
+    Uniform {
+        /// Region start.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+        /// Alignment of produced addresses.
+        align: u64,
+        /// RNG.
+        rng: DetRng,
+    },
+    /// Zipf-distributed block indices over `blocks` blocks of `block_bytes`
+    /// starting at `base` — hot blocks get most accesses.
+    Zipf {
+        /// Region start.
+        base: u64,
+        /// Bytes per block.
+        block_bytes: u64,
+        /// Precomputed cumulative distribution over block indices.
+        cdf: Vec<f64>,
+        /// RNG.
+        rng: DetRng,
+    },
+}
+
+impl AddrStream {
+    /// A sequential stream over `[base, base+len)` with the given stride.
+    pub fn sequential(base: u64, len: u64, stride: u64) -> Self {
+        assert!(stride > 0 && len > 0, "stride and len must be positive");
+        AddrStream::Sequential {
+            base,
+            stride,
+            len,
+            cursor: 0,
+        }
+    }
+
+    /// A uniform random stream over `[base, base+len)` aligned to `align`.
+    pub fn uniform(base: u64, len: u64, align: u64, rng: DetRng) -> Self {
+        assert!(align > 0 && len >= align, "align must divide into len");
+        AddrStream::Uniform {
+            base,
+            len,
+            align,
+            rng,
+        }
+    }
+
+    /// A Zipf(θ) stream over `blocks` blocks of `block_bytes` each.
+    ///
+    /// θ=0 is uniform; θ≈1 is the classic heavy skew used for database
+    /// buffer-pool modeling.
+    pub fn zipf(base: u64, blocks: usize, block_bytes: u64, theta: f64, rng: DetRng) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        let mut weights: Vec<f64> = (1..=blocks).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        AddrStream::Zipf {
+            base,
+            block_bytes,
+            cdf: weights,
+            rng,
+        }
+    }
+
+    /// Produces the next address in the stream.
+    pub fn next_addr(&mut self) -> u64 {
+        match self {
+            AddrStream::Sequential {
+                base,
+                stride,
+                len,
+                cursor,
+            } => {
+                let addr = *base + *cursor;
+                *cursor = (*cursor + *stride) % *len;
+                addr
+            }
+            AddrStream::Uniform {
+                base,
+                len,
+                align,
+                rng,
+            } => {
+                let slots = *len / *align;
+                *base + rng.below(slots) * *align
+            }
+            AddrStream::Zipf {
+                base,
+                block_bytes,
+                cdf,
+                rng,
+            } => {
+                let u = rng.unit_f64();
+                let idx = cdf.partition_point(|&c| c < u).min(cdf.len() - 1);
+                *base + idx as u64 * *block_bytes
+            }
+        }
+    }
+
+    /// Materializes the next `n` addresses into a vector.
+    pub fn take_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_addr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = AddrStream::sequential(0x1000, 256, 64);
+        let got = s.take_vec(6);
+        assert_eq!(got, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn uniform_stays_in_region_and_aligned() {
+        let mut s = AddrStream::uniform(0x2000, 4096, 64, DetRng::new(1));
+        for a in s.take_vec(500) {
+            assert!((0x2000..0x2000 + 4096).contains(&a));
+            assert_eq!(a % 64, 0);
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut s = AddrStream::zipf(0, 10, 64, 0.0, DetRng::new(2));
+        let mut counts = [0u32; 10];
+        for a in s.take_vec(10_000) {
+            counts[(a / 64) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_first_blocks() {
+        let mut s = AddrStream::zipf(0, 100, 64, 1.0, DetRng::new(3));
+        let mut first10 = 0u32;
+        let n = 10_000;
+        for a in s.take_vec(n) {
+            if a / 64 < 10 {
+                first10 += 1;
+            }
+        }
+        // With θ=1 over 100 blocks, the top 10 blocks carry ~56% of mass.
+        assert!(first10 as f64 / n as f64 > 0.45, "got {first10}");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = AddrStream::uniform(0, 1 << 20, 8, DetRng::new(7));
+        let mut b = AddrStream::uniform(0, 1 << 20, 8, DetRng::new(7));
+        assert_eq!(a.take_vec(100), b.take_vec(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zipf_requires_blocks() {
+        let _ = AddrStream::zipf(0, 0, 64, 1.0, DetRng::new(1));
+    }
+}

@@ -1,0 +1,343 @@
+//! A single set-associative cache array with true-LRU replacement.
+
+use crate::{line_of, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+use sim_core::{SimError, SimResult};
+
+/// Geometry of one cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `ways * 64`.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config with the given capacity in kibibytes.
+    pub const fn kib(kib: u64, ways: usize) -> Self {
+        CacheConfig {
+            size_bytes: kib * 1024,
+            ways,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (LINE_BYTES * self.ways as u64)
+    }
+
+    /// Validates that the geometry is realizable.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.ways == 0 {
+            return Err(SimError::Config("cache must have at least 1 way".into()));
+        }
+        if self.size_bytes == 0
+            || !self
+                .size_bytes
+                .is_multiple_of(LINE_BYTES * self.ways as u64)
+        {
+            return Err(SimError::Config(format!(
+                "cache size {} is not a multiple of ways({}) * line({})",
+                self.size_bytes, self.ways, LINE_BYTES
+            )));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(SimError::Config(format!(
+                "cache set count {} must be a power of two",
+                self.sets()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One cache way within a set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    /// Line-aligned address; `None` when invalid.
+    line: Option<u64>,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+    dirty: bool,
+}
+
+/// Outcome of a cache lookup-and-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Whether the line was present before the access.
+    pub hit: bool,
+    /// Line-aligned address of a dirty line evicted to make room, if any.
+    pub writeback: Option<u64>,
+    /// Line-aligned address of any line (clean or dirty) evicted.
+    pub evicted: Option<u64>,
+}
+
+/// A set-associative cache with LRU replacement.
+///
+/// The cache stores only line presence and dirtiness — data contents live in
+/// guest memory; this is a timing/event model, not a value model.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache from a validated config.
+    pub fn new(config: CacheConfig) -> SimResult<Self> {
+        config.validate()?;
+        let sets = (0..config.sets())
+            .map(|_| vec![Way::default(); config.ways])
+            .collect();
+        Ok(Cache {
+            config,
+            sets,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line / LINE_BYTES) & (self.config.sets() - 1)) as usize
+    }
+
+    /// Looks up `addr`, filling the line on miss. Returns hit/miss and any
+    /// eviction. `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
+        let line = line_of(addr);
+        let set_idx = self.set_index(line);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.line == Some(line)) {
+            way.lru = stamp;
+            way.dirty |= write;
+            self.hits += 1;
+            return Lookup {
+                hit: true,
+                writeback: None,
+                evicted: None,
+            };
+        }
+
+        self.misses += 1;
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let victim = match set.iter_mut().find(|w| w.line.is_none()) {
+            Some(w) => w,
+            None => set
+                .iter_mut()
+                .min_by_key(|w| w.lru)
+                .expect("sets always have at least one way"),
+        };
+        let evicted = victim.line;
+        let writeback = if victim.dirty { victim.line } else { None };
+        victim.line = Some(line);
+        victim.lru = stamp;
+        victim.dirty = write;
+        Lookup {
+            hit: false,
+            writeback,
+            evicted,
+        }
+    }
+
+    /// Whether the line containing `addr` is present.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = line_of(addr);
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|w| w.line == Some(line))
+    }
+
+    /// Removes the line containing `addr`, returning whether it was present
+    /// and dirty (i.e. whether an invalidation writeback is required).
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let line = line_of(addr);
+        let set_idx = self.set_index(line);
+        for way in &mut self.sets[set_idx] {
+            if way.line == Some(line) {
+                let dirty = way.dirty;
+                *way = Way::default();
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Drops every line (e.g. between experiment repetitions).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = Way::default();
+            }
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently-valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.line.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheConfig::kib(32, 8).validate().is_ok());
+        assert!(CacheConfig {
+            size_bytes: 0,
+            ways: 8
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 512,
+            ways: 0
+        }
+        .validate()
+        .is_err());
+        // 3 sets: not a power of two.
+        assert!(CacheConfig {
+            size_bytes: 3 * 2 * 64,
+            ways: 2
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1038, false).hit, "same 64B line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to the same set (4 sets => stride 4*64=256).
+        let (a, b, d) = (0x0, 0x100, 0x200);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a most recent
+        let r = c.access(d, false); // must evict b
+        assert_eq!(r.evicted, Some(b));
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0x0, true);
+        c.access(0x100, false);
+        let r = c.access(0x200, false); // evicts dirty 0x0
+        assert_eq!(r.writeback, Some(0x0));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(0x0, false);
+        c.access(0x100, false);
+        let r = c.access(0x200, false);
+        assert_eq!(r.evicted, Some(0x0));
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = small();
+        c.access(0x40, true);
+        assert_eq!(c.invalidate(0x40), Some(true));
+        assert_eq!(c.invalidate(0x40), None);
+        c.access(0x80, false);
+        assert_eq!(c.invalidate(0x80), Some(false));
+    }
+
+    #[test]
+    fn write_on_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0x40, false);
+        c.access(0x40, true);
+        assert_eq!(c.invalidate(0x40), Some(true));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.access(0x0, true);
+        c.access(0x40, false);
+        assert_eq!(c.occupancy(), 2);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains(0x0));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small(); // 8 lines total
+        let lines: Vec<u64> = (0..16u64).map(|i| i * 64).collect();
+        for _ in 0..4 {
+            for &l in &lines {
+                c.access(l, false);
+            }
+        }
+        // A 16-line cyclic sweep over an 8-line LRU cache misses every time.
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 64);
+    }
+
+    #[test]
+    fn working_set_that_fits_stops_missing() {
+        let mut c = small();
+        let lines: Vec<u64> = (0..8u64).map(|i| i * 64).collect();
+        for _ in 0..4 {
+            for &l in &lines {
+                c.access(l, false);
+            }
+        }
+        assert_eq!(c.misses(), 8, "only compulsory misses");
+        assert_eq!(c.hits(), 24);
+    }
+}

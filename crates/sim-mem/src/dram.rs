@@ -1,0 +1,144 @@
+//! Main-memory timing model: fixed access latency plus bank conflicts.
+//!
+//! The model is deliberately simple — LLC misses pay a base latency, and
+//! near-simultaneous accesses to the same bank queue behind each other. This
+//! is enough to make memory-bound phases visibly slower and to create the
+//! tail effects the Apache case study (E9) relies on, without simulating
+//! DRAM command scheduling.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Base access latency in cycles (row hit assumed).
+    pub latency: u64,
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Cycles a bank stays busy after starting an access.
+    pub bank_busy: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency: 200,
+            banks: 16,
+            bank_busy: 40,
+        }
+    }
+}
+
+/// The main-memory model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    /// Cycle at which each bank becomes free.
+    bank_free: Vec<u64>,
+    accesses: u64,
+    conflict_cycles: u64,
+}
+
+impl Dram {
+    /// Builds a DRAM model.
+    pub fn new(config: DramConfig) -> Self {
+        Dram {
+            bank_free: vec![0; config.banks.max(1)],
+            config,
+            accesses: 0,
+            conflict_cycles: 0,
+        }
+    }
+
+    fn bank_of(&self, line: u64) -> usize {
+        ((line / crate::LINE_BYTES) as usize) % self.bank_free.len()
+    }
+
+    /// Performs an access to `line` starting at cycle `now`; returns the
+    /// total latency including any queuing behind a busy bank.
+    pub fn access(&mut self, line: u64, now: u64) -> u64 {
+        self.accesses += 1;
+        let bank = self.bank_of(line);
+        let free_at = self.bank_free[bank];
+        let wait = free_at.saturating_sub(now);
+        self.conflict_cycles += wait;
+        let start = now + wait;
+        self.bank_free[bank] = start + self.config.bank_busy;
+        wait + self.config.latency
+    }
+
+    /// Lifetime access count.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total cycles spent waiting on busy banks.
+    pub fn conflict_cycles(&self) -> u64 {
+        self.conflict_cycles
+    }
+
+    /// The configured timing.
+    pub fn config(&self) -> DramConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_access_pays_base_latency() {
+        let mut d = Dram::new(DramConfig::default());
+        assert_eq!(d.access(0, 1000), 200);
+        assert_eq!(d.accesses(), 1);
+        assert_eq!(d.conflict_cycles(), 0);
+    }
+
+    #[test]
+    fn back_to_back_same_bank_queues() {
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            banks: 4,
+            bank_busy: 50,
+        });
+        assert_eq!(d.access(0, 0), 100);
+        // Same bank (same line), immediately after: waits 50.
+        assert_eq!(d.access(0, 0), 150);
+        assert_eq!(d.conflict_cycles(), 50);
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            banks: 4,
+            bank_busy: 50,
+        });
+        d.access(0, 0);
+        // Next line lands in the next bank.
+        assert_eq!(d.access(64, 0), 100);
+        assert_eq!(d.conflict_cycles(), 0);
+    }
+
+    #[test]
+    fn bank_frees_over_time() {
+        let mut d = Dram::new(DramConfig {
+            latency: 100,
+            banks: 1,
+            bank_busy: 50,
+        });
+        d.access(0, 0);
+        assert_eq!(d.access(0, 60), 100, "bank free again by cycle 60");
+    }
+
+    #[test]
+    fn zero_banks_clamped_to_one() {
+        let mut d = Dram::new(DramConfig {
+            latency: 10,
+            banks: 0,
+            bank_busy: 5,
+        });
+        assert_eq!(d.access(0, 0), 10);
+    }
+}

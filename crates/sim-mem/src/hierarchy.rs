@@ -1,0 +1,663 @@
+//! The full memory system: per-core L1/L2, shared LLC, directory coherence.
+//!
+//! Inclusion is enforced between L1 and L2 (an L2 eviction invalidates the
+//! corresponding L1 line) so the directory can track "line present in core
+//! X's private hierarchy" with a single sharer bit per core.
+//!
+//! Coherence is a simplified invalidate protocol: a write to a line cached
+//! by other cores invalidates their private copies and pays a per-sharer
+//! latency penalty. That is the behaviour lock-handoff microbenchmarks and
+//! the MySQL study depend on: contended lock words bounce between cores and
+//! show up as coherence misses.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::tlb::{Tlb, TlbConfig};
+use crate::{line_of, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+use sim_core::{CoreId, SimError, SimResult};
+use std::collections::HashMap;
+
+/// Latencies and geometry for the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// Per-core unified L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// LLC hit latency in cycles.
+    pub llc_latency: u64,
+    /// Extra cycles per remote sharer invalidated on a coherent write.
+    pub invalidate_penalty: u64,
+    /// Latency of a cache-to-cache transfer when another core holds the
+    /// line but the LLC does not (clean-forward).
+    pub forward_latency: u64,
+    /// Next-line prefetch depth on an L2 demand miss: 0 disables the
+    /// prefetcher; `d` fetches the next `d` sequential lines into the
+    /// missing core's L2 in the background (no latency charged to the
+    /// demand access).
+    pub l2_prefetch_depth: u32,
+    /// Optional per-core data TLB; `None` disables translation modeling.
+    pub tlb: Option<TlbConfig>,
+    /// DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::kib(32, 8),
+            l2: CacheConfig::kib(256, 8),
+            llc: CacheConfig::kib(8 * 1024, 16),
+            l1_latency: 4,
+            l2_latency: 12,
+            llc_latency: 38,
+            invalidate_penalty: 30,
+            forward_latency: 60,
+            l2_prefetch_depth: 0,
+            tlb: None,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// A tiny hierarchy for unit tests: small caches, short latencies.
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::kib(1, 2),
+            l2: CacheConfig::kib(4, 4),
+            llc: CacheConfig::kib(16, 4),
+            l1_latency: 1,
+            l2_latency: 4,
+            llc_latency: 10,
+            invalidate_penalty: 5,
+            forward_latency: 15,
+            l2_prefetch_depth: 0,
+            tlb: None,
+            dram: DramConfig {
+                latency: 50,
+                banks: 4,
+                bank_busy: 10,
+            },
+        }
+    }
+
+    /// Validates every cache geometry.
+    pub fn validate(&self) -> SimResult<()> {
+        self.l1.validate()?;
+        self.l2.validate()?;
+        self.llc.validate()?;
+        if let Some(tlb) = &self.tlb {
+            tlb.validate()?;
+        }
+        if self.l1.size_bytes > self.l2.size_bytes {
+            return Err(SimError::Config(
+                "L1 must not be larger than L2 (inclusion)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Serviced by the core's own L1.
+    L1,
+    /// Serviced by the core's own L2.
+    L2,
+    /// Serviced by the shared LLC.
+    Llc,
+    /// Forwarded from another core's private cache.
+    Remote,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+/// Event counts produced by one access; the CPU feeds these to the PMU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemEvents {
+    /// L1 data-cache miss.
+    pub l1_miss: bool,
+    /// L2 miss.
+    pub l2_miss: bool,
+    /// LLC miss (DRAM or remote-forward access).
+    pub llc_miss: bool,
+    /// Number of remote private copies invalidated by this (write) access.
+    pub invalidations: u32,
+    /// The access hit a line that was dirty/present in another core
+    /// (coherence transfer).
+    pub remote_hit: bool,
+    /// The access missed the data TLB (page walk charged).
+    pub tlb_miss: bool,
+}
+
+/// Result of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Total latency charged to the requesting core, in cycles.
+    pub latency: u64,
+    /// The level that ultimately serviced the request.
+    pub level: HitLevel,
+    /// Countable events.
+    pub events: MemEvents,
+}
+
+/// The shared memory system for all cores.
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: HierarchyConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    dram: Dram,
+    /// Directory: line -> bitmask of cores whose private hierarchy holds it.
+    sharers: HashMap<u64, u64>,
+    accesses: u64,
+    tlbs: Vec<Tlb>,
+    /// Prefetched lines not yet demanded, per the useful-prefetch metric.
+    prefetched: HashMap<u64, ()>,
+    prefetches_issued: u64,
+    prefetches_useful: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for `cores` cores.
+    pub fn new(cores: usize, config: HierarchyConfig) -> SimResult<Self> {
+        config.validate()?;
+        if cores == 0 || cores > 64 {
+            return Err(SimError::Config(format!(
+                "memory system supports 1..=64 cores, got {cores}"
+            )));
+        }
+        let l1 = (0..cores)
+            .map(|_| Cache::new(config.l1))
+            .collect::<SimResult<Vec<_>>>()?;
+        let l2 = (0..cores)
+            .map(|_| Cache::new(config.l2))
+            .collect::<SimResult<Vec<_>>>()?;
+        let tlbs = match config.tlb {
+            Some(t) => (0..cores)
+                .map(|_| Tlb::new(t))
+                .collect::<SimResult<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        Ok(MemorySystem {
+            llc: Cache::new(config.llc)?,
+            dram: Dram::new(config.dram),
+            l1,
+            l2,
+            tlbs,
+            sharers: HashMap::new(),
+            accesses: 0,
+            prefetched: HashMap::new(),
+            prefetches_issued: 0,
+            prefetches_useful: 0,
+            config,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Number of cores the system was built for.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    fn mark_sharer(&mut self, line: u64, core: CoreId) {
+        *self.sharers.entry(line).or_insert(0) |= 1u64 << core.index();
+    }
+
+    fn clear_sharer(&mut self, line: u64, core: CoreId) {
+        if let Some(mask) = self.sharers.get_mut(&line) {
+            *mask &= !(1u64 << core.index());
+            if *mask == 0 {
+                self.sharers.remove(&line);
+            }
+        }
+    }
+
+    fn other_sharers(&self, line: u64, core: CoreId) -> u64 {
+        self.sharers.get(&line).copied().unwrap_or(0) & !(1u64 << core.index())
+    }
+
+    /// Evicts `line` from a core's private caches, maintaining inclusion and
+    /// the directory.
+    fn evict_private(&mut self, core: CoreId, line: u64) {
+        self.l1[core.index()].invalidate(line);
+        self.l2[core.index()].invalidate(line);
+        self.clear_sharer(line, core);
+    }
+
+    /// Performs a data access by `core` to byte address `addr` at cycle
+    /// `now`. Returns latency, servicing level, and countable events.
+    pub fn access(&mut self, core: CoreId, addr: u64, write: bool, now: u64) -> MemAccess {
+        self.accesses += 1;
+        let line = line_of(addr);
+        let c = core.index();
+        let cfg = self.config;
+        let mut events = MemEvents::default();
+
+        // Address translation first: a DTLB miss stalls for the page walk
+        // before the cache lookup proceeds.
+        let mut tlb_latency = 0u64;
+        if !self.tlbs.is_empty() && !self.tlbs[c].access(addr) {
+            events.tlb_miss = true;
+            tlb_latency = self
+                .config
+                .tlb
+                .expect("tlbs built from config")
+                .miss_penalty;
+        }
+
+        // Coherent write: invalidate remote private copies first.
+        let mut coherence_latency = 0u64;
+        if write {
+            let others = self.other_sharers(line, core);
+            if others != 0 {
+                let mut n = 0u32;
+                for i in 0..self.l1.len() {
+                    if others & (1u64 << i) != 0 {
+                        // A remote dirty copy must reach the LLC before we
+                        // can own the line; model it as present-after.
+                        self.l1[i].invalidate(line);
+                        self.l2[i].invalidate(line);
+                        self.clear_sharer(line, CoreId::new(i as u32));
+                        n += 1;
+                    }
+                }
+                events.invalidations = n;
+                coherence_latency = cfg.invalidate_penalty * n as u64;
+                // The invalidated data is now (logically) in the LLC.
+                self.llc.access(line, true);
+            }
+        }
+
+        // L1 lookup.
+        let l1r = self.l1[c].access(line, write);
+        if l1r.hit {
+            return MemAccess {
+                latency: cfg.l1_latency + coherence_latency + tlb_latency,
+                level: HitLevel::L1,
+                events,
+            };
+        }
+        events.l1_miss = true;
+        // L1 fill may have evicted a line; inclusion is maintained lazily —
+        // the L2 still holds it, so the directory bit stays set.
+
+        // L2 lookup.
+        let l2r = self.l2[c].access(line, write);
+        if let Some(evicted) = l2r.evicted {
+            // Inclusion: an L2 eviction removes the line from L1 and the
+            // directory for this core.
+            self.l1[c].invalidate(evicted);
+            self.clear_sharer(evicted, core);
+            self.prefetched.remove(&evicted);
+            if l2r.writeback.is_some() {
+                self.llc.access(evicted, true);
+            }
+        }
+        if l2r.hit {
+            if self.prefetched.remove(&line).is_some() {
+                self.prefetches_useful += 1;
+            }
+            self.mark_sharer(line, core);
+            return MemAccess {
+                latency: cfg.l2_latency + coherence_latency + tlb_latency,
+                level: HitLevel::L2,
+                events,
+            };
+        }
+        events.l2_miss = true;
+        self.prefetched.remove(&line);
+        self.mark_sharer(line, core);
+        if cfg.l2_prefetch_depth > 0 {
+            self.issue_prefetches(core, line);
+        }
+
+        // LLC lookup.
+        let llcr = self.llc.access(line, write);
+        if llcr.hit {
+            return MemAccess {
+                latency: cfg.llc_latency + coherence_latency + tlb_latency,
+                level: HitLevel::Llc,
+                events,
+            };
+        }
+        events.llc_miss = true;
+
+        // LLC miss: if another core privately holds the line, forward it
+        // cache-to-cache; otherwise go to DRAM.
+        let others = self.other_sharers(line, core);
+        let (latency, level) = if others != 0 {
+            events.remote_hit = true;
+            (cfg.forward_latency, HitLevel::Remote)
+        } else {
+            (self.dram.access(line, now), HitLevel::Dram)
+        };
+
+        MemAccess {
+            latency: latency + cfg.llc_latency + coherence_latency + tlb_latency,
+            level,
+            events,
+        }
+    }
+
+    /// Issues background next-line prefetches into `core`'s L2 after a
+    /// demand miss on `line`.
+    fn issue_prefetches(&mut self, core: CoreId, line: u64) {
+        let c = core.index();
+        for d in 1..=self.config.l2_prefetch_depth as u64 {
+            let pl = line + d * LINE_BYTES;
+            if self.l2[c].contains(pl) {
+                continue;
+            }
+            self.prefetches_issued += 1;
+            let r = self.l2[c].access(pl, false);
+            if let Some(evicted) = r.evicted {
+                self.l1[c].invalidate(evicted);
+                self.clear_sharer(evicted, core);
+                self.prefetched.remove(&evicted);
+                if r.writeback.is_some() {
+                    self.llc.access(evicted, true);
+                }
+            }
+            self.mark_sharer(pl, core);
+            self.llc.access(pl, false);
+            self.prefetched.insert(pl, ());
+        }
+    }
+
+    /// Lifetime `(issued, useful)` prefetch counts — useful means the line
+    /// was still resident when first demanded.
+    pub fn prefetch_stats(&self) -> (u64, u64) {
+        (self.prefetches_issued, self.prefetches_useful)
+    }
+
+    /// Total accesses serviced.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Flushes every cache level and the directory (between repetitions).
+    pub fn flush(&mut self) {
+        for c in &mut self.l1 {
+            c.flush();
+        }
+        for c in &mut self.l2 {
+            c.flush();
+        }
+        self.llc.flush();
+        self.sharers.clear();
+        self.prefetched.clear();
+        for t in &mut self.tlbs {
+            t.flush();
+        }
+    }
+
+    /// Removes a specific core's private copy of the line holding `addr`
+    /// (used by tests and by migration modeling).
+    pub fn purge_private(&mut self, core: CoreId, addr: u64) {
+        self.evict_private(core, line_of(addr));
+    }
+
+    /// DRAM statistics.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> MemorySystem {
+        MemorySystem::new(cores, HierarchyConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn cold_access_goes_to_dram() {
+        let mut m = sys(2);
+        let a = m.access(CoreId::new(0), 0x1000, false, 0);
+        assert_eq!(a.level, HitLevel::Dram);
+        assert!(a.events.l1_miss && a.events.l2_miss && a.events.llc_miss);
+        assert_eq!(a.latency, 50 + 10); // dram + llc lookup
+    }
+
+    #[test]
+    fn warm_access_hits_l1() {
+        let mut m = sys(2);
+        m.access(CoreId::new(0), 0x1000, false, 0);
+        let a = m.access(CoreId::new(0), 0x1000, false, 10);
+        assert_eq!(a.level, HitLevel::L1);
+        assert_eq!(a.latency, 1);
+        assert_eq!(a.events, MemEvents::default());
+    }
+
+    #[test]
+    fn second_core_hits_llc_after_first_core_fill() {
+        let mut m = sys(2);
+        m.access(CoreId::new(0), 0x1000, false, 0);
+        let a = m.access(CoreId::new(1), 0x1000, false, 100);
+        assert_eq!(a.level, HitLevel::Llc);
+        assert!(a.events.l1_miss && a.events.l2_miss && !a.events.llc_miss);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut m = sys(4);
+        for core in 0..3u32 {
+            m.access(CoreId::new(core), 0x2000, false, 0);
+        }
+        let a = m.access(CoreId::new(3), 0x2000, true, 200);
+        assert_eq!(a.events.invalidations, 3);
+        // Former sharers now miss privately.
+        let b = m.access(CoreId::new(0), 0x2000, false, 300);
+        assert!(b.events.l1_miss && b.events.l2_miss);
+    }
+
+    #[test]
+    fn lock_bounce_pattern_generates_invalidations() {
+        // Two cores alternately writing one line: every write after the
+        // first invalidates the other's copy.
+        let mut m = sys(2);
+        let mut invals = 0;
+        for i in 0..10 {
+            let core = CoreId::new(i % 2);
+            invals += m
+                .access(core, 0x3000, true, i as u64 * 100)
+                .events
+                .invalidations;
+        }
+        assert_eq!(invals, 9);
+    }
+
+    #[test]
+    fn own_write_then_read_does_not_invalidate_self() {
+        let mut m = sys(2);
+        m.access(CoreId::new(0), 0x4000, true, 0);
+        let a = m.access(CoreId::new(0), 0x4000, true, 10);
+        assert_eq!(a.events.invalidations, 0);
+        assert_eq!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn inclusion_l2_eviction_purges_l1_and_directory() {
+        let mut m = sys(1);
+        let core = CoreId::new(0);
+        // Tiny L2: 4KiB, 4-way, 64B lines => 16 sets; lines that alias in L2
+        // are 16*64 = 1024 bytes apart. Fill one L2 set past capacity.
+        let base = 0x10000u64;
+        for i in 0..5u64 {
+            m.access(core, base + i * 1024, false, i * 10);
+        }
+        // The first line must have been evicted from L2 and, by inclusion,
+        // from L1: accessing it again misses privately.
+        let a = m.access(core, base, false, 1000);
+        assert!(a.events.l1_miss && a.events.l2_miss);
+    }
+
+    #[test]
+    fn llc_miss_with_remote_owner_forwards() {
+        // Core 0 holds the line privately; evict it from the LLC by filling
+        // the LLC set, then core 1's access should forward from core 0.
+        let mut m = sys(2);
+        let c0 = CoreId::new(0);
+        let c1 = CoreId::new(1);
+        let target = 0x8000u64;
+        m.access(c0, target, false, 0);
+        // LLC tiny: 16KiB 4-way => 64 sets; aliasing stride 64*64 = 4096.
+        for i in 1..=4u64 {
+            // Fill from core 1 so core 0's private copy stays.
+            m.access(c1, target + i * 4096, false, i * 10);
+        }
+        assert!(!m.llc.contains(target), "target must be evicted from LLC");
+        let a = m.access(c1, target, false, 1000);
+        assert_eq!(a.level, HitLevel::Remote);
+        assert!(a.events.remote_hit);
+    }
+
+    #[test]
+    fn flush_resets_to_cold() {
+        let mut m = sys(2);
+        m.access(CoreId::new(0), 0x100, false, 0);
+        m.flush();
+        let a = m.access(CoreId::new(0), 0x100, false, 10);
+        assert_eq!(a.level, HitLevel::Dram);
+    }
+
+    fn sys_prefetch(depth: u32) -> MemorySystem {
+        let cfg = HierarchyConfig {
+            l2_prefetch_depth: depth,
+            ..HierarchyConfig::tiny()
+        };
+        MemorySystem::new(1, cfg).unwrap()
+    }
+
+    /// Counts L2 misses over a sequential line walk.
+    fn stream_l2_misses(m: &mut MemorySystem, lines: u64) -> u64 {
+        let core = CoreId::new(0);
+        let mut misses = 0;
+        for i in 0..lines {
+            let a = m.access(core, 0x100000 + i * 64, false, i * 100);
+            if a.events.l2_miss {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    #[test]
+    fn prefetcher_cuts_sequential_stream_misses() {
+        let mut off = sys_prefetch(0);
+        let mut on = sys_prefetch(4);
+        let misses_off = stream_l2_misses(&mut off, 40);
+        let misses_on = stream_l2_misses(&mut on, 40);
+        assert_eq!(misses_off, 40, "no prefetch: every new line misses");
+        assert!(
+            misses_on <= misses_off / 3,
+            "prefetch should cut most stream misses: {misses_on}"
+        );
+        let (issued, useful) = on.prefetch_stats();
+        assert!(issued > 0);
+        assert!(useful as f64 / issued as f64 > 0.7, "{useful}/{issued}");
+    }
+
+    #[test]
+    fn prefetcher_is_useless_on_scattered_accesses() {
+        let mut m = sys_prefetch(2);
+        let core = CoreId::new(0);
+        // Far-apart lines: the next-line guesses never get demanded.
+        for i in 0..30u64 {
+            m.access(core, 0x100000 + i * 64 * 97, false, i * 100);
+        }
+        let (issued, useful) = m.prefetch_stats();
+        assert!(issued > 0);
+        assert_eq!(useful, 0);
+    }
+
+    #[test]
+    fn prefetch_preserves_demand_correctness() {
+        // A prefetched line that is later written still invalidates
+        // correctly under coherence.
+        let cfg = HierarchyConfig {
+            l2_prefetch_depth: 1,
+            ..HierarchyConfig::tiny()
+        };
+        let mut m = MemorySystem::new(2, cfg).unwrap();
+        // Core 0 misses line A; line A+64 is prefetched into core 0's L2.
+        m.access(CoreId::new(0), 0x1000, false, 0);
+        // Core 1 writes A+64: must invalidate core 0's prefetched copy.
+        let a = m.access(CoreId::new(1), 0x1040, true, 100);
+        assert_eq!(a.events.invalidations, 1);
+        // Core 0's subsequent read misses privately.
+        let b = m.access(CoreId::new(0), 0x1040, false, 200);
+        assert!(b.events.l2_miss);
+    }
+
+    #[test]
+    fn tlb_miss_charges_page_walk_and_flags_event() {
+        let cfg = HierarchyConfig {
+            tlb: Some(TlbConfig {
+                entries: 2,
+                page_bits: 12,
+                miss_penalty: 25,
+            }),
+            ..HierarchyConfig::tiny()
+        };
+        let mut m = MemorySystem::new(1, cfg).unwrap();
+        let core = CoreId::new(0);
+        // Cold: TLB miss + full cache miss.
+        let a = m.access(core, 0x1000, false, 0);
+        assert!(a.events.tlb_miss);
+        assert_eq!(a.latency, 50 + 10 + 25, "dram + llc + page walk");
+        // Same page, same line: TLB hit, L1 hit.
+        let b = m.access(core, 0x1000, false, 100);
+        assert!(!b.events.tlb_miss);
+        assert_eq!(b.latency, 1);
+        // Touch two more pages to evict the first translation (2 entries);
+        // offsets chosen to land in different L1 sets so the *line* at
+        // 0x1000 stays cached.
+        m.access(core, 0x2040, false, 200);
+        m.access(core, 0x3080, false, 300);
+        let c = m.access(core, 0x1000, false, 400);
+        assert!(c.events.tlb_miss, "translation evicted by LRU");
+        // But the line itself still hits L1: only the walk is charged.
+        assert_eq!(c.latency, 1 + 25);
+    }
+
+    #[test]
+    fn tlb_disabled_by_default() {
+        let mut m = sys(1);
+        let a = m.access(CoreId::new(0), 0x1000, false, 0);
+        assert!(!a.events.tlb_miss);
+    }
+
+    #[test]
+    fn core_count_bounds() {
+        assert!(MemorySystem::new(0, HierarchyConfig::tiny()).is_err());
+        assert!(MemorySystem::new(65, HierarchyConfig::tiny()).is_err());
+        assert!(MemorySystem::new(64, HierarchyConfig::tiny()).is_ok());
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(HierarchyConfig::default().validate().is_ok());
+        let bad = HierarchyConfig {
+            l1: CacheConfig::kib(512, 8),
+            ..HierarchyConfig::default()
+        };
+        assert!(bad.validate().is_err(), "L1 larger than L2 rejected");
+    }
+}

@@ -1,0 +1,38 @@
+//! Memory-hierarchy model.
+//!
+//! The reproduction's case studies (MySQL, Firefox, Apache) need cache-miss
+//! and coherence event streams that *respond to the workload* — working-set
+//! size, sharing, and access pattern — the way real counters do. This crate
+//! provides:
+//!
+//! * [`cache`]: a single set-associative, LRU cache array,
+//! * [`hierarchy`]: per-core L1/L2 (inclusive) plus a shared LLC and a
+//!   directory-style invalidation protocol, the unit the CPU model calls
+//!   into on every guest load/store,
+//! * [`dram`]: a fixed-latency + bank-conflict main-memory model,
+//! * [`addr`]: deterministic address-stream generators (sequential, strided,
+//!   uniform and Zipf working sets) used by the synthetic workloads.
+//!
+//! Latencies are returned in cycles and event counts in [`MemEvents`]; the
+//! CPU model charges the latency to the executing core and feeds the events
+//! to that core's PMU.
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod tlb;
+
+pub use addr::AddrStream;
+pub use cache::{Cache, CacheConfig};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{HierarchyConfig, HitLevel, MemAccess, MemEvents, MemorySystem};
+pub use tlb::{Tlb, TlbConfig};
+
+/// Cache-line size in bytes used throughout the model.
+pub const LINE_BYTES: u64 = 64;
+
+/// Returns the line-aligned address containing `addr`.
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}

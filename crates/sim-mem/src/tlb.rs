@@ -1,0 +1,195 @@
+//! A per-core data TLB model.
+//!
+//! Fully-associative, LRU, over fixed-size pages. Off by default
+//! ([`crate::HierarchyConfig::tlb`] is `None`); when enabled, every data
+//! access consults the core's TLB first and a miss charges a page-walk
+//! penalty and raises a countable event — giving workloads with large
+//! sparse working sets (the buffer pool, the GC heap) a second
+//! reach-limited resource besides the caches.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{SimError, SimResult};
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Page size as a power of two (bits); 12 = 4 KiB pages.
+    pub page_bits: u32,
+    /// Page-walk penalty in cycles on a miss.
+    pub miss_penalty: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bits: 12,
+            miss_penalty: 30,
+        }
+    }
+}
+
+impl TlbConfig {
+    /// Validates geometry.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.entries == 0 || self.entries > 4096 {
+            return Err(SimError::Config(format!(
+                "TLB entries must be 1..=4096, got {}",
+                self.entries
+            )));
+        }
+        if !(6..=30).contains(&self.page_bits) {
+            return Err(SimError::Config(format!(
+                "page_bits must be 6..=30, got {}",
+                self.page_bits
+            )));
+        }
+        Ok(())
+    }
+
+    /// Bytes of address space the TLB can map ("TLB reach").
+    pub fn reach_bytes(&self) -> u64 {
+        self.entries as u64 * (1u64 << self.page_bits)
+    }
+}
+
+/// One core's TLB: fully-associative LRU over page numbers.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// Page numbers ordered most-recent first.
+    pages: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB from a validated config.
+    pub fn new(config: TlbConfig) -> SimResult<Self> {
+        config.validate()?;
+        Ok(Tlb {
+            pages: Vec::with_capacity(config.entries),
+            config,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Looks up the page containing `addr`, filling on miss. Returns
+    /// whether the translation hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.config.page_bits;
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(pos);
+            self.pages.insert(0, page);
+            self.hits += 1;
+            true
+        } else {
+            self.pages.insert(0, page);
+            self.pages.truncate(self.config.entries);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Drops every translation.
+    pub fn flush(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 4,
+            page_bits: 12,
+            miss_penalty: 30,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_bounds() {
+        assert!(TlbConfig::default().validate().is_ok());
+        assert!(TlbConfig {
+            entries: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TlbConfig {
+            page_bits: 40,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn reach_is_entries_times_page() {
+        assert_eq!(TlbConfig::default().reach_bytes(), 64 * 4096);
+    }
+
+    #[test]
+    fn same_page_hits_after_fill() {
+        let mut t = tiny();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FF8), "same 4K page");
+        assert!(!t.access(0x2000), "next page misses");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_translation() {
+        let mut t = tiny();
+        for p in 0..4u64 {
+            t.access(p << 12);
+        }
+        t.access(0); // page 0 most recent
+        t.access(4 << 12); // evicts page 1
+        assert!(t.access(0), "page 0 retained");
+        assert!(!t.access(1 << 12), "page 1 evicted");
+    }
+
+    #[test]
+    fn working_set_beyond_reach_thrashes() {
+        let mut t = tiny(); // reach = 16 KiB
+        for round in 0..3 {
+            for p in 0..8u64 {
+                let hit = t.access(p << 12);
+                if round > 0 {
+                    assert!(!hit, "cyclic sweep over 2x reach always misses");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flush_forgets_translations() {
+        let mut t = tiny();
+        t.access(0x1000);
+        t.flush();
+        assert!(!t.access(0x1000));
+    }
+}

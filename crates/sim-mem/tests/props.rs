@@ -1,0 +1,128 @@
+//! Property-based tests for the cache model: the set-associative LRU array
+//! must agree with a brute-force reference model on arbitrary access
+//! traces, and hierarchy invariants must hold under random workloads.
+
+use proptest::prelude::*;
+use sim_core::{CoreId, DetRng};
+use sim_mem::{Cache, CacheConfig, HierarchyConfig, MemorySystem};
+use std::collections::HashMap;
+
+/// A brute-force reference cache: per-set vectors ordered by recency.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // most-recent first
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        ((line / 64) % self.sets.len() as u64) as usize
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr & !63;
+        let set = self.set_of(line);
+        let v = &mut self.sets[set];
+        if let Some(pos) = v.iter().position(|&l| l == line) {
+            v.remove(pos);
+            v.insert(0, line);
+            true
+        } else {
+            v.insert(0, line);
+            v.truncate(self.ways);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The production cache and the reference model agree on every
+    /// hit/miss over arbitrary traces.
+    #[test]
+    fn cache_matches_reference_model(
+        trace in prop::collection::vec(0u64..(1 << 14), 1..400),
+        ways in 1usize..5,
+        sets_log in 1u32..5,
+    ) {
+        let sets = 1usize << sets_log;
+        let config = CacheConfig {
+            size_bytes: (sets * ways * 64) as u64,
+            ways,
+        };
+        let mut cache = Cache::new(config).unwrap();
+        let mut reference = RefCache::new(sets, ways);
+        for &a in &trace {
+            let addr = a * 8; // 8-byte-aligned addresses
+            let got = cache.access(addr, false).hit;
+            let want = reference.access(addr);
+            prop_assert_eq!(got, want, "divergence at addr {:#x}", addr);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), trace.len() as u64);
+        prop_assert!(cache.occupancy() <= sets * ways);
+    }
+
+    /// Hierarchy sanity under random multicore traffic: event flags are
+    /// consistent (an L2 miss implies an L1 miss; an LLC miss implies
+    /// both) and latency is bounded below by the L1 latency.
+    #[test]
+    fn hierarchy_event_flags_are_consistent(
+        seed in any::<u64>(),
+        accesses in 50usize..400,
+        cores in 1usize..4,
+    ) {
+        let cfg = HierarchyConfig::tiny();
+        let mut m = MemorySystem::new(cores, cfg).unwrap();
+        let mut rng = DetRng::new(seed);
+        for i in 0..accesses {
+            let core = CoreId::new(rng.below(cores as u64) as u32);
+            let addr = rng.below(1 << 14) * 8;
+            let write = rng.chance(0.3);
+            let a = m.access(core, addr, write, i as u64 * 10);
+            if a.events.l2_miss {
+                prop_assert!(a.events.l1_miss, "L2 miss without L1 miss");
+            }
+            if a.events.llc_miss {
+                prop_assert!(a.events.l1_miss && a.events.l2_miss);
+            }
+            prop_assert!(a.latency >= cfg.l1_latency);
+            if !write {
+                prop_assert_eq!(a.events.invalidations, 0, "reads never invalidate");
+            }
+        }
+    }
+
+    /// Coherence: after a write by one core, every other former sharer
+    /// misses privately on its next access — no stale private hits.
+    #[test]
+    fn writes_invalidate_all_sharers(
+        seed in any::<u64>(),
+        rounds in 5usize..40,
+    ) {
+        let cores = 4;
+        let mut m = MemorySystem::new(cores, HierarchyConfig::tiny()).unwrap();
+        let mut rng = DetRng::new(seed);
+        let line = 0x9000u64;
+        let mut now = 0u64;
+        // Track which cores hold the line privately (model).
+        let mut holders: HashMap<usize, ()> = HashMap::new();
+        for _ in 0..rounds {
+            let c = rng.below(cores as u64) as usize;
+            let write = rng.chance(0.5);
+            now += 100;
+            let a = m.access(CoreId::new(c as u32), line, write, now);
+            if write {
+                let expected_inv = holders.keys().filter(|&&h| h != c).count() as u32;
+                prop_assert_eq!(a.events.invalidations, expected_inv);
+                holders.clear();
+            }
+            holders.insert(c, ());
+        }
+    }
+}

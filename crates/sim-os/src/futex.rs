@@ -1,0 +1,115 @@
+//! Futex wait queues: the kernel half of guest blocking locks.
+//!
+//! Guest mutexes are built the way glibc builds them: a userspace atomic
+//! fast path (`Xchg` on the lock word) and `futex_wait`/`futex_wake`
+//! syscalls on contention. The kernel side here is just address-keyed wait
+//! queues with FIFO wakeup.
+
+use sim_core::ThreadId;
+use std::collections::{HashMap, VecDeque};
+
+/// Address-keyed FIFO wait queues.
+#[derive(Debug, Default)]
+pub struct FutexTable {
+    waiters: HashMap<u64, VecDeque<ThreadId>>,
+    total_waits: u64,
+    total_wakes: u64,
+}
+
+impl FutexTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FutexTable::default()
+    }
+
+    /// Enqueues `tid` on the futex word at `addr`.
+    pub fn wait(&mut self, addr: u64, tid: ThreadId) {
+        self.waiters.entry(addr).or_default().push_back(tid);
+        self.total_waits += 1;
+    }
+
+    /// Dequeues up to `n` waiters from `addr`, FIFO order.
+    pub fn wake(&mut self, addr: u64, n: u64) -> Vec<ThreadId> {
+        let mut woken = Vec::new();
+        if let Some(q) = self.waiters.get_mut(&addr) {
+            while woken.len() < n as usize {
+                match q.pop_front() {
+                    Some(t) => woken.push(t),
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.waiters.remove(&addr);
+            }
+        }
+        self.total_wakes += woken.len() as u64;
+        woken
+    }
+
+    /// Removes a thread from whatever queue holds it (used when a blocked
+    /// thread must be torn down).
+    pub fn cancel(&mut self, tid: ThreadId) -> bool {
+        let mut found = false;
+        self.waiters.retain(|_, q| {
+            if let Some(pos) = q.iter().position(|&t| t == tid) {
+                q.remove(pos);
+                found = true;
+            }
+            !q.is_empty()
+        });
+        found
+    }
+
+    /// Number of threads currently waiting across all addresses.
+    pub fn waiting(&self) -> usize {
+        self.waiters.values().map(|q| q.len()).sum()
+    }
+
+    /// Lifetime (waits, wakes) counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.total_waits, self.total_wakes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_wake_order() {
+        let mut f = FutexTable::new();
+        f.wait(0x100, ThreadId::new(1));
+        f.wait(0x100, ThreadId::new(2));
+        f.wait(0x100, ThreadId::new(3));
+        assert_eq!(f.wake(0x100, 2), vec![ThreadId::new(1), ThreadId::new(2)]);
+        assert_eq!(f.wake(0x100, 5), vec![ThreadId::new(3)]);
+        assert_eq!(f.wake(0x100, 1), Vec::<ThreadId>::new());
+    }
+
+    #[test]
+    fn addresses_are_independent() {
+        let mut f = FutexTable::new();
+        f.wait(0x100, ThreadId::new(1));
+        f.wait(0x200, ThreadId::new(2));
+        assert_eq!(f.wake(0x200, 10), vec![ThreadId::new(2)]);
+        assert_eq!(f.waiting(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_a_waiter() {
+        let mut f = FutexTable::new();
+        f.wait(0x100, ThreadId::new(1));
+        f.wait(0x100, ThreadId::new(2));
+        assert!(f.cancel(ThreadId::new(1)));
+        assert!(!f.cancel(ThreadId::new(9)));
+        assert_eq!(f.wake(0x100, 10), vec![ThreadId::new(2)]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = FutexTable::new();
+        f.wait(0x100, ThreadId::new(1));
+        f.wake(0x100, 1);
+        assert_eq!(f.stats(), (1, 1));
+    }
+}

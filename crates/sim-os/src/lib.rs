@@ -1,0 +1,35 @@
+//! The simulated operating system kernel.
+//!
+//! This crate is the software half of the substrate: it owns the
+//! [`sim_cpu::Machine`] and drives it instruction by instruction, supplying
+//! everything the paper's mechanisms need from an OS:
+//!
+//! * kernel threads with a preemptive, migrating scheduler ([`sched`],
+//!   [`thread`]) — preemption lands *between guest instructions*, so the
+//!   LiMiT read race is real,
+//! * futex-style blocking synchronization ([`futex`]) that guest spinlocks
+//!   and mutexes are built on,
+//! * a syscall layer ([`syscall`]) with realistic entry/exit costs,
+//! * a `perf_event`-flavoured counter subsystem ([`perf`]) — the paper's
+//!   *baseline*: counting reads via syscall, and PMI-driven sampling,
+//! * the **LiMiT kernel extension** ([`limitmod`]): per-thread counter
+//!   virtualization into user-memory accumulators, overflow fold-in, and
+//!   the kernel-assisted restartable-sequence fix-up that makes the
+//!   multi-instruction userspace read sequence atomic-by-retry,
+//! * the run loop itself ([`kernel`]).
+
+pub mod futex;
+pub mod kernel;
+pub mod limitmod;
+pub mod perf;
+pub mod sched;
+pub mod stat;
+pub mod syscall;
+pub mod thread;
+
+pub use kernel::{Kernel, KernelConfig, RunReport};
+pub use limitmod::LimitMod;
+pub use perf::{PerfFd, PerfSubsystem, Sample};
+pub use stat::{ThreadStatRow, ThreadStats};
+pub use syscall::Sys;
+pub use thread::{Thread, ThreadState, VCounter};

@@ -1,0 +1,158 @@
+//! The LiMiT kernel extension.
+//!
+//! Three responsibilities, mirroring the paper's kernel patch:
+//!
+//! 1. **Userspace read enablement** — while a LiMiT-using thread is
+//!    installed, the core's user-`rdpmc` gate is open (the kernel analogue
+//!    of setting CR4.PCE).
+//! 2. **Virtualization** — per-thread 64-bit counter values live as
+//!    accumulators *in user memory*. On context-switch-out the kernel folds
+//!    the live hardware counter into the outgoing thread's accumulator and
+//!    zeroes the counter; on overflow the PMI handler folds in the wrap
+//!    modulus. Userspace therefore reads `load accumulator; rdpmc; add` —
+//!    no syscall.
+//! 3. **Restartable-sequence fix-up** — the read sequence above is racy:
+//!    a fold between the accumulator load and the `rdpmc` makes the sum
+//!    wrong (the folded amount is either double-counted or lost). The
+//!    kernel knows the PC range of the read routine; whenever it disturbs
+//!    the accumulator/counter pair (fold on switch or PMI) and the
+//!    interrupted PC lies inside a registered range, it rewinds the PC to
+//!    the range start so the sequence re-executes from scratch. The
+//!    `fixup_enabled` switch exists for experiment E4's ablation: turning
+//!    it off makes the race observable.
+
+/// LiMiT kernel-extension state.
+#[derive(Debug, Clone)]
+pub struct LimitMod {
+    /// Whether the restartable-sequence fix-up is active (ablation knob).
+    pub fixup_enabled: bool,
+    ranges: Vec<(u32, u32)>,
+    /// Folds performed (switch-out + overflow).
+    pub folds: u64,
+    /// PC rewinds performed.
+    pub fixups: u64,
+    /// Reads observed to be in-flight during a disturbance while the
+    /// fix-up was *disabled* (each is a potentially corrupted read).
+    pub unfixed_races: u64,
+}
+
+impl LimitMod {
+    /// A fresh extension with the fix-up on.
+    pub fn new(fixup_enabled: bool) -> Self {
+        LimitMod {
+            fixup_enabled,
+            ranges: Vec::new(),
+            folds: 0,
+            fixups: 0,
+            unfixed_races: 0,
+        }
+    }
+
+    /// Registers a restartable read-sequence PC range `[start, end)`.
+    pub fn register_range(&mut self, start: u32, end: u32) {
+        if start < end && !self.ranges.contains(&(start, end)) {
+            self.ranges.push((start, end));
+        }
+    }
+
+    /// Registered ranges.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// If `pc` lies strictly inside a registered sequence (past its first
+    /// instruction), returns the sequence start.
+    ///
+    /// A thread stopped exactly *at* the first instruction has not read
+    /// anything yet, so no rewind is needed.
+    pub fn rewind_target(&self, pc: u32) -> Option<u32> {
+        self.ranges
+            .iter()
+            .find(|&&(s, e)| pc > s && pc < e)
+            .map(|&(s, _)| s)
+    }
+
+    /// Applies the fix-up to an interrupted PC after a fold. Returns the
+    /// new PC. Accounting: increments `fixups` when a rewind happens, or
+    /// `unfixed_races` when one *would have* happened but the fix-up is
+    /// disabled.
+    pub fn fixup_pc(&mut self, pc: u32) -> u32 {
+        match self.rewind_target(pc) {
+            Some(start) if self.fixup_enabled => {
+                self.fixups += 1;
+                start
+            }
+            Some(_) => {
+                self.unfixed_races += 1;
+                pc
+            }
+            None => pc,
+        }
+    }
+}
+
+impl Default for LimitMod {
+    fn default() -> Self {
+        LimitMod::new(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewind_only_strictly_inside() {
+        let mut m = LimitMod::new(true);
+        m.register_range(10, 15);
+        assert_eq!(m.rewind_target(9), None);
+        assert_eq!(m.rewind_target(10), None, "at start: nothing read yet");
+        assert_eq!(m.rewind_target(11), Some(10));
+        assert_eq!(m.rewind_target(14), Some(10));
+        assert_eq!(m.rewind_target(15), None, "end is exclusive");
+    }
+
+    #[test]
+    fn fixup_rewinds_when_enabled() {
+        let mut m = LimitMod::new(true);
+        m.register_range(10, 15);
+        assert_eq!(m.fixup_pc(12), 10);
+        assert_eq!(m.fixups, 1);
+        assert_eq!(m.unfixed_races, 0);
+    }
+
+    #[test]
+    fn fixup_counts_races_when_disabled() {
+        let mut m = LimitMod::new(false);
+        m.register_range(10, 15);
+        assert_eq!(m.fixup_pc(12), 12, "no rewind");
+        assert_eq!(m.fixups, 0);
+        assert_eq!(m.unfixed_races, 1);
+    }
+
+    #[test]
+    fn pc_outside_ranges_untouched() {
+        let mut m = LimitMod::new(true);
+        m.register_range(10, 15);
+        assert_eq!(m.fixup_pc(100), 100);
+        assert_eq!(m.fixups, 0);
+    }
+
+    #[test]
+    fn duplicate_and_empty_ranges_ignored() {
+        let mut m = LimitMod::new(true);
+        m.register_range(10, 15);
+        m.register_range(10, 15);
+        m.register_range(20, 20);
+        assert_eq!(m.ranges().len(), 1);
+    }
+
+    #[test]
+    fn multiple_ranges_resolve_independently() {
+        let mut m = LimitMod::new(true);
+        m.register_range(10, 15);
+        m.register_range(30, 40);
+        assert_eq!(m.rewind_target(35), Some(30));
+        assert_eq!(m.rewind_target(12), Some(10));
+    }
+}

@@ -1,0 +1,177 @@
+//! The `perf_event`-flavoured kernel counter subsystem — the baseline the
+//! paper measures LiMiT against.
+//!
+//! Two modes, as in Linux:
+//!
+//! * **counting**: the fd accumulates a 64-bit event count, virtualized by
+//!   the kernel across context switches; userspace reads it with the
+//!   `perf_read` *syscall*, paying the full kernel round-trip every time —
+//!   the cost LiMiT eliminates.
+//! * **sampling**: the hardware counter is armed to overflow every `period`
+//!   events; each overflow PMI records a sample (tid, user PC, core,
+//!   cycle). Post-processing attributes samples to code regions — the
+//!   imprecise statistical method experiment E5 quantifies.
+//!
+//! Only self-monitoring is supported (the common usage in the paper's case
+//! studies): a thread opens fds on itself.
+
+use sim_core::{CoreId, SimError, SimResult, ThreadId};
+use sim_cpu::EventKind;
+
+/// One recorded sampling hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Thread that was running.
+    pub tid: ThreadId,
+    /// User PC at the overflow interrupt.
+    pub pc: u32,
+    /// Core the PMI fired on.
+    pub core: CoreId,
+    /// The core's cycle clock at the interrupt.
+    pub cycle: u64,
+}
+
+/// A perf file descriptor.
+#[derive(Debug, Clone)]
+pub struct PerfFd {
+    /// Owning (and monitored) thread.
+    pub owner: ThreadId,
+    /// Counted event.
+    pub event: EventKind,
+    /// Whether the fd is currently counting.
+    pub enabled: bool,
+    /// `Some(period)` for sampling mode.
+    pub sampling_period: Option<u64>,
+    /// Kernel-side 64-bit accumulator (counting mode virtualization).
+    pub accum: u64,
+    /// Recorded samples (sampling mode).
+    pub samples: Vec<Sample>,
+    /// Hardware slot index on the owner thread.
+    pub vslot: u8,
+}
+
+/// The fd table.
+#[derive(Debug, Default)]
+pub struct PerfSubsystem {
+    fds: Vec<Option<PerfFd>>,
+}
+
+impl PerfSubsystem {
+    /// An empty subsystem.
+    pub fn new() -> Self {
+        PerfSubsystem::default()
+    }
+
+    /// Allocates an fd.
+    pub fn open(&mut self, fd: PerfFd) -> u32 {
+        if let Some(i) = self.fds.iter().position(|f| f.is_none()) {
+            self.fds[i] = Some(fd);
+            i as u32
+        } else {
+            self.fds.push(Some(fd));
+            (self.fds.len() - 1) as u32
+        }
+    }
+
+    /// Looks up an fd.
+    pub fn get(&self, fd: u32) -> SimResult<&PerfFd> {
+        self.fds
+            .get(fd as usize)
+            .and_then(|f| f.as_ref())
+            .ok_or_else(|| SimError::Syscall(format!("bad perf fd {fd}")))
+    }
+
+    /// Looks up an fd mutably.
+    pub fn get_mut(&mut self, fd: u32) -> SimResult<&mut PerfFd> {
+        self.fds
+            .get_mut(fd as usize)
+            .and_then(|f| f.as_mut())
+            .ok_or_else(|| SimError::Syscall(format!("bad perf fd {fd}")))
+    }
+
+    /// Closes an fd, returning its final state.
+    pub fn close(&mut self, fd: u32) -> SimResult<PerfFd> {
+        self.fds
+            .get_mut(fd as usize)
+            .and_then(|f| f.take())
+            .ok_or_else(|| SimError::Syscall(format!("bad perf fd {fd}")))
+    }
+
+    /// Iterates over all live fds.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &PerfFd)> {
+        self.fds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (i as u32, f)))
+    }
+
+    /// Collects all samples across fds (post-run extraction).
+    pub fn all_samples(&self) -> Vec<Sample> {
+        let mut out: Vec<Sample> = self
+            .iter()
+            .flat_map(|(_, f)| f.samples.iter().copied())
+            .collect();
+        out.sort_by_key(|s| s.cycle);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(owner: u32) -> PerfFd {
+        PerfFd {
+            owner: ThreadId::new(owner),
+            event: EventKind::Cycles,
+            enabled: true,
+            sampling_period: None,
+            accum: 0,
+            samples: Vec::new(),
+            vslot: 0,
+        }
+    }
+
+    #[test]
+    fn open_get_close_round_trip() {
+        let mut p = PerfSubsystem::new();
+        let a = p.open(fd(1));
+        let b = p.open(fd(2));
+        assert_ne!(a, b);
+        assert_eq!(p.get(a).unwrap().owner, ThreadId::new(1));
+        let closed = p.close(a).unwrap();
+        assert_eq!(closed.owner, ThreadId::new(1));
+        assert!(p.get(a).is_err());
+        // Slot is reused.
+        let c = p.open(fd(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn bad_fd_is_syscall_error() {
+        let p = PerfSubsystem::new();
+        assert_eq!(p.get(0).unwrap_err().category(), "syscall");
+    }
+
+    #[test]
+    fn all_samples_sorted_by_cycle() {
+        let mut p = PerfSubsystem::new();
+        let a = p.open(fd(1));
+        let b = p.open(fd(2));
+        p.get_mut(a).unwrap().samples.push(Sample {
+            tid: ThreadId::new(1),
+            pc: 5,
+            core: CoreId::new(0),
+            cycle: 100,
+        });
+        p.get_mut(b).unwrap().samples.push(Sample {
+            tid: ThreadId::new(2),
+            pc: 9,
+            core: CoreId::new(1),
+            cycle: 50,
+        });
+        let all = p.all_samples();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].cycle <= all[1].cycle);
+    }
+}

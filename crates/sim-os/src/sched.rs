@@ -1,0 +1,159 @@
+//! The scheduler: a global FIFO run queue with per-core timeslices.
+//!
+//! Deliberately simple (round-robin, work-conserving, migration allowed
+//! unless a thread is pinned) — the paper's mechanisms care that context
+//! switches and migrations *happen*, with realistic frequency, not about
+//! CFS-grade placement policy. The quantum defaults to 1 ms of guest time.
+
+use crate::thread::Thread;
+use sim_core::{CoreId, ThreadId};
+use std::collections::VecDeque;
+
+/// Scheduler state and accounting.
+#[derive(Debug)]
+pub struct Scheduler {
+    ready: VecDeque<ThreadId>,
+    slice_end: Vec<u64>,
+    quantum: u64,
+    /// Total switch-ins.
+    pub switches: u64,
+    /// Involuntary preemptions (quantum expiry).
+    pub preemptions: u64,
+    /// Switch-ins on a different core than the thread last used.
+    pub migrations: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `cores` cores with the given quantum.
+    pub fn new(cores: usize, quantum: u64) -> Self {
+        Scheduler {
+            ready: VecDeque::new(),
+            slice_end: vec![0; cores],
+            quantum,
+            switches: 0,
+            preemptions: 0,
+            migrations: 0,
+        }
+    }
+
+    /// The timeslice length in cycles.
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Adds a thread to the back of the run queue.
+    pub fn enqueue(&mut self, tid: ThreadId) {
+        debug_assert!(
+            !self.ready.contains(&tid),
+            "thread {tid} enqueued while already ready"
+        );
+        self.ready.push_back(tid);
+    }
+
+    /// Number of ready threads.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Picks the next thread eligible to run on `core`: among queued
+    /// threads whose affinity allows the core, the highest-priority one
+    /// (FIFO within a priority level).
+    pub fn pick(&mut self, core: CoreId, threads: &[Thread]) -> Option<ThreadId> {
+        let mut best: Option<(usize, u8)> = None;
+        for (pos, &tid) in self.ready.iter().enumerate() {
+            let t = &threads[tid.index()];
+            let eligible = match t.affinity {
+                None => true,
+                Some(a) => a == core,
+            };
+            if !eligible {
+                continue;
+            }
+            match best {
+                Some((_, bp)) if bp >= t.priority => {}
+                _ => best = Some((pos, t.priority)),
+            }
+        }
+        let (pos, _) = best?;
+        self.ready.remove(pos)
+    }
+
+    /// Starts a fresh timeslice on `core` at time `now`.
+    pub fn start_slice(&mut self, core: CoreId, now: u64) {
+        self.slice_end[core.index()] = now + self.quantum;
+        self.switches += 1;
+    }
+
+    /// Whether `core`'s timeslice has expired at time `now`.
+    pub fn slice_expired(&self, core: CoreId, now: u64) -> bool {
+        now >= self.slice_end[core.index()]
+    }
+
+    /// Records an involuntary preemption.
+    pub fn note_preemption(&mut self) {
+        self.preemptions += 1;
+    }
+
+    /// Records a cross-core migration.
+    pub fn note_migration(&mut self) {
+        self.migrations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::Thread;
+
+    fn mk_threads(n: usize) -> Vec<Thread> {
+        (0..n)
+            .map(|i| Thread::new(ThreadId::new(i as u32), 0, 4))
+            .collect()
+    }
+
+    #[test]
+    fn fifo_pick_order() {
+        let threads = mk_threads(3);
+        let mut s = Scheduler::new(2, 1000);
+        s.enqueue(ThreadId::new(0));
+        s.enqueue(ThreadId::new(1));
+        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(0)));
+        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(0), &threads), None);
+    }
+
+    #[test]
+    fn affinity_is_respected() {
+        let mut threads = mk_threads(2);
+        threads[0].affinity = Some(CoreId::new(1));
+        let mut s = Scheduler::new(2, 1000);
+        s.enqueue(ThreadId::new(0));
+        s.enqueue(ThreadId::new(1));
+        // Core 0 must skip the pinned thread and take thread 1.
+        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(1), &threads), Some(ThreadId::new(0)));
+    }
+
+    #[test]
+    fn higher_priority_wins_the_queue() {
+        let mut threads = mk_threads(3);
+        threads[2].priority = 5;
+        let mut s = Scheduler::new(1, 1000);
+        s.enqueue(ThreadId::new(0));
+        s.enqueue(ThreadId::new(1));
+        s.enqueue(ThreadId::new(2));
+        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(2)));
+        // FIFO among equals.
+        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(0)));
+        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(1)));
+    }
+
+    #[test]
+    fn slice_expiry() {
+        let mut s = Scheduler::new(1, 1000);
+        s.start_slice(CoreId::new(0), 500);
+        assert!(!s.slice_expired(CoreId::new(0), 1499));
+        assert!(s.slice_expired(CoreId::new(0), 1500));
+        assert_eq!(s.switches, 1);
+    }
+}

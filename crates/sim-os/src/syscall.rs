@@ -1,0 +1,263 @@
+//! Syscall numbers and argument decoding.
+//!
+//! The ABI: the syscall number is immediate in the `Syscall` instruction,
+//! arguments travel in `r0..r5`, and the result returns in `r0`. Errors
+//! return [`SYS_ERR`] (`u64::MAX`), mirroring the `-1` convention.
+
+use sim_cpu::regs::Context;
+use sim_cpu::{EventKind, Reg};
+
+/// The error return value (`-1`).
+pub const SYS_ERR: u64 = u64::MAX;
+
+/// Decoded syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Sys {
+    /// Terminate the calling thread.
+    Exit,
+    /// Yield the core.
+    Yield,
+    /// Sleep for `r0` cycles.
+    Nanosleep {
+        /// Sleep duration in cycles.
+        cycles: u64,
+    },
+    /// Block if the word at `r0` still equals `r1`.
+    FutexWait {
+        /// Futex word address.
+        addr: u64,
+        /// Expected value.
+        expected: u64,
+    },
+    /// Wake up to `r1` waiters of the word at `r0`.
+    FutexWake {
+        /// Futex word address.
+        addr: u64,
+        /// Maximum waiters to wake.
+        count: u64,
+    },
+    /// Return the calling thread's id.
+    Gettid,
+    /// Open a perf fd on the calling thread: event `r0`, sampling period
+    /// `r1` (0 = counting mode).
+    PerfOpen {
+        /// Event index into [`EventKind::ALL`].
+        event: u64,
+        /// Sampling period; 0 selects counting mode.
+        period: u64,
+    },
+    /// Read the 64-bit virtualized count of fd `r0`.
+    PerfRead {
+        /// The fd.
+        fd: u64,
+    },
+    /// Enable fd `r0`.
+    PerfEnable {
+        /// The fd.
+        fd: u64,
+    },
+    /// Disable fd `r0`.
+    PerfDisable {
+        /// The fd.
+        fd: u64,
+    },
+    /// Close fd `r0`.
+    PerfClose {
+        /// The fd.
+        fd: u64,
+    },
+    /// Attach a LiMiT counter: slot `r0`, event `r1`, user accumulator
+    /// address `r2`, optional tag filter `r3` (0 = none; requires the
+    /// tag-filter hardware extension).
+    LimitOpen {
+        /// Hardware counter slot.
+        slot: u64,
+        /// Event index into [`EventKind::ALL`].
+        event: u64,
+        /// Guest address of the 64-bit accumulator (8-byte aligned).
+        accum_addr: u64,
+        /// Tag filter; 0 disables filtering.
+        tag: u64,
+    },
+    /// Detach the LiMiT counter in slot `r0`.
+    LimitClose {
+        /// Hardware counter slot.
+        slot: u64,
+    },
+    /// Register the restartable read-sequence PC range `[r0, r1)`.
+    LimitSetRestartRange {
+        /// Range start PC.
+        start: u64,
+        /// Range end PC (exclusive).
+        end: u64,
+    },
+    /// Append `r0` to the kernel debug log.
+    LogValue {
+        /// The logged value.
+        value: u64,
+    },
+    /// Register a fold-sequence word at guest address `r0`: the kernel
+    /// increments it on every virtualization fold affecting the calling
+    /// thread (seqlock-style read protocols). `r0 = 0` unregisters.
+    LimitSetSeq {
+        /// Guest address of the sequence word (8-byte aligned), or 0.
+        addr: u64,
+    },
+    /// Create a new thread starting at PC `r0`; the child receives `r1`
+    /// and `r2` in its `r0` and `r1`. Returns the child's tid.
+    Spawn {
+        /// Entry PC for the child.
+        entry: u64,
+        /// Child's first argument (its `r0`).
+        arg0: u64,
+        /// Child's second argument (its `r1`).
+        arg1: u64,
+    },
+}
+
+/// Syscall numbers (the immediate of the `Syscall` instruction).
+pub mod nr {
+    /// `Exit`
+    pub const EXIT: u64 = 0;
+    /// `Yield`
+    pub const YIELD: u64 = 1;
+    /// `Nanosleep`
+    pub const NANOSLEEP: u64 = 2;
+    /// `FutexWait`
+    pub const FUTEX_WAIT: u64 = 3;
+    /// `FutexWake`
+    pub const FUTEX_WAKE: u64 = 4;
+    /// `Gettid`
+    pub const GETTID: u64 = 5;
+    /// `PerfOpen`
+    pub const PERF_OPEN: u64 = 6;
+    /// `PerfRead`
+    pub const PERF_READ: u64 = 7;
+    /// `PerfEnable`
+    pub const PERF_ENABLE: u64 = 8;
+    /// `PerfDisable`
+    pub const PERF_DISABLE: u64 = 9;
+    /// `PerfClose`
+    pub const PERF_CLOSE: u64 = 10;
+    /// `LimitOpen`
+    pub const LIMIT_OPEN: u64 = 11;
+    /// `LimitClose`
+    pub const LIMIT_CLOSE: u64 = 12;
+    /// `LimitSetRestartRange`
+    pub const LIMIT_SET_RESTART_RANGE: u64 = 13;
+    /// `LogValue`
+    pub const LOG_VALUE: u64 = 14;
+    /// `LimitSetSeq`
+    pub const LIMIT_SET_SEQ: u64 = 15;
+    /// `Spawn`
+    pub const SPAWN: u64 = 16;
+}
+
+impl Sys {
+    /// Decodes a syscall from its number and the caller's registers.
+    /// Returns `None` for unknown numbers.
+    pub fn decode(number: u64, ctx: &Context) -> Option<Sys> {
+        let a = |r: Reg| ctx.get(r);
+        Some(match number {
+            nr::EXIT => Sys::Exit,
+            nr::YIELD => Sys::Yield,
+            nr::NANOSLEEP => Sys::Nanosleep { cycles: a(Reg::R0) },
+            nr::FUTEX_WAIT => Sys::FutexWait {
+                addr: a(Reg::R0),
+                expected: a(Reg::R1),
+            },
+            nr::FUTEX_WAKE => Sys::FutexWake {
+                addr: a(Reg::R0),
+                count: a(Reg::R1),
+            },
+            nr::GETTID => Sys::Gettid,
+            nr::PERF_OPEN => Sys::PerfOpen {
+                event: a(Reg::R0),
+                period: a(Reg::R1),
+            },
+            nr::PERF_READ => Sys::PerfRead { fd: a(Reg::R0) },
+            nr::PERF_ENABLE => Sys::PerfEnable { fd: a(Reg::R0) },
+            nr::PERF_DISABLE => Sys::PerfDisable { fd: a(Reg::R0) },
+            nr::PERF_CLOSE => Sys::PerfClose { fd: a(Reg::R0) },
+            nr::LIMIT_OPEN => Sys::LimitOpen {
+                slot: a(Reg::R0),
+                event: a(Reg::R1),
+                accum_addr: a(Reg::R2),
+                tag: a(Reg::R3),
+            },
+            nr::LIMIT_CLOSE => Sys::LimitClose { slot: a(Reg::R0) },
+            nr::LIMIT_SET_RESTART_RANGE => Sys::LimitSetRestartRange {
+                start: a(Reg::R0),
+                end: a(Reg::R1),
+            },
+            nr::LOG_VALUE => Sys::LogValue { value: a(Reg::R0) },
+            nr::LIMIT_SET_SEQ => Sys::LimitSetSeq { addr: a(Reg::R0) },
+            nr::SPAWN => Sys::Spawn {
+                entry: a(Reg::R0),
+                arg0: a(Reg::R1),
+                arg1: a(Reg::R2),
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Decodes an event index (syscall argument) into an [`EventKind`].
+pub fn decode_event(idx: u64) -> Option<EventKind> {
+    EventKind::ALL.get(idx as usize).copied()
+}
+
+/// Encodes an [`EventKind`] as a syscall argument.
+pub fn encode_event(event: EventKind) -> u64 {
+    EventKind::ALL
+        .iter()
+        .position(|&e| e == event)
+        .expect("event present in ALL") as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_reads_argument_registers() {
+        let mut ctx = Context::default();
+        ctx.set(Reg::R0, 0x100);
+        ctx.set(Reg::R1, 42);
+        assert_eq!(
+            Sys::decode(nr::FUTEX_WAIT, &ctx),
+            Some(Sys::FutexWait {
+                addr: 0x100,
+                expected: 42
+            })
+        );
+        assert_eq!(Sys::decode(nr::EXIT, &ctx), Some(Sys::Exit));
+        assert_eq!(Sys::decode(999, &ctx), None);
+    }
+
+    #[test]
+    fn limit_open_takes_three_args() {
+        let mut ctx = Context::default();
+        ctx.set(Reg::R0, 2);
+        ctx.set(Reg::R1, 1);
+        ctx.set(Reg::R2, 0x8000);
+        assert_eq!(
+            Sys::decode(nr::LIMIT_OPEN, &ctx),
+            Some(Sys::LimitOpen {
+                slot: 2,
+                event: 1,
+                accum_addr: 0x8000,
+                tag: 0
+            })
+        );
+    }
+
+    #[test]
+    fn event_codec_round_trips() {
+        for &e in &EventKind::ALL {
+            assert_eq!(decode_event(encode_event(e)), Some(e));
+        }
+        assert_eq!(decode_event(9999), None);
+    }
+}

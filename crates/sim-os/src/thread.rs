@@ -1,0 +1,170 @@
+//! Kernel thread objects and their virtualized-counter attachments.
+
+use sim_core::{CoreId, ThreadId};
+use sim_cpu::regs::Context;
+use sim_cpu::EventKind;
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable, waiting for a core.
+    Ready,
+    /// Installed on the given core.
+    Running(CoreId),
+    /// Blocked on a futex word at the given guest address.
+    Blocked {
+        /// The futex word the thread waits on.
+        futex_addr: u64,
+    },
+    /// Sleeping until the given global cycle.
+    Sleeping {
+        /// Wake-up time in cycles.
+        until: u64,
+    },
+    /// Terminated.
+    Exited,
+}
+
+/// One virtualized counter attached to a thread.
+///
+/// The slot index within the thread's `vcounters` array is also the
+/// hardware counter index used while the thread is installed on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VCounter {
+    /// LiMiT-managed: the 64-bit virtual value is `user-memory accumulator
+    /// at accum_addr` + live hardware counter. The kernel folds into the
+    /// accumulator on context switch and overflow.
+    Limit {
+        /// The counted event.
+        event: EventKind,
+        /// Guest address of the 64-bit accumulator.
+        accum_addr: u64,
+        /// Tag filter (hardware enhancement 3); 0 = no filter.
+        tag: u64,
+    },
+    /// perf-style counting: the kernel accumulates into the fd on context
+    /// switch; reads require a syscall.
+    PerfCount {
+        /// Owning perf fd.
+        fd: u32,
+    },
+    /// perf-style sampling: the hardware counter is armed to overflow every
+    /// `period` events; raw value is saved/restored across switches to
+    /// preserve the sampling phase.
+    PerfSample {
+        /// Owning perf fd.
+        fd: u32,
+        /// Raw counter value saved while the thread is off-core.
+        saved_raw: u64,
+    },
+}
+
+/// Per-thread accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadStats {
+    /// User-mode cycles executed.
+    pub run_cycles: u64,
+    /// Times the thread was switched in.
+    pub switches: u64,
+    /// Times the thread resumed on a different core than it last ran on.
+    pub migrations: u64,
+    /// Syscalls issued.
+    pub syscalls: u64,
+    /// Cycles spent blocked on futexes (wall time while descheduled).
+    pub blocked_cycles: u64,
+    /// Global cycle at which the thread exited (0 while live).
+    pub exited_at: u64,
+}
+
+/// A kernel thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// The thread id.
+    pub tid: ThreadId,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Saved architectural context while not running.
+    pub ctx: Context,
+    /// Cycle at which the thread most recently became ready; installing it
+    /// fast-forwards an idle core's clock to at least this value so a
+    /// long-idle core cannot "time travel".
+    pub ready_at: u64,
+    /// Optional hard affinity to one core.
+    pub affinity: Option<CoreId>,
+    /// Scheduling priority: higher wins the run queue; equal priorities
+    /// round-robin FIFO. Default 0.
+    pub priority: u8,
+    /// Virtualized counters by hardware slot index.
+    pub vcounters: Vec<Option<VCounter>>,
+    /// Whether this thread has LiMiT counters (enables userspace `rdpmc`
+    /// while installed).
+    pub uses_limit: bool,
+    /// Accounting.
+    pub stats: ThreadStats,
+    /// Core the thread last ran on (for migration accounting).
+    pub last_core: Option<CoreId>,
+    /// Cycle at which the thread most recently blocked on a futex.
+    pub blocked_at: u64,
+    /// Guest address of the fold-sequence word, if registered (seqlock
+    /// read protocols).
+    pub seq_addr: Option<u64>,
+}
+
+impl Thread {
+    /// Creates a ready thread starting at `entry` with `slots` counter
+    /// slots (the PMU's programmable counter count).
+    pub fn new(tid: ThreadId, entry: u32, slots: usize) -> Self {
+        Thread {
+            tid,
+            state: ThreadState::Ready,
+            ctx: Context::at(entry),
+            ready_at: 0,
+            affinity: None,
+            priority: 0,
+            vcounters: vec![None; slots],
+            uses_limit: false,
+            stats: ThreadStats::default(),
+            last_core: None,
+            blocked_at: 0,
+            seq_addr: None,
+        }
+    }
+
+    /// Whether the thread has terminated.
+    pub fn is_exited(&self) -> bool {
+        self.state == ThreadState::Exited
+    }
+
+    /// Finds the lowest free counter slot.
+    pub fn free_slot(&self) -> Option<u8> {
+        self.vcounters
+            .iter()
+            .position(|v| v.is_none())
+            .map(|i| i as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_is_ready_at_entry() {
+        let t = Thread::new(ThreadId::new(3), 17, 4);
+        assert_eq!(t.state, ThreadState::Ready);
+        assert_eq!(t.ctx.pc, 17);
+        assert_eq!(t.vcounters.len(), 4);
+        assert!(!t.is_exited());
+    }
+
+    #[test]
+    fn free_slot_finds_first_gap() {
+        let mut t = Thread::new(ThreadId::new(1), 0, 3);
+        assert_eq!(t.free_slot(), Some(0));
+        t.vcounters[0] = Some(VCounter::PerfCount { fd: 0 });
+        assert_eq!(t.free_slot(), Some(1));
+        t.vcounters[1] = Some(VCounter::PerfCount { fd: 1 });
+        t.vcounters[2] = Some(VCounter::PerfCount { fd: 2 });
+        assert_eq!(t.free_slot(), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Kernels with statically known event counts — ground truth for the
+//! correctness experiments (E3/E4).
+//!
+//! Each emitter returns the exact number of instructions/branches the
+//! emitted code retires, so a test can compare a virtualized counter value
+//! against arithmetic rather than against another measurement.
+
+use crate::prng;
+use sim_cpu::{Asm, Cond, Reg};
+use sim_mem::LINE_BYTES;
+
+/// What a kernel will retire, exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExactCounts {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired branch instructions (conditional + jumps).
+    pub branches: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+}
+
+/// Emits a counted loop: `iters` iterations of `burst(body)` + decrement +
+/// branch. Returns the exact counts of the emitted code (excluding
+/// anything the caller emits around it).
+pub fn emit_counted_loop(asm: &mut Asm, iters: u64, body: u32) -> ExactCounts {
+    asm.imm(Reg::R9, iters);
+    asm.imm(Reg::R10, 0);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.burst(body);
+    asm.alui_sub(Reg::R9, 1);
+    asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+    ExactCounts {
+        instructions: 2 + iters * (body as u64 + 2),
+        branches: iters,
+        loads: 0,
+        stores: 0,
+    }
+}
+
+/// Emits a strided walk over `[base, base+len)`: `iters` loads with the
+/// given stride (wrapping), touching a new cache line per access when
+/// `stride >= 64`. Returns exact counts.
+pub fn emit_strided_reads(
+    asm: &mut Asm,
+    base: u64,
+    len: u64,
+    stride: u64,
+    iters: u64,
+) -> ExactCounts {
+    assert!(len.is_power_of_two(), "len must be a power of two");
+    asm.imm(Reg::R9, iters);
+    asm.imm(Reg::R10, 0);
+    asm.imm(Reg::R11, base);
+    asm.imm(Reg::R12, 0); // offset
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.mov(Reg::R13, Reg::R11);
+    asm.add(Reg::R13, Reg::R12);
+    asm.load(Reg::R14, Reg::R13, 0);
+    asm.alui_add(Reg::R12, stride);
+    asm.alui(sim_cpu::AluOp::And, Reg::R12, len - 1);
+    asm.alui_sub(Reg::R9, 1);
+    asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+    ExactCounts {
+        instructions: 4 + iters * 7,
+        branches: iters,
+        loads: iters,
+        stores: 0,
+    }
+}
+
+/// Emits a random-access read loop over a power-of-two working set,
+/// driven by the guest LCG seeded from `seed`. Returns exact counts.
+/// Distinct working-set sizes produce distinct miss rates — the knob the
+/// cache-behaviour experiments sweep.
+pub fn emit_random_reads(
+    asm: &mut Asm,
+    base: u64,
+    working_set: u64,
+    iters: u64,
+    seed: u64,
+) -> ExactCounts {
+    assert!(working_set.is_power_of_two());
+    asm.imm(Reg::R8, seed);
+    asm.imm(Reg::R9, iters);
+    asm.imm(Reg::R10, 0);
+    asm.imm(Reg::R11, base);
+    let top = asm.new_label();
+    asm.bind(top);
+    // 5 instrs: lcg+mask -> r12
+    prng::emit_next_below(asm, Reg::R8, Reg::R12, working_set);
+    asm.alui(sim_cpu::AluOp::And, Reg::R12, !7u64); // align 8
+    asm.mov(Reg::R13, Reg::R11);
+    asm.add(Reg::R13, Reg::R12);
+    asm.load(Reg::R14, Reg::R13, 0);
+    asm.alui_sub(Reg::R9, 1);
+    asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+    ExactCounts {
+        instructions: 4 + iters * 11,
+        branches: iters,
+        loads: iters,
+        stores: 0,
+    }
+}
+
+/// Emits a line-stamping store loop that dirties `lines` consecutive cache
+/// lines starting at `base`. Returns exact counts.
+pub fn emit_line_stores(asm: &mut Asm, base: u64, lines: u64) -> ExactCounts {
+    asm.imm(Reg::R9, lines);
+    asm.imm(Reg::R10, 0);
+    asm.imm(Reg::R11, base);
+    asm.imm(Reg::R12, 0xABCD);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.store(Reg::R12, Reg::R11, 0);
+    asm.alui_add(Reg::R11, LINE_BYTES);
+    asm.alui_sub(Reg::R9, 1);
+    asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+    ExactCounts {
+        instructions: 4 + lines * 4,
+        branches: lines,
+        loads: 0,
+        stores: lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+    use limit::reader::{CounterReader, LimitReader};
+    use sim_cpu::EventKind;
+
+    /// Runs a kernel emitter under LiMiT counters for instructions,
+    /// branches, loads, stores and returns the measured totals between
+    /// setup and halt.
+    fn measure(emit: impl FnOnce(&mut Asm) -> ExactCounts) -> (ExactCounts, ExactCounts) {
+        let events = [
+            EventKind::Instructions,
+            EventKind::Branches,
+            EventKind::Loads,
+            EventKind::Stores,
+        ];
+        let reader = LimitReader::with_events(events.to_vec());
+        let mut b = SessionBuilder::new(1).events(&events);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        let expected = emit(&mut asm);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        // Counter 0 (instructions) starts counting when its own LIMIT_OPEN
+        // returns, so it also sees the remaining opens of counters 1..3
+        // (5 user instructions each) and the final halt.
+        let setup_tail = 5 * (events.len() as u64 - 1);
+        let measured = ExactCounts {
+            instructions: s.counter_total(tid, 0).unwrap() - 1 - setup_tail,
+            branches: s.counter_total(tid, 1).unwrap(),
+            loads: s.counter_total(tid, 2).unwrap(),
+            stores: s.counter_total(tid, 3).unwrap(),
+        };
+        (expected, measured)
+    }
+
+    #[test]
+    fn counted_loop_counts_are_exact() {
+        let (e, m) = measure(|asm| emit_counted_loop(asm, 100, 25));
+        assert_eq!(e, m);
+    }
+
+    #[test]
+    fn strided_reads_counts_are_exact() {
+        let (e, m) = measure(|asm| emit_strided_reads(asm, 0x100000, 1 << 16, 64, 500));
+        assert_eq!(e, m);
+    }
+
+    #[test]
+    fn random_reads_counts_are_exact() {
+        let (e, m) = measure(|asm| emit_random_reads(asm, 0x100000, 1 << 16, 300, 9));
+        assert_eq!(e, m);
+    }
+
+    #[test]
+    fn line_stores_counts_are_exact() {
+        let (e, m) = measure(|asm| emit_line_stores(asm, 0x200000, 128));
+        assert_eq!(e, m);
+    }
+
+    #[test]
+    fn bigger_working_set_misses_more() {
+        fn llc_misses(ws: u64) -> u64 {
+            let reader = LimitReader::with_events(vec![EventKind::L1dMisses]);
+            let mut b = SessionBuilder::new(1).events(&[EventKind::L1dMisses]);
+            let mut asm = b.asm();
+            asm.export("main");
+            reader.emit_thread_setup(&mut asm);
+            emit_random_reads(&mut asm, 0x100000, ws, 5_000, 3);
+            asm.halt();
+            let mut s = b.build(asm).unwrap();
+            let tid = s.spawn_instrumented("main", &[]).unwrap();
+            s.run().unwrap();
+            s.counter_total(tid, 0).unwrap()
+        }
+        let small = llc_misses(16 * 1024); // fits in 32 KiB L1
+        let large = llc_misses(4 * 1024 * 1024); // far exceeds L1
+        assert!(
+            large > small * 5,
+            "expected steep miss growth: small={small} large={large}"
+        );
+    }
+}

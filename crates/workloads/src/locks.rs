@@ -1,0 +1,216 @@
+//! Guest mutexes: glibc-style three-state futex locks.
+//!
+//! States: 0 = free, 1 = locked, 2 = locked with waiters. The fast path is
+//! two instructions (immediate + atomic exchange); the slow path marks the
+//! lock contended and blocks in `futex_wait`. Unlock is an atomic exchange
+//! plus a conditional `futex_wake` only when waiters might exist — so an
+//! uncontended acquire/release pair never enters the kernel, exactly like
+//! production futex locks. Lock hold times and handoff latencies therefore
+//! respond to contention the way the MySQL case study requires.
+//!
+//! Register discipline: both helpers clobber `r4` (and `r0`/`r1` on the
+//! slow path only). The lock-word address register is preserved.
+
+use sim_cpu::{Asm, Cond, Reg};
+use sim_os::syscall::nr;
+
+/// Polite-read spin iterations before a contended acquire blocks.
+pub const SPIN_LIMIT: u64 = 24;
+
+/// Emits an adaptive acquire of the lock word whose address is in `addr`.
+///
+/// Three phases, like glibc's adaptive mutex: an atomic fast path
+/// (`0 -> 1`), a bounded polite-read spin, then mark-contended (`-> 2`)
+/// and block in `futex_wait`. Every acquire attempt after the fast path
+/// writes 2, so a sleeping waiter's contended mark can never be clobbered
+/// (no lost wakeups). The spin burns *user* cycles, so contention is
+/// visible to virtualized cycle counters — as it is on real hardware.
+///
+/// Clobbers `r0`/`r1`/`r4`/`r5`.
+pub fn emit_lock(asm: &mut Asm, addr: Reg) {
+    debug_assert!(![Reg::R4, Reg::R5, Reg::R0, Reg::R1].contains(&addr));
+    let done = asm.new_label();
+    let spin_top = asm.new_label();
+    let attempt = asm.new_label();
+    let block = asm.new_label();
+    // Fast path: 0 -> 1.
+    asm.imm(Reg::R4, 1);
+    asm.xchg(Reg::R4, addr, 0);
+    asm.imm(Reg::R0, 0);
+    asm.br(Cond::Eq, Reg::R4, Reg::R0, done);
+    // Spin phase: read-only polling with a pause, bounded.
+    asm.imm(Reg::R5, SPIN_LIMIT);
+    asm.bind(spin_top);
+    asm.load(Reg::R4, addr, 0);
+    asm.imm(Reg::R0, 0);
+    asm.br(Cond::Eq, Reg::R4, Reg::R0, attempt);
+    asm.burst(4); // pause
+    asm.alui_sub(Reg::R5, 1);
+    asm.imm(Reg::R0, 0);
+    asm.br(Cond::Ne, Reg::R5, Reg::R0, spin_top);
+    asm.jmp(block);
+    // The word looked free: try to take it, marking contended.
+    asm.bind(attempt);
+    asm.imm(Reg::R4, 2);
+    asm.xchg(Reg::R4, addr, 0);
+    asm.imm(Reg::R0, 0);
+    asm.br(Cond::Eq, Reg::R4, Reg::R0, done);
+    asm.alui_sub(Reg::R5, 1);
+    asm.imm(Reg::R0, 0);
+    asm.br(Cond::Ne, Reg::R5, Reg::R0, spin_top);
+    // Blocking phase: mark contended and wait while the word is 2.
+    asm.bind(block);
+    asm.imm(Reg::R4, 2);
+    asm.xchg(Reg::R4, addr, 0);
+    asm.imm(Reg::R0, 0);
+    asm.br(Cond::Eq, Reg::R4, Reg::R0, done);
+    asm.mov(Reg::R0, addr);
+    asm.imm(Reg::R1, 2);
+    asm.syscall(nr::FUTEX_WAIT);
+    asm.jmp(block);
+    asm.bind(done);
+}
+
+/// Emits a release of the lock word whose address is in `addr`.
+///
+/// Clobbers `r4`/`r5`, and `r0`/`r1` on the wake path.
+pub fn emit_unlock(asm: &mut Asm, addr: Reg) {
+    debug_assert!(![Reg::R4, Reg::R5, Reg::R0, Reg::R1].contains(&addr));
+    let done = asm.new_label();
+    asm.imm(Reg::R4, 0);
+    asm.xchg(Reg::R4, addr, 0);
+    // Old value 1: nobody waiting, skip the kernel.
+    asm.imm(Reg::R5, 1);
+    asm.br(Cond::Eq, Reg::R4, Reg::R5, done);
+    asm.mov(Reg::R0, addr);
+    asm.imm(Reg::R1, 1);
+    asm.syscall(nr::FUTEX_WAKE);
+    asm.bind(done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+
+    /// N threads each increment a shared (non-atomic) counter M times under
+    /// the lock; the final value proves mutual exclusion.
+    fn run_counter_race(threads: usize, cores: usize, incs: u64) -> u64 {
+        let lock_addr = 0x40000u64;
+        let counter_addr = 0x40040u64;
+        let mut b = SessionBuilder::new(cores);
+        let mut asm = b.asm();
+        asm.export("worker");
+        asm.imm(Reg::R13, lock_addr);
+        asm.imm(Reg::R12, counter_addr);
+        asm.imm(Reg::R9, incs);
+        asm.imm(Reg::R10, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        emit_lock(&mut asm, Reg::R13);
+        // Deliberately non-atomic read-modify-write: only the lock
+        // serializes it. A burst inside widens the race window.
+        asm.load(Reg::R11, Reg::R12, 0);
+        asm.burst(20);
+        asm.alui_add(Reg::R11, 1);
+        asm.store(Reg::R11, Reg::R12, 0);
+        emit_unlock(&mut asm, Reg::R13);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        let kcfg = sim_os::KernelConfig {
+            quantum: 5_000, // frequent preemption widens races
+            ..Default::default()
+        };
+        let mut s = b.kernel_config(kcfg).build(asm).unwrap();
+        for _ in 0..threads {
+            s.spawn_instrumented("worker", &[]).unwrap();
+        }
+        s.run().unwrap();
+        s.read_u64(counter_addr).unwrap()
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion_single_core() {
+        assert_eq!(run_counter_race(4, 1, 200), 800);
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion_multi_core() {
+        assert_eq!(run_counter_race(4, 4, 200), 800);
+    }
+
+    #[test]
+    fn contended_lock_blocks_rather_than_spins() {
+        // One thread holds the lock for a long burst; the waiter must
+        // futex-block (observable as futex waits in the report).
+        let lock_addr = 0x40000u64;
+        let mut b = SessionBuilder::new(2);
+        let mut asm = b.asm();
+        asm.export("holder");
+        asm.imm(Reg::R13, lock_addr);
+        emit_lock(&mut asm, Reg::R13);
+        asm.burst(60_000);
+        emit_unlock(&mut asm, Reg::R13);
+        asm.halt();
+        asm.export("waiter");
+        asm.burst(1_000); // let the holder grab it first
+        asm.imm(Reg::R13, lock_addr);
+        emit_lock(&mut asm, Reg::R13);
+        emit_unlock(&mut asm, Reg::R13);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("holder", &[]).unwrap();
+        s.spawn_instrumented("waiter", &[]).unwrap();
+        let report = s.run().unwrap();
+        assert!(report.futex.0 >= 1, "waiter must block: {:?}", report.futex);
+        assert!(report.futex.1 >= 1, "holder must wake: {:?}", report.futex);
+    }
+
+    #[test]
+    fn uncontended_lock_never_enters_the_kernel() {
+        let lock_addr = 0x40000u64;
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("solo");
+        asm.imm(Reg::R13, lock_addr);
+        asm.imm(Reg::R9, 100);
+        asm.imm(Reg::R10, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        emit_lock(&mut asm, Reg::R13);
+        emit_unlock(&mut asm, Reg::R13);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("solo", &[]).unwrap();
+        let report = s.run().unwrap();
+        assert_eq!(report.futex, (0, 0), "no futex traffic when uncontended");
+        assert_eq!(report.syscalls, 0);
+    }
+
+    #[test]
+    fn lock_word_returns_to_zero() {
+        let lock_addr = 0x40000u64;
+        let mut b = SessionBuilder::new(2);
+        let mut asm = b.asm();
+        asm.export("worker");
+        asm.imm(Reg::R13, lock_addr);
+        asm.imm(Reg::R9, 50);
+        asm.imm(Reg::R10, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        emit_lock(&mut asm, Reg::R13);
+        asm.burst(30);
+        emit_unlock(&mut asm, Reg::R13);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("worker", &[]).unwrap();
+        s.spawn_instrumented("worker", &[]).unwrap();
+        s.run().unwrap();
+        assert_eq!(s.read_u64(lock_addr).unwrap(), 0);
+    }
+}

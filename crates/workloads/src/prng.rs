@@ -1,0 +1,112 @@
+//! A guest-side linear congruential generator.
+//!
+//! Workloads need data-dependent control flow and addresses *inside the
+//! guest* (so instrumentation overhead measurements include realistic
+//! branch and cache behaviour). The LCG is Knuth's MMIX multiplier; the
+//! useful bits are taken from the top of the state.
+//!
+//! Register discipline: `emit_next` clobbers only the named registers.
+
+use sim_cpu::{AluOp, Asm, Reg};
+
+/// The MMIX LCG multiplier.
+pub const LCG_MUL: u64 = 6364136223846793005;
+/// The MMIX LCG increment.
+pub const LCG_INC: u64 = 1442695040888963407;
+
+/// Advances the LCG in `state` and leaves `state >> 33` in `out`.
+///
+/// 4 instructions; clobbers `out` only (besides updating `state`).
+pub fn emit_next(asm: &mut Asm, state: Reg, out: Reg) {
+    debug_assert!(state != out);
+    asm.alui(AluOp::Mul, state, LCG_MUL);
+    asm.alui(AluOp::Add, state, LCG_INC);
+    asm.mov(out, state);
+    asm.alui(AluOp::Shr, out, 33);
+}
+
+/// Advances the LCG and leaves a value in `[0, bound)` in `out`, where
+/// `bound` is a power of two. 5 instructions.
+pub fn emit_next_below(asm: &mut Asm, state: Reg, out: Reg, bound: u64) {
+    assert!(bound.is_power_of_two(), "bound must be a power of two");
+    emit_next(asm, state, out);
+    asm.alui(AluOp::And, out, bound - 1);
+}
+
+/// The host-side mirror of the guest LCG, for building expected values in
+/// tests and for pre-planning workload inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostLcg {
+    /// Current state.
+    pub state: u64,
+}
+
+impl HostLcg {
+    /// Starts from a seed.
+    pub fn new(seed: u64) -> Self {
+        HostLcg { state: seed }
+    }
+
+    /// The next raw output (`state >> 33` after advancing).
+    pub fn next_raw(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+        self.state >> 33
+    }
+
+    /// The next value below a power-of-two bound.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_raw() & (bound - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+    use sim_os::syscall::nr;
+
+    #[test]
+    fn guest_and_host_lcg_agree() {
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.imm(Reg::R8, 42);
+        for _ in 0..3 {
+            emit_next(&mut asm, Reg::R8, Reg::R9);
+            asm.mov(Reg::R0, Reg::R9);
+            asm.syscall(nr::LOG_VALUE);
+        }
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        let mut host = HostLcg::new(42);
+        let expect: Vec<u64> = (0..3).map(|_| host.next_raw()).collect();
+        assert_eq!(s.kernel.log(), expect.as_slice());
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut h = HostLcg::new(7);
+        for _ in 0..1000 {
+            assert!(h.next_below(64) < 64);
+        }
+    }
+
+    #[test]
+    fn outputs_spread_over_range() {
+        let mut h = HostLcg::new(1);
+        let mut seen = [false; 16];
+        for _ in 0..200 {
+            seen[h.next_below(16) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 16 buckets hit: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_bound_panics() {
+        let mut asm = Asm::new();
+        emit_next_below(&mut asm, Reg::R8, Reg::R9, 100);
+    }
+}

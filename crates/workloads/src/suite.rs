@@ -1,0 +1,289 @@
+//! A microbenchmark characterization suite: six kernels with archetypal
+//! microarchitectural signatures, used to validate that the substrate's
+//! counters separate behaviours the way real PMUs do (and as fodder for
+//! the TLB/prefetcher ablations).
+//!
+//! | kernel | signature |
+//! |---|---|
+//! | `dense_compute` | ALU-bound, IPC ≈ 1, no memory traffic |
+//! | `stream_copy`   | sequential load+store, prefetch-friendly |
+//! | `random_access` | uniform reads over a large set, cache/TLB-hostile |
+//! | `pointer_chase` | serially dependent loads through a permutation |
+//! | `branch_heavy`  | data-dependent branches, mispredict-bound |
+//! | `stride_walk`   | fixed-stride reads, one line per access |
+
+use crate::prng;
+use limit::harness::{Session, SessionBuilder};
+use limit::{CounterReader, LimitReader};
+use sim_core::{DetRng, SimResult};
+use sim_cpu::{AluOp, Asm, Cond, EventKind, MachineConfig, MemLayout, Reg};
+use sim_os::KernelConfig;
+
+/// Names of all suite kernels, in emission order.
+pub const KERNEL_NAMES: [&str; 6] = [
+    "dense_compute",
+    "stream_copy",
+    "random_access",
+    "pointer_chase",
+    "branch_heavy",
+    "stride_walk",
+];
+
+/// An emitted suite image.
+#[derive(Debug, Clone)]
+pub struct SuiteImage {
+    /// Initial guest-memory words to install before running
+    /// (`pointer_chase`'s permutation ring).
+    pub init: Vec<(u64, u64)>,
+    /// Iterations each kernel runs.
+    pub iters: u64,
+}
+
+/// Emits all six kernels, each as a `suite.<name>` entry that performs the
+/// reader's thread setup and then iterates its body `iters` times.
+/// `ws_bytes` (power of two, ≥ 4 KiB) sizes the memory kernels' working
+/// sets.
+pub fn emit(
+    asm: &mut Asm,
+    layout: &mut MemLayout,
+    reader: &dyn CounterReader,
+    iters: u64,
+    ws_bytes: u64,
+) -> SuiteImage {
+    assert!(ws_bytes.is_power_of_two() && ws_bytes >= 4096);
+    let stream_src = layout.alloc(ws_bytes, 4096);
+    let stream_dst = layout.alloc(ws_bytes, 4096);
+    let rand_base = layout.alloc(ws_bytes, 4096);
+    let chase_base = layout.alloc(ws_bytes, 4096);
+    let stride_base = layout.alloc(ws_bytes, 4096);
+
+    let prologue = |asm: &mut Asm, name: &str| {
+        asm.export(&format!("suite.{name}"));
+        reader.emit_thread_setup(asm);
+        asm.imm(Reg::R2, 0);
+        asm.imm(Reg::R9, iters);
+    };
+    let close = |asm: &mut Asm, top: sim_cpu::Label| {
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R2, top);
+        asm.halt();
+    };
+
+    // dense_compute: pure ALU.
+    prologue(asm, "dense_compute");
+    asm.imm(Reg::R8, 0x1234_5678);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.burst(48);
+    asm.alui(AluOp::Mul, Reg::R8, 0x9E37_79B9);
+    asm.alui(AluOp::Xor, Reg::R8, 0x55);
+    close(asm, top);
+
+    // stream_copy: sequential 64B-granular load + store.
+    prologue(asm, "stream_copy");
+    asm.imm(Reg::R10, 0); // offset
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.imm(Reg::R11, stream_src);
+    asm.add(Reg::R11, Reg::R10);
+    asm.load(Reg::R12, Reg::R11, 0);
+    asm.imm(Reg::R11, stream_dst);
+    asm.add(Reg::R11, Reg::R10);
+    asm.store(Reg::R12, Reg::R11, 0);
+    asm.alui_add(Reg::R10, 64);
+    asm.alui(AluOp::And, Reg::R10, ws_bytes - 1);
+    close(asm, top);
+
+    // random_access: uniform reads.
+    prologue(asm, "random_access");
+    asm.imm(Reg::R8, 0xABCD);
+    let top = asm.new_label();
+    asm.bind(top);
+    prng::emit_next_below(asm, Reg::R8, Reg::R10, ws_bytes);
+    asm.alui(AluOp::And, Reg::R10, !7u64);
+    asm.imm(Reg::R11, rand_base);
+    asm.add(Reg::R11, Reg::R10);
+    asm.load(Reg::R12, Reg::R11, 0);
+    close(asm, top);
+
+    // pointer_chase: serially dependent loads through a permutation ring
+    // materialized host-side (one pointer per cache line).
+    prologue(asm, "pointer_chase");
+    asm.imm(Reg::R10, chase_base);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.load(Reg::R10, Reg::R10, 0); // r10 = *r10
+    close(asm, top);
+
+    // branch_heavy: data-dependent two-way branches.
+    prologue(asm, "branch_heavy");
+    asm.imm(Reg::R8, 0xBEEF);
+    let top = asm.new_label();
+    let odd = asm.new_label();
+    let join = asm.new_label();
+    asm.bind(top);
+    prng::emit_next_below(asm, Reg::R8, Reg::R10, 2);
+    asm.br(Cond::Eq, Reg::R10, Reg::R2, odd);
+    asm.burst(3);
+    asm.jmp(join);
+    asm.bind(odd);
+    asm.burst(5);
+    asm.bind(join);
+    close(asm, top);
+
+    // stride_walk: one new line per access, fixed stride.
+    prologue(asm, "stride_walk");
+    asm.imm(Reg::R10, 0);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.imm(Reg::R11, stride_base);
+    asm.add(Reg::R11, Reg::R10);
+    asm.load(Reg::R12, Reg::R11, 0);
+    asm.alui_add(Reg::R10, 64);
+    asm.alui(AluOp::And, Reg::R10, ws_bytes - 1);
+    close(asm, top);
+
+    // Host-side init: a single random cycle over the chase region's lines
+    // (Sattolo's algorithm) so the chase visits every line once per lap
+    // with no short cycles.
+    let lines = (ws_bytes / 64) as usize;
+    let mut order: Vec<u64> = (0..lines as u64).collect();
+    let mut rng = DetRng::new(0xC0DE);
+    for i in (1..lines).rev() {
+        let j = rng.below(i as u64) as usize; // j < i: Sattolo
+        order.swap(i, j);
+    }
+    let mut init = Vec::with_capacity(lines);
+    for i in 0..lines {
+        let from = chase_base + order[i] * 64;
+        let to = chase_base + order[(i + 1) % lines] * 64;
+        init.push((from, to));
+    }
+
+    SuiteImage { init, iters }
+}
+
+/// One kernel's measured characterization.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Counter totals in the order of the events passed to [`run_kernel`].
+    pub totals: Vec<u64>,
+}
+
+/// Runs one suite kernel solo under LiMiT counters for `events` on the
+/// given machine configuration, returning its counter totals.
+pub fn run_kernel(
+    name: &'static str,
+    events: &[EventKind],
+    machine: MachineConfig,
+    iters: u64,
+    ws_bytes: u64,
+) -> SimResult<KernelProfile> {
+    let reader = LimitReader::with_events(events.to_vec());
+    let mut layout = MemLayout::default();
+    let mut asm = Asm::new();
+    let image = emit(&mut asm, &mut layout, &reader, iters, ws_bytes);
+    let mut session: Session = SessionBuilder::new(machine.cores)
+        .events(events)
+        .with_layout(layout)
+        .machine_config(machine)
+        .kernel_config(KernelConfig::default())
+        .build(asm)?;
+    for &(addr, val) in &image.init {
+        session.write_u64(addr, val)?;
+    }
+    let tid = session.spawn_instrumented(&format!("suite.{name}"), &[])?;
+    session.run()?;
+    let totals = (0..events.len())
+        .map(|i| session.counter_total(tid, i))
+        .collect::<SimResult<_>>()?;
+    Ok(KernelProfile { name, totals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::NullReader;
+
+    #[test]
+    fn suite_emits_all_entries_and_a_full_chase_cycle() {
+        let mut asm = Asm::new();
+        let mut layout = MemLayout::default();
+        let img = emit(&mut asm, &mut layout, &NullReader::new(), 100, 64 * 1024);
+        let prog = asm.assemble().unwrap();
+        for name in KERNEL_NAMES {
+            assert!(prog.entry(&format!("suite.{name}")).is_ok(), "{name}");
+        }
+        let lines = 64 * 1024 / 64;
+        assert_eq!(img.init.len(), lines);
+        let mut seen = std::collections::HashSet::new();
+        for &(_, to) in &img.init {
+            assert!(seen.insert(to), "duplicate chase target");
+        }
+    }
+
+    #[test]
+    fn kernels_have_their_archetypal_signatures() {
+        let events = [
+            EventKind::Cycles,
+            EventKind::Instructions,
+            EventKind::L1dMisses,
+            EventKind::BranchMisses,
+        ];
+        let machine = MachineConfig::new(1);
+        let profile = |name| run_kernel(name, &events, machine.clone(), 2_000, 256 * 1024).unwrap();
+
+        let dense = profile("dense_compute");
+        let chase = profile("pointer_chase");
+        let branchy = profile("branch_heavy");
+        let stream = profile("stream_copy");
+
+        let cpi = |p: &KernelProfile| p.totals[0] as f64 / p.totals[1] as f64;
+        // Dense compute: ~1 cycle/instruction.
+        assert!(cpi(&dense) < 1.1, "dense CPI {}", cpi(&dense));
+        // Pointer chase: dominated by serial memory latency.
+        assert!(cpi(&chase) > 10.0, "chase CPI {}", cpi(&chase));
+        // Branch-heavy: mispredicts per instruction far above dense.
+        let bmiss_rate = |p: &KernelProfile| p.totals[3] as f64 / p.totals[1] as f64;
+        assert!(
+            bmiss_rate(&branchy) > 10.0 * bmiss_rate(&dense).max(1e-6),
+            "branchy {} dense {}",
+            bmiss_rate(&branchy),
+            bmiss_rate(&dense)
+        );
+        // Stream touches one line per 64B: about one L1 miss per iteration.
+        let miss_per_iter = stream.totals[2] as f64 / 2_000.0;
+        assert!(
+            (1.5..2.5).contains(&miss_per_iter),
+            "stream misses/iter {miss_per_iter} (src + dst lines)"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_line_per_lap() {
+        // With iters == lines, the chase must return to the start: verify
+        // by checking the final pointer register equals the chase base.
+        // (Covered indirectly: a short cycle would revisit lines and show
+        // as L1 hits; a full lap over a 256 KiB ring in a 32 KiB L1 misses
+        // almost every load.)
+        let events = [EventKind::L1dMisses, EventKind::Loads];
+        let lines = 256 * 1024 / 64; // 4096
+        let p = run_kernel(
+            "pointer_chase",
+            &events,
+            MachineConfig::new(1),
+            lines as u64,
+            256 * 1024,
+        )
+        .unwrap();
+        let misses = p.totals[0] as f64;
+        let loads = p.totals[1] as f64;
+        assert!(loads >= lines as f64);
+        assert!(
+            misses / loads > 0.85,
+            "full-lap chase should miss nearly always: {misses}/{loads}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Apache case study: per-request phase accounting.
+//!
+//! Runs the Apache-like server with per-phase LiMiT instrumentation and
+//! prints mean cycles and LLC misses per phase per request — bookkeeping
+//! that costs two ~15 ns reads per phase boundary, cheap enough to leave
+//! on in production.
+//!
+//! Run with: `cargo run --example apache_requests`
+
+use limit_repro::prelude::*;
+use workloads::apache::{self, ApacheConfig};
+
+fn main() {
+    let events = [EventKind::Cycles, EventKind::LlcMisses];
+    let reader = LimitReader::with_events(events.to_vec());
+    let cfg = ApacheConfig::default();
+    println!(
+        "Running apache-like server: {} workers x {} requests on 8 cores...",
+        cfg.workers, cfg.requests_per_worker
+    );
+    let run =
+        apache::run(&cfg, &reader, 8, &events, KernelConfig::default()).expect("workload runs");
+    let records = run.session.all_records().expect("records parse");
+
+    let mut table = Table::new(
+        "per-request phase accounting (means)",
+        &["phase", "count", "cycles", "llc-misses", "us @2.5GHz"],
+    );
+    let freq = run.session.freq();
+    for (id, name) in run.image.regions.phases() {
+        let rows: Vec<_> = records.iter().filter(|(_, r)| r.region == id).collect();
+        let n = rows.len() as u64;
+        let cycles: u64 = rows.iter().map(|(_, r)| r.deltas[0]).sum();
+        let misses: u64 = rows.iter().map(|(_, r)| r.deltas[1]).sum();
+        let mean_cycles = cycles as f64 / n.max(1) as f64;
+        table.row(&[
+            name.to_string(),
+            n.to_string(),
+            format!("{mean_cycles:.0}"),
+            format!("{:.1}", misses as f64 / n.max(1) as f64),
+            format!("{:.2}", Cycles::new(mean_cycles as u64).to_micros(freq)),
+        ]);
+    }
+    println!("{table}");
+
+    // Tail behaviour: the slowest handler phases are miss-dominated.
+    let mut handler: Vec<(u64, u64)> = records
+        .iter()
+        .filter(|(_, r)| r.region == run.image.regions.handler)
+        .map(|(_, r)| (r.deltas[0], r.deltas[1]))
+        .collect();
+    handler.sort_unstable();
+    let p50 = handler[handler.len() / 2];
+    let p99 = handler[handler.len() * 99 / 100];
+    println!(
+        "handler phase: p50 = {} cycles ({} misses), p99 = {} cycles ({} misses)",
+        p50.0, p50.1, p99.0, p99.1
+    );
+    println!(
+        "\ntotal: {} requests in {:.2} ms of guest time",
+        cfg.workers as u64 * cfg.requests_per_worker,
+        Cycles::new(run.report.total_cycles).to_millis(freq)
+    );
+}

@@ -1,0 +1,72 @@
+//! Firefox case study: precise per-task measurement vs. sampling.
+//!
+//! Runs the Firefox-like event loop twice — once LiMiT-instrumented
+//! (ground truth per task class) and once under the PMI sampling profiler
+//! — then compares the cycle attribution the two methods produce.
+//!
+//! Run with: `cargo run --example firefox_events`
+
+use limit_repro::prelude::*;
+use std::collections::HashMap;
+use workloads::firefox::{self, FirefoxConfig, TASK_CLASSES};
+
+fn main() {
+    let cfg = FirefoxConfig::default();
+
+    // --- Precise run (LiMiT). ---
+    let events = [EventKind::Cycles];
+    let reader = LimitReader::with_events(events.to_vec());
+    let precise = firefox::run(&cfg, &reader, 4, &events, KernelConfig::default())
+        .expect("precise run completes");
+    let records = precise.session.all_records().expect("records parse");
+    let by_region = analysis::precise_cycles_by_region(&records, 0);
+    let mut truth: HashMap<String, u64> = HashMap::new();
+    for (i, class) in TASK_CLASSES.iter().enumerate() {
+        let id = precise.image.regions.task[i];
+        truth.insert(
+            format!("fx.task.{class}"),
+            by_region.get(&id).copied().unwrap_or(0),
+        );
+    }
+
+    // --- Sampling run. ---
+    let period = 8_192;
+    let sampler = SamplingSetup::new(EventKind::Cycles, period);
+    let sampled = firefox::run(&cfg, &sampler, 4, &[], KernelConfig::default())
+        .expect("sampling run completes");
+    let samples = sampled.session.kernel.all_samples();
+    let map = RangeMap::from_program(&sampled.session.kernel.machine.prog, "fx.task.");
+    let estimate = analysis::samples_by_range(&samples, &map, period);
+
+    // What the developer of the sampling tool actually sees: the flat
+    // profile (heaviest ranges first).
+    let profile = analysis::FlatProfile::build(&samples, &map);
+    println!(
+        "{}",
+        profile.table("sampled flat profile (what `perf report` would show)")
+    );
+
+    // --- Compare. ---
+    let acc = AccuracyReport::build(&truth, &estimate);
+    let mut table = Table::new(
+        "cycles per task class: LiMiT (precise) vs sampling estimate",
+        &["class", "precise", "sampled est.", "rel. error"],
+    );
+    for c in &acc.classes {
+        table.row(&[
+            c.name.clone(),
+            c.truth.to_string(),
+            c.estimate.to_string(),
+            format!("{:+.1}%", c.relative_error() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "samples collected: {}   mean |error|: {:.1}%   worst class: {:.1}%",
+        samples.len(),
+        acc.mean_abs_error() * 100.0,
+        acc.worst_abs_error() * 100.0
+    );
+    println!("\nShort task classes carry few samples, so their sampled estimates");
+    println!("swing wildly; LiMiT's per-task reads are exact at ~tens of ns each.");
+}

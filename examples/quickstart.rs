@@ -1,0 +1,61 @@
+//! Quickstart: attach LiMiT counters, run guest code, read them precisely.
+//!
+//! Builds a tiny guest program that does some work, reads the virtualized
+//! instruction counter with the 3-instruction LiMiT sequence, and compares
+//! the cost of that read against a perf-style syscall read.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use limit_repro::prelude::*;
+use workloads::microbench;
+
+fn main() {
+    // --- 1. A precise region measurement with LiMiT. ---
+    let reader = LimitReader::new(2); // instructions + cycles
+    let ins = Instrumenter::new(&reader);
+    let mut builder = SessionBuilder::new(1).events(&[EventKind::Instructions, EventKind::Cycles]);
+    let mut asm = builder.asm();
+    asm.export("main");
+    reader.emit_thread_setup(&mut asm);
+    ins.emit_enter(&mut asm);
+    asm.burst(10_000); // the "region of interest"
+    ins.emit_exit(&mut asm, 0);
+    asm.halt();
+
+    let mut session = builder.build(asm).expect("program assembles");
+    let tid = session
+        .spawn_instrumented("main", &[])
+        .expect("entry exists");
+    let report = session.run().expect("run completes");
+
+    let records = session.records(tid).expect("records parse");
+    println!("LiMiT measured the region precisely:");
+    println!(
+        "  instructions = {}   cycles = {}",
+        records[0].deltas[0], records[0].deltas[1]
+    );
+    println!(
+        "  (run took {} guest cycles total, {} context switches)\n",
+        report.total_cycles, report.context_switches
+    );
+
+    // --- 2. The headline: read cost per method. ---
+    println!("Cost of one counter read (the paper's headline comparison):");
+    let freq = Freq::DEFAULT;
+    for reader in [
+        &RdtscReader::new() as &dyn CounterReader,
+        &LimitReader::new(1),
+        &PerfReader::new(1),
+        &PapiReader::new(1),
+    ] {
+        let rc = microbench::measure_read_cost(reader, 2_000).expect("measurement runs");
+        println!(
+            "  {:>6}: {:>8.1} cycles  = {:>9.1} ns",
+            rc.method,
+            rc.cycles_per_read(),
+            rc.nanos_per_read(freq)
+        );
+    }
+    println!("\nLiMiT reads virtualized 64-bit counters in low tens of ns —");
+    println!("one to two orders of magnitude faster than the syscall paths.");
+}

@@ -1,0 +1,42 @@
+//! # limit-repro
+//!
+//! A full-system reproduction of **"Rapid identification of architectural
+//! bottlenecks via precise event counting"** (Demme & Sethumadhavan, ISCA
+//! 2011 — the *LiMiT* paper) on a simulated multicore substrate.
+//!
+//! This crate re-exports the workspace:
+//!
+//! * [`sim_core`], [`sim_cpu`], [`sim_mem`], [`sim_os`] — the substrate:
+//!   deterministic simulation core, guest ISA + PMU, cache hierarchy, and
+//!   a preemptive kernel with the LiMiT kernel extension,
+//! * [`limit`] — the paper's contribution: precise, syscall-free userspace
+//!   counter reads with kernel-assisted virtualization and restart fix-up,
+//! * [`baselines`] — perf-style syscall reads, a PAPI-like shim, rdtsc,
+//!   and PMI sampling,
+//! * [`workloads`] — MySQL-like, Firefox-like, and Apache-like synthetic
+//!   applications plus microbenchmarks and exact-count kernels,
+//! * [`analysis`] — lock statistics, attribution, accuracy and overhead
+//!   reporting.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the experiment index.
+
+pub use analysis;
+pub use baselines;
+pub use limit;
+pub use sim_core;
+pub use sim_cpu;
+pub use sim_mem;
+pub use sim_os;
+pub use workloads;
+
+/// Commonly used items for experiment code.
+pub mod prelude {
+    pub use analysis::{AccuracyReport, LockReport, OverheadRow, RangeMap, Table};
+    pub use baselines::{PapiReader, PerfReader, RdtscReader, SamplingSetup};
+    pub use limit::harness::{Session, SessionBuilder};
+    pub use limit::{CounterReader, Instrumenter, LimitReader, NullReader};
+    pub use sim_core::{CoreId, Cycles, DetRng, Freq, Histogram, ThreadId};
+    pub use sim_cpu::{Asm, Cond, EventKind, MachineConfig, PmuConfig, Reg};
+    pub use sim_os::{KernelConfig, RunReport};
+}

@@ -1,0 +1,276 @@
+//! The `limit-repro` command-line driver: run any reproduced experiment
+//! (or all of them) from one binary.
+//!
+//! ```text
+//! limit-repro list            # what can run
+//! limit-repro run e1          # one experiment
+//! limit-repro run all         # the full evaluation
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+const EXPERIMENTS: [(&str, &str); 13] = [
+    ("e1", "read-cost table (the headline)"),
+    ("e2", "instrumentation overhead on mysqld"),
+    ("e3", "virtualized-count exactness"),
+    ("e4", "read-race ablation (+ seqlock arm)"),
+    ("e5", "sampling vs precise attribution"),
+    (
+        "e6",
+        "mysqld critical-section histograms + bottleneck ranking",
+    ),
+    ("e7", "synchronization share vs thread count"),
+    ("e8", "firefox task-class characterization"),
+    ("e9", "apache per-request accounting"),
+    ("e10", "the three hardware-counter enhancements"),
+    ("e11", "extension: co-location interference"),
+    ("e12", "extension: lock-striping what-if study"),
+    (
+        "kernels",
+        "microbenchmark suite characterization + prefetch ablation",
+    ),
+];
+
+fn run_one(name: &str) -> Result<(), String> {
+    let fail = |e: sim_core::SimError| e.to_string();
+    println!("\n########## {name} ##########");
+    match name {
+        "e1" => {
+            let rows = bench::e1::run(5_000).map_err(fail)?;
+            println!("{}", bench::e1::table(&rows));
+        }
+        "e2" => {
+            let rows = bench::e2::run(&[1, 4, 8, 16], 120, 8).map_err(fail)?;
+            println!("{}", bench::e2::table(&rows));
+        }
+        "e3" => {
+            let rows = bench::e3::run().map_err(fail)?;
+            println!("{}", bench::e3::table(&rows));
+            let (virt, rdtsc) = bench::e3::wallclock_comparison().map_err(fail)?;
+            println!("virtualized: {virt} cycles; rdtsc: {rdtsc} cycles");
+        }
+        "e4" => {
+            let rows = bench::e4::run_all().map_err(fail)?;
+            let refs: Vec<_> = rows.iter().collect();
+            println!("{}", bench::e4::table_of(&refs));
+        }
+        "e5" => {
+            let cfg = workloads::firefox::FirefoxConfig::default();
+            let rows = bench::e5::run(&cfg, &[1_024, 8_192, 65_536]).map_err(fail)?;
+            println!("{}", bench::e5::sweep_table(&rows));
+            println!("{}", bench::e5::class_table(&rows[1]));
+        }
+        "e6" => {
+            let cfg = workloads::mysqld::MysqlConfig {
+                threads: 16,
+                queries_per_thread: 150,
+                ..Default::default()
+            };
+            let result = bench::e6::run(&cfg, 8).map_err(fail)?;
+            println!("{}", bench::e6::table(&result));
+            println!("{}", bench::e6::histograms(&result));
+        }
+        "e7" => {
+            let rows = bench::e7::run(&[1, 2, 4, 8, 16, 32], 100, 8).map_err(fail)?;
+            println!("{}", bench::e7::table(&rows));
+        }
+        "e8" => {
+            let rows =
+                bench::e8::run(&workloads::firefox::FirefoxConfig::default(), 4).map_err(fail)?;
+            println!("{}", bench::e8::table(&rows));
+        }
+        "e9" => {
+            let result =
+                bench::e9::run(&workloads::apache::ApacheConfig::default(), 8).map_err(fail)?;
+            println!("{}", bench::e9::table(&result));
+        }
+        "e10" => {
+            let d = bench::e10::run_destructive(2_000).map_err(fail)?;
+            let sv = bench::e10::run_self_virtualizing().map_err(fail)?;
+            let t = bench::e10::run_tag_filter(500).map_err(fail)?;
+            for table in bench::e10::tables(&d, &sv, &t) {
+                println!("{table}");
+            }
+        }
+        "e11" => {
+            let rows = bench::e11::run(8).map_err(fail)?;
+            println!("{}", bench::e11::table(&rows));
+        }
+        "e12" => {
+            let rows = bench::e12::run(&[1, 2, 4, 16, 64, 256], 8).map_err(fail)?;
+            println!("{}", bench::e12::table(&rows));
+        }
+        "kernels" => {
+            let rows = bench::kernels_char::run(20_000, 1 << 20).map_err(fail)?;
+            println!("{}", bench::kernels_char::table(&rows));
+            let ab = bench::kernels_char::prefetch_ablation(20_000, 1 << 20).map_err(fail)?;
+            println!("{}", bench::kernels_char::prefetch_table(&ab));
+        }
+        other => return Err(format!("unknown experiment {other:?}; try `list`")),
+    }
+    Ok(())
+}
+
+/// `limit-repro stat <workload>`: a perf-stat-like summary for one of the
+/// synthetic applications, measured with LiMiT counters.
+fn stat_workload(which: &str) -> Result<(), String> {
+    use analysis::metrics::{per_kilo_instruction, ratio};
+    use limit::LimitReader;
+    use sim_cpu::EventKind;
+    use sim_os::{KernelConfig, RunReport, ThreadStats};
+
+    const EVENTS: [EventKind; 4] = [
+        EventKind::Cycles,
+        EventKind::Instructions,
+        EventKind::LlcMisses,
+        EventKind::BranchMisses,
+    ];
+    let fail = |e: sim_core::SimError| e.to_string();
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let kcfg = KernelConfig::default();
+    let (session, report): (limit::Session, RunReport) = match which {
+        "mysqld" => {
+            let r = workloads::mysqld::run(
+                &workloads::mysqld::MysqlConfig::default(),
+                &reader,
+                8,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            (r.session, r.report)
+        }
+        "firefox" => {
+            let r = workloads::firefox::run(
+                &workloads::firefox::FirefoxConfig::default(),
+                &reader,
+                4,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            (r.session, r.report)
+        }
+        "apache" => {
+            let r = workloads::apache::run(
+                &workloads::apache::ApacheConfig::default(),
+                &reader,
+                8,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            (r.session, r.report)
+        }
+        "memcached" => {
+            let r = workloads::memcached::run(
+                &workloads::memcached::MemcachedConfig::default(),
+                &reader,
+                8,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            (r.session, r.report)
+        }
+        other => {
+            return Err(format!(
+                "unknown workload {other:?} (mysqld|firefox|apache|memcached)"
+            ))
+        }
+    };
+
+    let total = |i: usize| session.counter_grand_total(i).map_err(fail);
+    let (cycles, instrs, llc, bmiss) = (total(0)?, total(1)?, total(2)?, total(3)?);
+    let freq = session.freq();
+    println!(
+        "
+ perf-stat-style summary for `{which}` (LiMiT virtualized counters):
+"
+    );
+    println!(
+        "   {cycles:>16}  cycles                 # {:.3} ms guest time",
+        sim_core::Cycles::new(report.total_cycles).to_millis(freq)
+    );
+    println!(
+        "   {instrs:>16}  instructions           # {:.2} IPC",
+        ratio(instrs, cycles)
+    );
+    println!(
+        "   {llc:>16}  llc-misses             # {:.2} MPKI",
+        per_kilo_instruction(llc, instrs)
+    );
+    println!(
+        "   {bmiss:>16}  branch-misses          # {:.2} PKI",
+        per_kilo_instruction(bmiss, instrs)
+    );
+    println!(
+        "
+   kernel: {} ctx switches, {} preemptions, {} migrations, {} syscalls, {} futex waits",
+        report.context_switches,
+        report.preemptions,
+        report.migrations,
+        report.syscalls,
+        report.futex.0
+    );
+    println!(
+        "
+per-thread accounting:
+{}",
+        ThreadStats::collect(&session.kernel)
+    );
+    Ok(())
+}
+
+fn usage() {
+    eprintln!("usage: limit-repro <list | run <experiment|all> | stat <workload>>");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available experiments:");
+            for (name, what) in EXPERIMENTS {
+                println!("  {name:<8} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("stat") => {
+            let Some(which) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            match stat_workload(which) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("run") => {
+            let Some(which) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            let names: Vec<&str> = if which == "all" {
+                EXPERIMENTS.iter().map(|&(n, _)| n).collect()
+            } else {
+                vec![which.as_str()]
+            };
+            for name in names {
+                if let Err(e) = run_one(name) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Integration tests for the case-study experiments (E2, E5–E9): the
+//! slower, whole-application runs.
+
+use bench::{e2, e5, e6, e7, e8, e9};
+use workloads::apache::ApacheConfig;
+use workloads::firefox::FirefoxConfig;
+use workloads::mysqld::MysqlConfig;
+
+fn small_mysql() -> MysqlConfig {
+    MysqlConfig {
+        threads: 8,
+        queries_per_thread: 60,
+        ..MysqlConfig::default()
+    }
+}
+
+fn small_firefox() -> FirefoxConfig {
+    FirefoxConfig {
+        tasks: 250,
+        ..FirefoxConfig::default()
+    }
+}
+
+#[test]
+fn e2_limit_overhead_is_an_order_below_syscall_methods() {
+    let rows = e2::run(&[8], 60, 8).expect("E2 runs");
+    let limit = e2::overhead_of(&rows, 8, "limit").unwrap();
+    let perf = e2::overhead_of(&rows, 8, "perf").unwrap();
+    let papi = e2::overhead_of(&rows, 8, "papi").unwrap();
+    assert!(limit > 0.0, "instrumentation is not free");
+    assert!(
+        perf > 5.0 * limit,
+        "perf ({perf:.2}) must dwarf limit ({limit:.2})"
+    );
+    assert!(papi >= perf, "papi adds library overhead");
+}
+
+#[test]
+fn e5_sampling_error_is_large_for_short_classes_and_zero_for_precise() {
+    let rows = e5::run(&small_firefox(), &[4_096, 32_768]).expect("E5 runs");
+    for row in &rows {
+        assert!(row.samples > 0, "sampling must collect hits");
+        assert!(
+            row.worst_abs_err > 0.2,
+            "some class must be badly misattributed at period {}: {}",
+            row.period,
+            row.worst_abs_err
+        );
+    }
+    // Coarser periods mean fewer samples.
+    assert!(rows[0].samples > rows[1].samples);
+}
+
+#[test]
+fn e6_most_critical_sections_are_short() {
+    let result = e6::run(&small_mysql(), 8).expect("E6 runs");
+    let table = result.report.class("table").expect("table class exists");
+    assert!(table.hold.count() > 100);
+    // The headline insight: the bulk of critical sections are ≲ a few
+    // thousand cycles — far below a sampling interval.
+    assert!(
+        table.short_fraction(4_096) > 0.8,
+        "table CS <4k-cycle fraction = {}",
+        table.short_fraction(4_096)
+    );
+    let log = result.report.class("log").expect("log class exists");
+    assert!(
+        log.short_fraction(1_024) > 0.9,
+        "log CSs are a few hundred cycles"
+    );
+}
+
+#[test]
+fn e7_sync_share_grows_with_thread_count() {
+    let rows = e7::run(&[2, 16], 50, 4).expect("E7 runs");
+    let low = &rows[0];
+    let high = &rows[1];
+    assert!(
+        high.combined_share > low.combined_share + 0.1,
+        "combined sync share must grow: {} -> {}",
+        low.combined_share,
+        high.combined_share
+    );
+    assert!(high.futex_waits > low.futex_waits);
+    assert!(high.blocked_cycles > low.blocked_cycles);
+}
+
+#[test]
+fn e8_task_classes_have_distinct_signatures() {
+    let rows = e8::run(&small_firefox(), 4).expect("E8 runs");
+    let ui = e8::row(&rows, "ui").expect("ui row");
+    let js = e8::row(&rows, "js").expect("js row");
+    let gc = e8::row(&rows, "gc").expect("gc row");
+    let layout = e8::row(&rows, "layout").expect("layout row");
+    assert!(ui.count > 0 && js.count > 0 && layout.count > 0);
+    // GC may be rare in a short run, but when present it is memory-bound.
+    if gc.count > 0 {
+        assert!(gc.mean_cycles > 5.0 * ui.mean_cycles);
+        assert!(gc.mean_llc > 10.0 * ui.mean_llc.max(0.1));
+    }
+    assert!(
+        js.mean_bmiss > 5.0 * ui.mean_bmiss.max(0.1),
+        "js is mispredict-heavy: js={} ui={}",
+        js.mean_bmiss,
+        ui.mean_bmiss
+    );
+    assert!(
+        layout.mean_llc > 5.0 * ui.mean_llc.max(0.1),
+        "layout is memory-bound"
+    );
+}
+
+#[test]
+fn e9_handler_dominates_cycles_and_misses() {
+    let cfg = ApacheConfig {
+        workers: 4,
+        requests_per_worker: 40,
+        ..ApacheConfig::default()
+    };
+    let result = e9::run(&cfg, 4).expect("E9 runs");
+    let get = |name: &str| result.rows.iter().find(|r| r.phase == name).unwrap();
+    let handler = get("handler");
+    let parse = get("parse");
+    let log = get("log");
+    assert_eq!(handler.count, 160);
+    assert!(handler.mean_cycles > 3.0 * parse.mean_cycles);
+    assert!(handler.mean_llc > 10.0 * parse.mean_llc.max(0.1));
+    assert!(log.mean_cycles < handler.mean_cycles);
+    // Tail: p99 is above the mean.
+    assert!(handler.p99_cycles as f64 > handler.mean_cycles);
+}
+
+#[test]
+fn e11_colocation_hits_memory_bound_classes_only() {
+    let rows = bench::e11::run(8).expect("E11 runs");
+    let ui = bench::e11::row(&rows, "ui").unwrap();
+    let layout = bench::e11::row(&rows, "layout").unwrap();
+    let paint = bench::e11::row(&rows, "paint").unwrap();
+    // Compute-bound: untouched.
+    assert!(ui.slowdown() < 1.02, "ui slowdown {}", ui.slowdown());
+    // Memory-bound: measurably slower with more LLC misses.
+    for victim in [layout, paint] {
+        assert!(
+            victim.slowdown() > 1.05,
+            "{} slowdown {}",
+            victim.class,
+            victim.slowdown()
+        );
+        assert!(
+            victim.coloc_llc > victim.alone_llc * 1.1,
+            "{} llc {} -> {}",
+            victim.class,
+            victim.alone_llc,
+            victim.coloc_llc
+        );
+    }
+}
+
+#[test]
+fn e12_striping_relieves_the_lock_bottleneck() {
+    let rows = bench::e12::run(&[1, 64], 8).expect("E12 runs");
+    let coarse = &rows[0];
+    let fine = &rows[1];
+    assert!(
+        fine.ops_per_mcycle > 2.0 * coarse.ops_per_mcycle,
+        "throughput {} -> {}",
+        coarse.ops_per_mcycle,
+        fine.ops_per_mcycle
+    );
+    assert!(fine.sync_share < coarse.sync_share - 0.1);
+    assert!(fine.futex_waits < coarse.futex_waits / 4);
+    // Hold time is a property of the bucket work, not the striping.
+    assert!((fine.mean_hold - coarse.mean_hold).abs() < 0.15 * coarse.mean_hold);
+}
+
+#[test]
+fn priority_lets_a_foreground_thread_finish_first() {
+    use limit_repro::prelude::*;
+    // Five identical CPU-bound threads on one core; the last-spawned one
+    // gets high priority and must finish first despite spawning last.
+    let mut b = SessionBuilder::new(1).kernel_config(KernelConfig {
+        quantum: 5_000,
+        ..Default::default()
+    });
+    let mut asm = b.asm();
+    asm.export("spin");
+    asm.burst(60_000);
+    asm.halt();
+    let mut s = b.build(asm).expect("builds");
+    let mut tids = Vec::new();
+    for _ in 0..4 {
+        tids.push(s.spawn_instrumented("spin", &[]).expect("spawns"));
+    }
+    let vip = s.spawn_instrumented("spin", &[]).expect("spawns");
+    s.kernel.set_priority(vip, 10);
+    s.run().expect("runs");
+    let exit_of = |t| s.kernel.thread(t).stats.exited_at;
+    for &t in &tids {
+        assert!(
+            exit_of(vip) < exit_of(t),
+            "vip exited at {} vs {} for {t}",
+            exit_of(vip),
+            exit_of(t)
+        );
+    }
+}

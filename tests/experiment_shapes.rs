@@ -1,0 +1,158 @@
+//! Integration tests asserting the *shapes* of the reproduced experiments:
+//! who wins, by roughly what factor, and which invariants hold. Absolute
+//! numbers are substrate-dependent; the orderings and magnitudes below are
+//! the paper's claims.
+
+use bench::{e1, e10, e3, e4};
+
+#[test]
+fn e1_limit_reads_in_low_tens_of_nanoseconds() {
+    let rows = e1::run(2_000).expect("E1 runs");
+    let limit = e1::row(&rows, "limit").unwrap();
+    assert!(
+        (10.0..50.0).contains(&limit.nanos),
+        "limit read = {} ns, expected low tens",
+        limit.nanos
+    );
+}
+
+#[test]
+fn e1_limit_is_one_to_two_orders_faster_than_syscall_paths() {
+    let rows = e1::run(2_000).expect("E1 runs");
+    let limit = e1::row(&rows, "limit").unwrap().nanos;
+    let perf = e1::row(&rows, "perf").unwrap().nanos;
+    let papi = e1::row(&rows, "papi").unwrap().nanos;
+    let perf_ratio = perf / limit;
+    let papi_ratio = papi / limit;
+    assert!(
+        (10.0..1000.0).contains(&perf_ratio),
+        "perf/limit ratio {perf_ratio}"
+    );
+    assert!(papi_ratio > perf_ratio, "PAPI adds library overhead on top");
+}
+
+#[test]
+fn e1_rdtsc_is_the_floor() {
+    let rows = e1::run(2_000).expect("E1 runs");
+    let rdtsc = e1::row(&rows, "rdtsc").unwrap().cycles;
+    let limit = e1::row(&rows, "limit").unwrap().cycles;
+    assert!(rdtsc < limit, "a raw timestamp must be cheapest");
+    assert!(
+        limit < 4.0 * rdtsc,
+        "limit stays within a small factor of it"
+    );
+}
+
+#[test]
+fn e3_virtualized_counts_are_exact_in_every_scenario() {
+    let rows = e3::run().expect("E3 runs");
+    assert!(rows.len() >= 4);
+    for row in &rows {
+        assert!(
+            row.exact(),
+            "{}: expected {} got [{}, {}]",
+            row.scenario,
+            row.expected,
+            row.measured_min,
+            row.measured_max
+        );
+    }
+    // The scenarios actually exercised what they claim to.
+    assert!(
+        rows.iter().any(|r| r.migrations > 0),
+        "a migration scenario must migrate"
+    );
+    assert!(
+        rows.iter().any(|r| r.pmis > 0),
+        "an overflow scenario must overflow"
+    );
+    assert!(
+        rows.iter().any(|r| r.switches > 10),
+        "a preemption scenario must switch"
+    );
+}
+
+#[test]
+fn e3_rdtsc_is_useless_under_time_sharing() {
+    let (virt, rdtsc) = e3::wallclock_comparison().expect("comparison runs");
+    assert!(
+        rdtsc as f64 > 2.0 * virt as f64,
+        "wall clock must be inflated by co-runners: virt={virt} rdtsc={rdtsc}"
+    );
+}
+
+#[test]
+fn e4_fixup_eliminates_read_corruption() {
+    let (on, off) = e4::run_both().expect("E4 runs");
+    assert_eq!(on.violations, 0, "fix-up on: no corrupted reads");
+    assert!(on.fixups > 0, "the storm must actually hit the sequence");
+    assert!(
+        off.violations > 0,
+        "fix-up off: the race must be observable"
+    );
+    assert!(off.unfixed_races >= off.violations / 2);
+    assert_eq!(off.fixups, 0);
+}
+
+#[test]
+fn e10_destructive_read_is_cheaper_than_a_pair() {
+    let d = e10::run_destructive(1_000).expect("E10.1 runs");
+    assert!(
+        d.destructive_cycles < d.pair_cycles / 1.5,
+        "pair={} destructive={}",
+        d.pair_cycles,
+        d.destructive_cycles
+    );
+}
+
+#[test]
+fn e10_self_virtualizing_counters_eliminate_pmis_and_stay_exact() {
+    let (stock, ext) = e10::run_self_virtualizing().expect("E10.2 runs");
+    assert!(stock.pmis > 0, "narrow counters must overflow");
+    assert_eq!(ext.pmis, 0, "hardware spill replaces every PMI");
+    assert_eq!(stock.measured, stock.expected);
+    assert_eq!(ext.measured, ext.expected);
+    assert!(
+        ext.total_cycles < stock.total_cycles,
+        "removing PMI handling must save time"
+    );
+}
+
+#[test]
+fn e10_tag_filter_removes_probe_self_pollution() {
+    let t = e10::run_tag_filter(300).expect("E10.3 runs");
+    assert!(
+        t.untagged_mean > t.tagged_mean,
+        "untagged includes instrumentation instructions"
+    );
+    // The tagged measurement is within a couple of instructions of truth
+    // (the settag instructions themselves are the residue).
+    assert!(
+        (t.tagged_mean - t.true_work as f64).abs() <= 2.0,
+        "tagged mean {} vs true {}",
+        t.tagged_mean,
+        t.true_work
+    );
+}
+
+#[test]
+fn e1b_limit_scales_linearly_and_perf_pays_per_counter() {
+    let rows = bench::e1::run_multi(500).expect("E1b runs");
+    let cell = |m: &str, k: usize| {
+        rows.iter()
+            .find(|r| r.method == m && r.counters == k)
+            .unwrap()
+            .cycles
+    };
+    // LiMiT: ~36 cycles per extra counter (read sequence each).
+    let limit_step = cell("limit", 4) - cell("limit", 3);
+    assert!(
+        (25.0..60.0).contains(&limit_step),
+        "limit step {limit_step}"
+    );
+    // perf: a full syscall round-trip per extra counter.
+    let perf_step = cell("perf", 4) - cell("perf", 3);
+    assert!(perf_step > 2_000.0, "perf step {perf_step}");
+    // Reading all four counters with LiMiT still beats ONE perf read.
+    assert!(cell("limit", 4) < cell("perf", 1) / 10.0);
+}

@@ -1,0 +1,242 @@
+//! Property-based integration tests: randomized configurations must
+//! preserve the core invariants (counter exactness, mutual exclusion,
+//! determinism) that the hand-picked experiment scenarios verify at fixed
+//! points.
+
+use limit::harness::SessionBuilder;
+use limit::{CounterReader, LimitReader};
+use proptest::prelude::*;
+use sim_cpu::{Cond, EventKind, MachineConfig, PmuConfig, Reg};
+use sim_os::KernelConfig;
+use workloads::{kernels, locks};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Virtualized instruction counts are exact for any loop size, thread
+    /// count, quantum, and counter width.
+    #[test]
+    fn counter_exactness_is_universal(
+        iters in 50u64..1_500,
+        body in 5u32..80,
+        threads in 1usize..5,
+        cores in 1usize..4,
+        quantum in 2_000u64..60_000,
+        bits_sel in 0usize..3,
+    ) {
+        let bits = [14u32, 24, 48][bits_sel];
+        let events = [EventKind::Instructions];
+        let reader = LimitReader::with_events(events.to_vec());
+        let mut b = SessionBuilder::new(cores)
+            .events(&events)
+            .machine_config(MachineConfig::new(cores).with_pmu(PmuConfig {
+                counter_bits: bits,
+                ..Default::default()
+            }))
+            .kernel_config(KernelConfig { quantum, ..Default::default() });
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        let counts = kernels::emit_counted_loop(&mut asm, iters, body);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tids: Vec<_> = (0..threads)
+            .map(|_| s.spawn_instrumented("main", &[]).unwrap())
+            .collect();
+        s.run().unwrap();
+        let expected = counts.instructions + 1; // + halt
+        for tid in tids {
+            prop_assert_eq!(s.counter_total(tid, 0).unwrap(), expected);
+        }
+    }
+
+    /// The futex mutex provides mutual exclusion for any thread/core/
+    /// quantum combination.
+    #[test]
+    fn mutex_is_mutually_exclusive(
+        threads in 2usize..6,
+        cores in 1usize..4,
+        incs in 20u64..150,
+        quantum in 1_500u64..30_000,
+    ) {
+        let lock_addr = 0x40000u64;
+        let counter_addr = 0x40040u64;
+        let mut b = SessionBuilder::new(cores)
+            .kernel_config(KernelConfig { quantum, ..Default::default() });
+        let mut asm = b.asm();
+        asm.export("worker");
+        asm.imm(Reg::R13, lock_addr);
+        asm.imm(Reg::R12, counter_addr);
+        asm.imm(Reg::R9, incs);
+        asm.imm(Reg::R10, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        locks::emit_lock(&mut asm, Reg::R13);
+        asm.load(Reg::R11, Reg::R12, 0);
+        asm.burst(15);
+        asm.alui_add(Reg::R11, 1);
+        asm.store(Reg::R11, Reg::R12, 0);
+        locks::emit_unlock(&mut asm, Reg::R13);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        for _ in 0..threads {
+            s.spawn_instrumented("worker", &[]).unwrap();
+        }
+        s.run().unwrap();
+        prop_assert_eq!(
+            s.read_u64(counter_addr).unwrap(),
+            threads as u64 * incs
+        );
+        prop_assert_eq!(s.read_u64(lock_addr).unwrap(), 0);
+    }
+
+    /// Whole-workload runs are bit-for-bit deterministic in their reports
+    /// and records for any seed.
+    #[test]
+    fn mysql_runs_are_deterministic(seed in any::<u64>()) {
+        use workloads::mysqld::{self, MysqlConfig};
+        let cfg = MysqlConfig {
+            threads: 3,
+            queries_per_thread: 10,
+            tables: 4,
+            table_bytes: 16 * 1024,
+            bufpool_bytes: 64 * 1024,
+            seed,
+            ..MysqlConfig::default()
+        };
+        let events = [EventKind::Cycles];
+        let go = || {
+            let reader = LimitReader::with_events(events.to_vec());
+            mysqld::run(&cfg, &reader, 2, &events, KernelConfig::default()).unwrap()
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.report.total_cycles, b.report.total_cycles);
+        prop_assert_eq!(a.report.context_switches, b.report.context_switches);
+        prop_assert_eq!(
+            a.session.all_records().unwrap(),
+            b.session.all_records().unwrap()
+        );
+    }
+
+    /// The LiMiT read value never decreases within a thread, under any
+    /// interference level, as long as the fix-up is on.
+    #[test]
+    fn limit_reads_are_monotonic_with_fixup(
+        interferers in 0usize..4,
+        quantum in 800u64..5_000,
+        bits_sel in 0usize..2,
+    ) {
+        let bits = [10u32, 48][bits_sel];
+        let reads = 400u64;
+        let events = [EventKind::Instructions];
+        let reader = LimitReader::with_events(events.to_vec());
+        let mut layout = sim_cpu::MemLayout::default();
+        let out = layout.alloc(reads * 8, 64);
+        let mut b = SessionBuilder::new(2)
+            .events(&events)
+            .with_layout(layout)
+            .machine_config(MachineConfig::new(2).with_pmu(PmuConfig {
+                counter_bits: bits,
+                ..Default::default()
+            }))
+            .kernel_config(KernelConfig { quantum, ..Default::default() });
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.mov(Reg::R11, Reg::R1);
+        reader.emit_thread_setup(&mut asm);
+        asm.imm(Reg::R9, reads);
+        asm.imm(Reg::R10, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        asm.store(Reg::R4, Reg::R11, 0);
+        asm.alui_add(Reg::R11, 8);
+        asm.alui_sub(Reg::R9, 1);
+        asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+        asm.halt();
+        asm.export("noise");
+        asm.burst(30_000);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[out]).unwrap();
+        for _ in 0..interferers {
+            s.spawn_instrumented("noise", &[]).unwrap();
+        }
+        s.run().unwrap();
+        let mut prev = 0u64;
+        for i in 0..reads {
+            let v = s.read_u64(out + i * 8).unwrap();
+            prop_assert!(v >= prev, "read {i} decreased: {v} < {prev}");
+            prev = v;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Aggregate-mode instrumentation totals equal the per-event log's
+    /// sums for any region sequence: the two logging modes are different
+    /// encodings of the same measurement.
+    #[test]
+    fn aggregate_mode_equals_log_sums(
+        ops in proptest::collection::vec((0u64..4, 10u32..120), 1..25),
+    ) {
+        use limit::Instrumenter;
+        let events = [EventKind::Instructions];
+        let build = |aggregate: bool| {
+            let reader = LimitReader::with_events(events.to_vec());
+            let ins = Instrumenter::new(&reader);
+            let mut b = SessionBuilder::new(1).events(&events);
+            if aggregate {
+                b = b.aggregate_regions(4);
+            }
+            let mut asm = b.asm();
+            asm.export("main");
+            reader.emit_thread_setup(&mut asm);
+            for &(region, work) in &ops {
+                ins.emit_enter(&mut asm);
+                asm.burst(work);
+                if aggregate {
+                    ins.emit_exit_aggregate(&mut asm, region);
+                } else {
+                    ins.emit_exit(&mut asm, region);
+                }
+            }
+            asm.halt();
+            let mut s = b.build(asm).unwrap();
+            let tid = s.spawn_instrumented("main", &[]).unwrap();
+            s.run().unwrap();
+            (s, tid)
+        };
+
+        let (log_s, log_tid) = build(false);
+        let (agg_s, agg_tid) = build(true);
+        let records = log_s.records(log_tid).unwrap();
+        let aggregates = agg_s.aggregates(agg_tid).unwrap();
+        for region in 0..4u64 {
+            let log_count = records.iter().filter(|r| r.region == region).count() as u64;
+            let agg = &aggregates[region as usize];
+            prop_assert_eq!(agg.count, log_count, "region {} count", region);
+            // Deltas differ by a small fixed amount per record because the
+            // two exit paths have different preamble lengths; counts and
+            // per-record bursts dominate. Compare within that bound.
+            let log_sum: u64 = records
+                .iter()
+                .filter(|r| r.region == region)
+                .map(|r| r.deltas[0])
+                .sum();
+            let diff = agg.sums[0].abs_diff(log_sum);
+            prop_assert!(
+                diff <= 4 * log_count.max(1),
+                "region {}: agg {} vs log {}",
+                region,
+                agg.sums[0],
+                log_sum
+            );
+        }
+    }
+}
