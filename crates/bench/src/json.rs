@@ -1,0 +1,228 @@
+//! Minimal JSON emission for experiment results.
+//!
+//! The workspace's `serde` is an offline stub (no registry access, see
+//! `vendor/serde`), so machine-readable output is built with this small
+//! hand-rolled writer instead of a serializer derive. It covers exactly
+//! what result files need: objects, arrays, strings, numbers, and booleans,
+//! with correct string escaping and stable (insertion-order) keys so files
+//! diff cleanly across PRs.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (emitted without a fractional part).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Finite float (non-finite values are emitted as `null`).
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array of values.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds/replaces a field on an object; panics on non-objects.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        let Json::Object(ref mut fields) = self else {
+            panic!("Json::set on a non-object");
+        };
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.into(),
+            None => fields.push((key.to_string(), value.into())),
+        }
+        self
+    }
+
+    /// Renders with 2-space indentation and a trailing newline (stable
+    /// output for committed result files).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    value.render(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::object()
+            .set("experiment", "e1")
+            .set("wall_ms", 12.5)
+            .set("ok", true)
+            .set("tables", vec!["a\nb", "c"]);
+        let s = j.pretty();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"experiment\": \"e1\""));
+        assert!(s.contains("\"wall_ms\": 12.5"));
+        assert!(s.contains("\"a\\nb\""));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let s = Json::Str("he said \"hi\"\\\t\u{1}".to_string()).pretty();
+        assert_eq!(s, "\"he said \\\"hi\\\"\\\\\\t\\u0001\"\n");
+    }
+
+    #[test]
+    fn set_replaces_existing_keys_in_place() {
+        let j = Json::object().set("a", 1i64).set("b", 2i64).set("a", 3i64);
+        assert_eq!(j.pretty(), "{\n  \"a\": 3,\n  \"b\": 2\n}\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        assert_eq!(Json::object().pretty(), "{}\n");
+        assert_eq!(Json::Array(vec![]).pretty(), "[]\n");
+    }
+}

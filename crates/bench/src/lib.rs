@@ -4,7 +4,8 @@
 //! underlying simulator.
 
 pub mod experiments;
+pub mod json;
 pub mod parallel;
 
 pub use experiments::*;
-pub use parallel::parmap;
+pub use parallel::{default_jobs, parmap, parmap_with};

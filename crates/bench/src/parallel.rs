@@ -2,33 +2,117 @@
 //!
 //! Experiments are deterministic and independent, so sweep cells (thread
 //! counts × methods, sampling periods, ablation arms) can run on separate
-//! host threads. `parmap` preserves input order and propagates panics.
+//! host threads. [`parmap`] preserves input order and propagates panics.
+//!
+//! The pool is **bounded**: at most `jobs` host threads exist at a time
+//! (default [`default_jobs`], i.e. `std::thread::available_parallelism()`),
+//! pulling cells off a shared queue. The seed implementation spawned one
+//! unbounded thread per cell, which oversubscribed the host as soon as a
+//! sweep grew past the core count.
+//!
+//! Panic safety: a panicking cell aborts the sweep — remaining queued cells
+//! are dropped, every worker is joined, and the **first** panic is
+//! re-raised with the `experiment thread panicked` prefix. No worker is
+//! ever orphaned and no lock is held across user code.
 
-use crossbeam::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread;
 
-/// Maps `f` over `items` on one host thread per item (sweeps are small),
+/// The default pool width: the host's available parallelism (1 if unknown).
+pub fn default_jobs() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a pool of [`default_jobs`] worker threads,
 /// returning results in input order.
 ///
 /// # Panics
 ///
-/// Propagates any panic from `f`.
+/// Propagates the first panic from `f` (message prefixed with
+/// `experiment thread panicked`).
 pub fn parmap<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> T + Sync,
 {
-    if items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    thread::scope(|s| {
-        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(|_| f(item))).collect();
-        handles
+    parmap_with(default_jobs(), items, f)
+}
+
+/// [`parmap`] with an explicit pool width (clamped to `1..=items.len()`).
+pub fn parmap_with<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n);
+    if n <= 1 || jobs == 1 {
+        // Same panic contract as the pooled path: the first panic is
+        // re-raised with the `experiment thread panicked` prefix.
+        return items
             .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+            .map(|item| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(out) => out,
+                Err(payload) => repanic(payload),
+            })
+            .collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                if aborted.load(Ordering::Acquire) {
+                    break;
+                }
+                // Lock scope is just the queue pop; user code runs unlocked.
+                let Some((idx, item)) = queue.lock().unwrap().next() else {
+                    break;
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(out) => *results[idx].lock().unwrap() = Some(out),
+                    Err(payload) => {
+                        aborted.store(true, Ordering::Release);
+                        first_panic.lock().unwrap().get_or_insert(payload);
+                        break;
+                    }
+                }
+            });
+        }
+        // `thread::scope` joins every worker here, panicked or not.
+    });
+
+    if let Some(payload) = first_panic.into_inner().unwrap() {
+        repanic(payload);
+    }
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every cell completed without panicking")
+        })
+        .collect()
+}
+
+fn repanic(payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    panic!("experiment thread panicked: {msg}");
 }
 
 #[cfg(test)]
@@ -39,6 +123,12 @@ mod tests {
     fn preserves_order() {
         let out = parmap((0..16).collect(), |x: i32| x * x);
         assert_eq!(out, (0..16).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preserves_order_with_narrow_pool() {
+        let out = parmap_with(2, (0..64).collect(), |x: i32| x * 3);
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]
@@ -59,6 +149,21 @@ mod tests {
     }
 
     #[test]
+    fn pool_never_exceeds_requested_width() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        parmap_with(3, (0..32).collect(), |x: u32| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "pool width exceeded");
+    }
+
+    #[test]
     #[should_panic(expected = "experiment thread panicked")]
     fn panics_propagate() {
         let _ = parmap(vec![1, 2], |x: i32| {
@@ -67,5 +172,23 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn panic_joins_all_workers_and_preserves_message() {
+        let err = std::panic::catch_unwind(|| {
+            parmap_with(2, (0..100).collect(), |x: i32| {
+                if x == 5 {
+                    panic!("cell 5 exploded");
+                }
+                x
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("experiment thread panicked") && msg.contains("cell 5 exploded"),
+            "got: {msg}"
+        );
     }
 }

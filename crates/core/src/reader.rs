@@ -14,7 +14,18 @@
 use crate::tls::{self, TLS_REG};
 use sim_cpu::{Asm, EventKind, Reg};
 use sim_os::syscall::{encode_event, nr};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of `limit_read.N` range suffixes.
+///
+/// Per-reader counters (the seed design) alias: two readers emitting into
+/// one program both start at `limit_read.0`, and `Asm` range names must be
+/// unique within a program. A global counter makes every emission's name
+/// unique no matter how many readers a session (or thread) creates. Range
+/// names are only ever prefix-matched (`limit_read*`), never printed in
+/// experiment output, so the process-wide ordering does not affect
+/// deterministic tables.
+static NEXT_RANGE: AtomicU64 = AtomicU64::new(0);
 
 /// Emits guest code for counter attachment and reads.
 pub trait CounterReader {
@@ -52,7 +63,6 @@ pub trait CounterReader {
 #[derive(Debug)]
 pub struct LimitReader {
     events: Vec<EventKind>,
-    next_range: Cell<u32>,
 }
 
 impl LimitReader {
@@ -75,10 +85,7 @@ impl LimitReader {
             "at most {} counters",
             tls::MAX_COUNTERS
         );
-        LimitReader {
-            events,
-            next_range: Cell::new(0),
-        }
+        LimitReader { events }
     }
 
     /// The configured events.
@@ -106,8 +113,7 @@ impl CounterReader for LimitReader {
 
     fn emit_read(&self, asm: &mut Asm, i: usize, dst: Reg, scratch: Reg) {
         assert!(i < self.events.len(), "counter {i} not attached");
-        let range = format!("limit_read.{}", self.next_range.get());
-        self.next_range.set(self.next_range.get() + 1);
+        let range = format!("limit_read.{}", NEXT_RANGE.fetch_add(1, Ordering::Relaxed));
         asm.begin_range(&range);
         asm.load(dst, TLS_REG, tls::accum_off(i));
         asm.rdpmc(scratch, i as u8);
@@ -170,6 +176,27 @@ mod tests {
             assert!(name.starts_with("limit_read."));
             assert_eq!(e - s, 3, "3-instruction sequence");
         }
+    }
+
+    #[test]
+    fn two_readers_in_one_program_never_alias_ranges() {
+        // Regression: per-reader counters both started at `limit_read.0`,
+        // so two readers emitting into one program produced colliding range
+        // names. The global counter makes all names unique.
+        let a = LimitReader::new(2);
+        let b = LimitReader::new(2);
+        let mut asm = Asm::new();
+        a.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+        b.emit_read(&mut asm, 0, Reg::R6, Reg::R7);
+        a.emit_read(&mut asm, 1, Reg::R4, Reg::R5);
+        b.emit_read(&mut asm, 1, Reg::R6, Reg::R7);
+        let prog = asm.assemble().unwrap();
+        let names: std::collections::HashSet<String> = prog
+            .iter_ranges()
+            .map(|(name, _)| name.to_string())
+            .collect();
+        assert_eq!(names.len(), 4, "all emitted range names must be distinct");
+        assert!(names.iter().all(|n| n.starts_with("limit_read.")));
     }
 
     #[test]

@@ -5,12 +5,8 @@
 //! experiment configuration, so every run is reproducible bit-for-bit.
 //!
 //! The generator is xoshiro256** (public domain construction by Blackman &
-//! Vigna), implemented locally so the substrate does not depend on `rand`'s
-//! internal algorithms staying stable across versions. The crate still
-//! implements [`rand::RngCore`] so `rand`'s distribution machinery can be
-//! used on top where convenient.
-
-use rand::RngCore;
+//! Vigna), implemented locally so the substrate carries no external RNG
+//! dependency and its streams stay stable across toolchain updates.
 
 /// A deterministic, splittable pseudo-random generator (xoshiro256**).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,25 +119,18 @@ impl DetRng {
     }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (DetRng::next_u64(self) >> 32) as u32
+impl DetRng {
+    /// Next raw 32-bit value (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let v = DetRng::next_u64(self).to_le_bytes();
+            let v = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&v[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -59,6 +59,16 @@ impl EventKind {
         EventKind::TlbMisses,
     ];
 
+    /// Number of event kinds (the size of per-event dispatch tables).
+    pub const COUNT: usize = EventKind::ALL.len();
+
+    /// Dense index of this event, matching its position in
+    /// [`EventKind::ALL`]. Used by the PMU's per-event subscriber index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The short mnemonic used in reports (styled after `perf list` names).
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -106,5 +116,13 @@ mod tests {
     fn display_matches_mnemonic() {
         assert_eq!(EventKind::LlcMisses.to_string(), "llc-misses");
         assert_eq!(format!("{:?}", EventKind::Cycles), "cycles");
+    }
+
+    #[test]
+    fn index_is_dense_and_matches_all_order() {
+        for (i, e) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert!(e.index() < EventKind::COUNT);
+        }
     }
 }

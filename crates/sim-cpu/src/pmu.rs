@@ -30,6 +30,7 @@ use crate::core::Mode;
 use crate::events::EventKind;
 use serde::{Deserialize, Serialize};
 use sim_core::{SimError, SimResult};
+use std::collections::VecDeque;
 
 /// PMU-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -165,14 +166,24 @@ pub struct Spill {
 }
 
 /// One core's PMU.
+///
+/// Event delivery is the hottest operation in the whole simulator (every
+/// retired instruction calls [`Pmu::count`] at least twice), so the PMU
+/// keeps a per-[`EventKind`] **subscriber index**: for each event kind, the
+/// slot numbers currently programmed to count it, maintained at
+/// [`Pmu::configure`] / [`Pmu::disable`] time. `count` then touches only
+/// subscribed slots — O(subscribers) instead of O(all slots) per delivery.
 #[derive(Debug, Clone)]
 pub struct Pmu {
     config: PmuConfig,
     slots: Vec<Slot>,
     user_rdpmc: bool,
-    pending_pmi: Vec<u8>,
+    pending_pmi: VecDeque<u8>,
     pending_spills: Vec<Spill>,
     overflows: u64,
+    /// `subscribers[EventKind::index()]` = slot numbers (ascending) whose
+    /// configuration counts that event. Rebuilt on configure/disable.
+    subscribers: [Vec<u8>; EventKind::COUNT],
 }
 
 impl Pmu {
@@ -183,10 +194,24 @@ impl Pmu {
             slots: vec![Slot::default(); config.programmable],
             config,
             user_rdpmc: false,
-            pending_pmi: Vec::new(),
+            pending_pmi: VecDeque::new(),
             pending_spills: Vec::new(),
             overflows: 0,
+            subscribers: Default::default(),
         })
+    }
+
+    /// Rebuilds the per-event subscriber index from slot configurations.
+    /// O(slots) — called only on the cold configure/disable path.
+    fn rebuild_subscribers(&mut self) {
+        for list in &mut self.subscribers {
+            list.clear();
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(cfg) = slot.cfg {
+                self.subscribers[cfg.event.index()].push(i as u8);
+            }
+        }
     }
 
     /// The PMU-wide configuration.
@@ -227,6 +252,7 @@ impl Pmu {
             cfg: Some(cfg),
             raw: 0,
         };
+        self.rebuild_subscribers();
         Ok(())
     }
 
@@ -234,6 +260,7 @@ impl Pmu {
     pub fn disable(&mut self, idx: u8) -> SimResult<()> {
         let i = self.check_idx(idx)?;
         self.slots[i] = Slot::default();
+        self.rebuild_subscribers();
         Ok(())
     }
 
@@ -277,16 +304,29 @@ impl Pmu {
 
     /// Records `n` occurrences of `event` in `mode` with the core tag
     /// `core_tag`. Overflows set PMIs or spills per counter configuration.
+    ///
+    /// Dispatch is indexed: only slots subscribed to `event` are visited
+    /// (in ascending slot order, matching the historical full-scan order).
     pub fn count(&mut self, event: EventKind, n: u64, mode: Mode, core_tag: u64) {
         if n == 0 {
             return;
         }
         let modulus = self.modulus();
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            let Some(cfg) = slot.cfg else { continue };
-            if cfg.event != event {
-                continue;
-            }
+        // Disjoint field borrows: the subscriber list is read-only here
+        // while slots and the pending queues are mutated.
+        let Pmu {
+            config,
+            slots,
+            pending_pmi,
+            pending_spills,
+            overflows,
+            subscribers,
+            ..
+        } = self;
+        for &idx in &subscribers[event.index()] {
+            let slot = &mut slots[idx as usize];
+            let cfg = slot.cfg.expect("indexed slot is configured");
+            debug_assert_eq!(cfg.event, event, "subscriber index out of sync");
             let mode_ok = match mode {
                 Mode::User => cfg.count_user,
                 Mode::Kernel => cfg.count_kernel,
@@ -294,7 +334,7 @@ impl Pmu {
             if !mode_ok {
                 continue;
             }
-            if self.config.ext_tag_filter {
+            if config.ext_tag_filter {
                 if let Some(t) = cfg.tag {
                     if t != core_tag {
                         continue;
@@ -313,26 +353,22 @@ impl Pmu {
                 }
                 remaining -= room;
                 slot.raw = cfg.reload.unwrap_or(0) & (modulus - 1);
-                self.overflows += 1;
-                if let Some(addr) = cfg.spill_addr.filter(|_| self.config.ext_self_virtualizing) {
-                    self.pending_spills.push(Spill {
+                *overflows += 1;
+                if let Some(addr) = cfg.spill_addr.filter(|_| config.ext_self_virtualizing) {
+                    pending_spills.push(Spill {
                         addr,
                         amount: modulus,
                     });
                 } else if cfg.pmi_on_overflow {
-                    self.pending_pmi.push(idx as u8);
+                    pending_pmi.push_back(idx);
                 }
             }
         }
     }
 
-    /// Takes the next pending overflow interrupt, if any.
+    /// Takes the next pending overflow interrupt, if any (FIFO, O(1)).
     pub fn take_pmi(&mut self) -> Option<u8> {
-        if self.pending_pmi.is_empty() {
-            None
-        } else {
-            Some(self.pending_pmi.remove(0))
-        }
+        self.pending_pmi.pop_front()
     }
 
     /// Whether an overflow interrupt is pending.

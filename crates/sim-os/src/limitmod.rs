@@ -26,6 +26,9 @@
 pub struct LimitMod {
     /// Whether the restartable-sequence fix-up is active (ablation knob).
     pub fixup_enabled: bool,
+    /// Registered `[start, end)` PC ranges, kept sorted by start and
+    /// non-overlapping so registration and [`LimitMod::rewind_target`] (run
+    /// on every fold, i.e. every context switch and PMI) are O(log n).
     ranges: Vec<(u32, u32)>,
     /// Folds performed (switch-out + overflow).
     pub folds: u64,
@@ -49,27 +52,47 @@ impl LimitMod {
     }
 
     /// Registers a restartable read-sequence PC range `[start, end)`.
+    ///
+    /// Ranges are kept sorted by start. Empty ranges and ranges overlapping
+    /// an already-registered one (including exact duplicates) are ignored:
+    /// read sequences occupy distinct code addresses, so an overlap can only
+    /// be a duplicate registration. O(log n) search + ordered insert.
     pub fn register_range(&mut self, start: u32, end: u32) {
-        if start < end && !self.ranges.contains(&(start, end)) {
-            self.ranges.push((start, end));
+        if start >= end {
+            return;
         }
+        let pos = self.ranges.partition_point(|&(s, _)| s < start);
+        // Overlap is only possible with the nearest neighbour on each side.
+        if pos > 0 && self.ranges[pos - 1].1 > start {
+            return;
+        }
+        if pos < self.ranges.len() && self.ranges[pos].0 < end {
+            return;
+        }
+        self.ranges.insert(pos, (start, end));
     }
 
-    /// Registered ranges.
+    /// Registered ranges, sorted by start.
     pub fn ranges(&self) -> &[(u32, u32)] {
         &self.ranges
     }
 
     /// If `pc` lies strictly inside a registered sequence (past its first
-    /// instruction), returns the sequence start.
+    /// instruction), returns the sequence start. O(log n).
     ///
     /// A thread stopped exactly *at* the first instruction has not read
     /// anything yet, so no rewind is needed.
     pub fn rewind_target(&self, pc: u32) -> Option<u32> {
-        self.ranges
-            .iter()
-            .find(|&&(s, e)| pc > s && pc < e)
-            .map(|&(s, _)| s)
+        // Last range starting strictly before `pc` is the only candidate:
+        // ranges are sorted and non-overlapping.
+        let pos = self.ranges.partition_point(|&(s, _)| s < pc);
+        match pos.checked_sub(1).map(|i| self.ranges[i]) {
+            Some((s, e)) if pc < e => {
+                debug_assert!(pc > s);
+                Some(s)
+            }
+            _ => None,
+        }
     }
 
     /// Applies the fix-up to an interrupted PC after a fold. Returns the
@@ -154,5 +177,62 @@ mod tests {
         m.register_range(30, 40);
         assert_eq!(m.rewind_target(35), Some(30));
         assert_eq!(m.rewind_target(12), Some(10));
+    }
+
+    #[test]
+    fn registration_order_does_not_matter() {
+        let mut m = LimitMod::new(true);
+        m.register_range(30, 40);
+        m.register_range(10, 15);
+        m.register_range(20, 25);
+        assert_eq!(m.ranges(), &[(10, 15), (20, 25), (30, 40)]);
+        assert_eq!(m.rewind_target(12), Some(10));
+        assert_eq!(m.rewind_target(24), Some(20));
+        assert_eq!(m.rewind_target(31), Some(30));
+        assert_eq!(m.rewind_target(17), None);
+    }
+
+    #[test]
+    fn overlapping_registrations_are_ignored() {
+        let mut m = LimitMod::new(true);
+        m.register_range(10, 20);
+        m.register_range(15, 25); // overlaps tail
+        m.register_range(5, 12); // overlaps head
+        m.register_range(12, 18); // fully inside
+        m.register_range(0, 100); // fully covering
+        assert_eq!(m.ranges(), &[(10, 20)]);
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan_on_random_ranges() {
+        // Cross-check the O(log n) lookup against a naive scan over many
+        // deterministic pseudo-random disjoint range sets.
+        let mut rng = sim_core::DetRng::new(0x0011_a117_5eed);
+        for _ in 0..200 {
+            let mut m = LimitMod::new(true);
+            let mut naive: Vec<(u32, u32)> = Vec::new();
+            let mut at = 0u32;
+            let mut spans = Vec::new();
+            while at < 4_000 && spans.len() < 64 {
+                let start = at + rng.range(1, 40) as u32;
+                let end = start + rng.range(1, 12) as u32;
+                spans.push((start, end));
+                at = end;
+            }
+            // Register in shuffled order.
+            while !spans.is_empty() {
+                let i = rng.index(spans.len());
+                let (s, e) = spans.swap_remove(i);
+                m.register_range(s, e);
+                naive.push((s, e));
+            }
+            for pc in 0..4_100u32 {
+                let want = naive
+                    .iter()
+                    .find(|&&(s, e)| pc > s && pc < e)
+                    .map(|&(s, _)| s);
+                assert_eq!(m.rewind_target(pc), want, "pc {pc}");
+            }
+        }
     }
 }

@@ -2,13 +2,26 @@
 //! (or all of them) from one binary.
 //!
 //! ```text
-//! limit-repro list            # what can run
-//! limit-repro run e1          # one experiment
-//! limit-repro run all         # the full evaluation
+//! limit-repro list                  # what can run
+//! limit-repro run e1                # one experiment
+//! limit-repro run all               # the full evaluation, sequentially
+//! limit-repro run all --jobs 4      # ... on 4 host threads
 //! ```
+//!
+//! Experiments are deterministic and independent, so `run all` can execute
+//! them concurrently on `bench`'s bounded worker pool. Tables are collected
+//! per experiment and printed in experiment order when everything finishes,
+//! so stdout is **byte-identical** for every `--jobs` value. Wall-time
+//! lines go to stderr (they vary run to run), and each experiment also
+//! writes a machine-readable `results/<name>.json` (plus a
+//! `results/run-summary.json` roll-up) so performance trajectories can be
+//! tracked across PRs.
 
+use bench::json::Json;
 use std::env;
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const EXPERIMENTS: [(&str, &str); 13] = [
     ("e1", "read-cost table (the headline)"),
@@ -32,34 +45,39 @@ const EXPERIMENTS: [(&str, &str); 13] = [
     ),
 ];
 
-fn run_one(name: &str) -> Result<(), String> {
+/// Runs one experiment and returns its rendered tables (header included).
+/// Printing is deferred to the caller so experiments can run concurrently
+/// while stdout stays byte-identical to a sequential run.
+fn run_one(name: &str) -> Result<String, String> {
     let fail = |e: sim_core::SimError| e.to_string();
-    println!("\n########## {name} ##########");
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "\n########## {name} ##########");
     match name {
         "e1" => {
             let rows = bench::e1::run(5_000).map_err(fail)?;
-            println!("{}", bench::e1::table(&rows));
+            let _ = writeln!(w, "{}", bench::e1::table(&rows));
         }
         "e2" => {
             let rows = bench::e2::run(&[1, 4, 8, 16], 120, 8).map_err(fail)?;
-            println!("{}", bench::e2::table(&rows));
+            let _ = writeln!(w, "{}", bench::e2::table(&rows));
         }
         "e3" => {
             let rows = bench::e3::run().map_err(fail)?;
-            println!("{}", bench::e3::table(&rows));
+            let _ = writeln!(w, "{}", bench::e3::table(&rows));
             let (virt, rdtsc) = bench::e3::wallclock_comparison().map_err(fail)?;
-            println!("virtualized: {virt} cycles; rdtsc: {rdtsc} cycles");
+            let _ = writeln!(w, "virtualized: {virt} cycles; rdtsc: {rdtsc} cycles");
         }
         "e4" => {
             let rows = bench::e4::run_all().map_err(fail)?;
             let refs: Vec<_> = rows.iter().collect();
-            println!("{}", bench::e4::table_of(&refs));
+            let _ = writeln!(w, "{}", bench::e4::table_of(&refs));
         }
         "e5" => {
             let cfg = workloads::firefox::FirefoxConfig::default();
             let rows = bench::e5::run(&cfg, &[1_024, 8_192, 65_536]).map_err(fail)?;
-            println!("{}", bench::e5::sweep_table(&rows));
-            println!("{}", bench::e5::class_table(&rows[1]));
+            let _ = writeln!(w, "{}", bench::e5::sweep_table(&rows));
+            let _ = writeln!(w, "{}", bench::e5::class_table(&rows[1]));
         }
         "e6" => {
             let cfg = workloads::mysqld::MysqlConfig {
@@ -68,48 +86,133 @@ fn run_one(name: &str) -> Result<(), String> {
                 ..Default::default()
             };
             let result = bench::e6::run(&cfg, 8).map_err(fail)?;
-            println!("{}", bench::e6::table(&result));
-            println!("{}", bench::e6::histograms(&result));
+            let _ = writeln!(w, "{}", bench::e6::table(&result));
+            let _ = writeln!(w, "{}", bench::e6::histograms(&result));
         }
         "e7" => {
             let rows = bench::e7::run(&[1, 2, 4, 8, 16, 32], 100, 8).map_err(fail)?;
-            println!("{}", bench::e7::table(&rows));
+            let _ = writeln!(w, "{}", bench::e7::table(&rows));
         }
         "e8" => {
             let rows =
                 bench::e8::run(&workloads::firefox::FirefoxConfig::default(), 4).map_err(fail)?;
-            println!("{}", bench::e8::table(&rows));
+            let _ = writeln!(w, "{}", bench::e8::table(&rows));
         }
         "e9" => {
             let result =
                 bench::e9::run(&workloads::apache::ApacheConfig::default(), 8).map_err(fail)?;
-            println!("{}", bench::e9::table(&result));
+            let _ = writeln!(w, "{}", bench::e9::table(&result));
         }
         "e10" => {
             let d = bench::e10::run_destructive(2_000).map_err(fail)?;
             let sv = bench::e10::run_self_virtualizing().map_err(fail)?;
             let t = bench::e10::run_tag_filter(500).map_err(fail)?;
             for table in bench::e10::tables(&d, &sv, &t) {
-                println!("{table}");
+                let _ = writeln!(w, "{table}");
             }
         }
         "e11" => {
             let rows = bench::e11::run(8).map_err(fail)?;
-            println!("{}", bench::e11::table(&rows));
+            let _ = writeln!(w, "{}", bench::e11::table(&rows));
         }
         "e12" => {
             let rows = bench::e12::run(&[1, 2, 4, 16, 64, 256], 8).map_err(fail)?;
-            println!("{}", bench::e12::table(&rows));
+            let _ = writeln!(w, "{}", bench::e12::table(&rows));
         }
         "kernels" => {
             let rows = bench::kernels_char::run(20_000, 1 << 20).map_err(fail)?;
-            println!("{}", bench::kernels_char::table(&rows));
+            let _ = writeln!(w, "{}", bench::kernels_char::table(&rows));
             let ab = bench::kernels_char::prefetch_ablation(20_000, 1 << 20).map_err(fail)?;
-            println!("{}", bench::kernels_char::prefetch_table(&ab));
+            let _ = writeln!(w, "{}", bench::kernels_char::prefetch_table(&ab));
         }
         other => return Err(format!("unknown experiment {other:?}; try `list`")),
     }
-    Ok(())
+    Ok(out)
+}
+
+/// Outcome of one experiment in a `run` invocation.
+struct ExperimentRun {
+    name: &'static str,
+    wall_ms: f64,
+    result: Result<String, String>,
+}
+
+/// Runs `names` on `jobs` worker threads, then prints tables in experiment
+/// order and writes `results/*.json`. Returns failure if any experiment
+/// errored.
+fn run_experiments(names: Vec<&'static str>, jobs: usize) -> ExitCode {
+    let started = Instant::now();
+    let runs: Vec<ExperimentRun> = bench::parmap_with(jobs, names, |name| {
+        let t0 = Instant::now();
+        let result = run_one(name);
+        ExperimentRun {
+            name,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            result,
+        }
+    });
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut failed = false;
+    for run in &runs {
+        match &run.result {
+            Ok(tables) => print!("{tables}"),
+            Err(e) => {
+                failed = true;
+                eprintln!("error: {} failed: {e}", run.name);
+            }
+        }
+        eprintln!("[timing] {:<8} {:>10.1} ms", run.name, run.wall_ms);
+    }
+    eprintln!(
+        "[timing] total    {total_ms:>10.1} ms ({} experiments, {jobs} job{})",
+        runs.len(),
+        if jobs == 1 { "" } else { "s" }
+    );
+
+    if let Err(e) = write_result_files(&runs, jobs, total_ms) {
+        eprintln!("warning: could not write results/*.json: {e}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Writes one `results/<name>.json` per successful experiment and a
+/// `results/run-summary.json` roll-up with wall times.
+fn write_result_files(runs: &[ExperimentRun], jobs: usize, total_ms: f64) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    for run in runs {
+        if let Ok(tables) = &run.result {
+            let doc = Json::object()
+                .set("schema", 1u64)
+                .set("experiment", run.name)
+                .set("wall_ms", run.wall_ms)
+                .set("tables", tables.as_str());
+            std::fs::write(format!("results/{}.json", run.name), doc.pretty())?;
+        }
+    }
+    let summary = Json::object()
+        .set("schema", 1u64)
+        .set("jobs", jobs)
+        .set("total_wall_ms", total_ms)
+        .set(
+            "experiments",
+            Json::Array(
+                runs.iter()
+                    .map(|run| {
+                        Json::object()
+                            .set("name", run.name)
+                            .set("wall_ms", run.wall_ms)
+                            .set("ok", run.result.is_ok())
+                    })
+                    .collect(),
+            ),
+        );
+    std::fs::write("results/run-summary.json", summary.pretty())
 }
 
 /// `limit-repro stat <workload>`: a perf-stat-like summary for one of the
@@ -224,7 +327,33 @@ per-thread accounting:
 }
 
 fn usage() {
-    eprintln!("usage: limit-repro <list | run <experiment|all> | stat <workload>>");
+    eprintln!("usage: limit-repro <list | run <experiment|all> [--jobs N] | stat <workload>>");
+}
+
+/// Parses a `--jobs N` / `--jobs=N` flag from the argument tail. Defaults
+/// to 1 (sequential); `--jobs 0` means "all available cores".
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--jobs" {
+            it.next()
+                .ok_or_else(|| "--jobs needs a value".to_string())?
+                .as_str()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            v
+        } else {
+            return Err(format!("unknown argument {arg:?}"));
+        };
+        jobs = value
+            .parse::<usize>()
+            .map_err(|_| format!("invalid --jobs value {value:?}"))?;
+    }
+    Ok(if jobs == 0 {
+        bench::default_jobs()
+    } else {
+        jobs
+    })
 }
 
 fn main() -> ExitCode {
@@ -255,18 +384,28 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::FAILURE;
             };
-            let names: Vec<&str> = if which == "all" {
-                EXPERIMENTS.iter().map(|&(n, _)| n).collect()
-            } else {
-                vec![which.as_str()]
-            };
-            for name in names {
-                if let Err(e) = run_one(name) {
+            let jobs = match parse_jobs(&args[2..]) {
+                Ok(jobs) => jobs,
+                Err(e) => {
                     eprintln!("error: {e}");
+                    usage();
                     return ExitCode::FAILURE;
                 }
-            }
-            ExitCode::SUCCESS
+            };
+            let names: Vec<&'static str> = if which == "all" {
+                EXPERIMENTS.iter().map(|&(n, _)| n).collect()
+            } else {
+                // Resolve through the table so the name has 'static life and
+                // unknown names fail up front.
+                match EXPERIMENTS.iter().find(|&&(n, _)| n == which) {
+                    Some(&(n, _)) => vec![n],
+                    None => {
+                        eprintln!("error: unknown experiment {which:?}; try `list`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            run_experiments(names, jobs)
         }
         _ => {
             usage();

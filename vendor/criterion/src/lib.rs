@@ -1,0 +1,271 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This crate implements the subset of its API the
+//! `crates/bench` benches use — `Criterion`, benchmark groups,
+//! `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — on top of a simple wall-clock harness:
+//!
+//! * each bench is calibrated so one sample runs for roughly
+//!   [`TARGET_SAMPLE`], then `sample_size` samples are collected,
+//! * min / median / mean per-iteration times are printed, plus throughput
+//!   when configured,
+//! * passing `--test` (as `cargo test --benches` does) runs each bench once
+//!   for smoke coverage instead of timing it.
+//!
+//! There are no statistical comparisons against saved baselines; the point
+//! is keeping `cargo bench` runnable and its output machine-greppable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Roughly how long one calibrated sample should take.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Work-per-iteration declaration, used to derive throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Timing context handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The bench driver. `Criterion::default()` inspects the process arguments:
+/// `--test` switches to run-once smoke mode.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            smoke: self.smoke,
+        }
+    }
+
+    /// Runs a standalone bench (an implicit single-bench group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let smoke = self.smoke;
+        run_bench(&id.into().full, 10, None, smoke, f);
+        self
+    }
+}
+
+/// A named group of benches sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    smoke: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each bench collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares work-per-iteration so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one bench in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().full);
+        run_bench(&full, self.sample_size, self.throughput, self.smoke, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibration (doubles as warmup): grow the iteration count until one
+    // sample takes around TARGET_SAMPLE.
+    f(&mut b);
+    if smoke {
+        println!("{name}: ok (smoke mode)");
+        return;
+    }
+    while b.elapsed < TARGET_SAMPLE && b.iters < u64::MAX / 2 {
+        let scale = (TARGET_SAMPLE.as_nanos() as u64)
+            .checked_div(b.elapsed.as_nanos().max(1) as u64)
+            .unwrap_or(2)
+            .clamp(2, 1024);
+        b.iters = b.iters.saturating_mul(scale);
+        f(&mut b);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" | {:.3} Melem/s", n as f64 / median * 1e3),
+        Throughput::Bytes(n) => {
+            format!(" | {:.3} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
+    });
+    println!(
+        "{name}: min {} | median {} | mean {} ({} samples x {} iters){}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter_ns.len(),
+        b.iters,
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_calls() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("pmu", 4).full, "pmu/4");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 us");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+    }
+}

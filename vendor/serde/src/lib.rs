@@ -1,0 +1,36 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this repository has no crates.io access, so the
+//! real `serde` cannot be fetched. The codebase only uses serde for
+//! `#[derive(Serialize, Deserialize)]` annotations on config/report types —
+//! nothing calls serialization methods or uses the traits as bounds (JSON
+//! emission is hand-rolled in `bench::json`). This crate therefore provides:
+//!
+//! * marker traits `Serialize` / `Deserialize` with the canonical names, and
+//! * derive macros of the same names (from `serde_derive`) that expand to
+//!   nothing, so the annotations compile unchanged.
+//!
+//! If registry access ever becomes available, deleting `vendor/` and
+//! restoring the crates.io dependency is a drop-in swap.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace stub mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace stub mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

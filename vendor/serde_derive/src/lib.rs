@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize, Deserialize)]` must parse and expand, but no code in
+//! this workspace consumes the generated impls, so expanding to nothing is
+//! sufficient and keeps the stub free of `syn`/`quote` (which are equally
+//! unfetchable offline).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
