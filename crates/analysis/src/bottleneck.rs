@@ -52,17 +52,32 @@ impl BottleneckReport {
                 e.1 += 1;
             }
         }
-        let mut items: Vec<Bottleneck> = cycles
+        Self::from_totals(
+            cycles.into_iter().map(|(id, (cy, n))| {
+                let name = regions.name(id);
+                let name = if name == "?" {
+                    format!("#{id}")
+                } else {
+                    name.to_string()
+                };
+                (name, cy, n)
+            }),
+            total_cycles,
+        )
+    }
+
+    /// Builds a ranking from already-aggregated per-region totals
+    /// `(name, cycles, executions)` — the entry point for online snapshots
+    /// (see `crate::online`), where per-record data was folded away long
+    /// before ranking.
+    pub fn from_totals(
+        totals: impl IntoIterator<Item = (String, u64, u64)>,
+        total_cycles: u64,
+    ) -> Self {
+        let mut items: Vec<Bottleneck> = totals
             .into_iter()
-            .map(|(id, (cy, n))| Bottleneck {
-                name: {
-                    let name = regions.name(id);
-                    if name == "?" {
-                        format!("#{id}")
-                    } else {
-                        name.to_string()
-                    }
-                },
+            .map(|(name, cy, n)| Bottleneck {
+                name,
                 cycles: cy,
                 share: if total_cycles == 0 {
                     0.0

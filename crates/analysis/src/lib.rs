@@ -8,6 +8,9 @@
 //!   attribution,
 //! * [`bottleneck`] — the title operation: rank regions by cycle share
 //!   and name the offender,
+//! * [`online`] — the same logic applied continuously to mid-run
+//!   telemetry snapshots (lock-contention / memory-bound / cpu-bound
+//!   classification),
 //! * [`overhead`] — instrumentation-overhead accounting (E2),
 //! * [`table`] — plain-text table rendering shared by every `exp_*`
 //!   binary.
@@ -18,6 +21,7 @@ pub mod bottleneck;
 pub mod compare;
 pub mod lockstats;
 pub mod metrics;
+pub mod online;
 pub mod overhead;
 pub mod profile;
 pub mod table;
@@ -28,6 +32,7 @@ pub use bottleneck::{Bottleneck, BottleneckReport};
 pub use compare::Comparison;
 pub use lockstats::{LockClassStats, LockReport};
 pub use metrics::Rates;
+pub use online::{classify, DetectorConfig, Finding, FindingKind};
 pub use overhead::OverheadRow;
 pub use profile::FlatProfile;
 pub use table::Table;

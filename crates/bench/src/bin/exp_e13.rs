@@ -1,0 +1,19 @@
+//! E13: live-telemetry streaming overhead. `cargo run -p bench --bin exp_e13 --release`
+
+use bench::e13;
+
+fn main() {
+    let rows = e13::run(&[1, 2, 4, 8], 120, 8).expect("E13 runs");
+    println!("{}", e13::table(&rows));
+    if let (Some(s), Some(a)) = (
+        e13::overhead_of(&rows, 8, "stream"),
+        e13::overhead_of(&rows, 8, "aggregate"),
+    ) {
+        let ratio = e13::stream_vs_aggregate(&rows, 8).unwrap();
+        println!(
+            "At 8 threads: stream adds {:.1}% runtime vs aggregate's {:.1}% ({ratio:.2}x).",
+            s * 100.0,
+            a * 100.0
+        );
+    }
+}

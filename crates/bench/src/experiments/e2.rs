@@ -56,7 +56,9 @@ pub fn run(thread_counts: &[usize], queries: u64, cores: usize) -> SimResult<Vec
     let measured: Vec<SimResult<(usize, &str, u64, u64)>> =
         crate::parallel::parmap(cells, |(threads, method)| {
             let mut cfg = mysql_cfg(threads, queries);
-            cfg.aggregate = method == "limit-agg";
+            if method == "limit-agg" {
+                cfg.mode = limit::LogMode::Aggregate;
+            }
             let reader = reader_for(method);
             let events: &[EventKind] = if method == "none" { &[] } else { &EVENTS };
             let run = mysqld::run(

@@ -9,6 +9,7 @@
 //! events the workload's [`crate::reader::CounterReader`] attaches — the
 //! session uses its length to size and parse log records.
 
+use crate::instrument::StreamConfig;
 use crate::report::{parse_log, RegionRecord, Regions};
 use crate::tls;
 use sim_core::{CoreId, Freq, SimError, SimResult, ThreadId};
@@ -26,6 +27,7 @@ pub struct SessionBuilder {
     tls_user_bytes: u64,
     layout: Option<MemLayout>,
     aggregate_regions: usize,
+    stream: Option<StreamConfig>,
 }
 
 impl SessionBuilder {
@@ -39,7 +41,24 @@ impl SessionBuilder {
             tls_user_bytes: 256,
             layout: None,
             aggregate_regions: 0,
+            stream: None,
         }
+    }
+
+    /// Enables stream-mode instrumentation: every spawned thread gets an
+    /// SPSC telemetry ring of `cfg.capacity` slots (addressed via
+    /// [`tls::RING_BASE`], filled by
+    /// [`crate::Instrumenter::emit_exit_stream`]) *instead of* a post-run
+    /// log buffer — stream-mode memory is bounded by the ring, not the
+    /// event count.
+    pub fn stream(mut self, cfg: StreamConfig) -> Self {
+        assert!(
+            cfg.capacity.is_power_of_two(),
+            "ring capacity must be a power of two, got {}",
+            cfg.capacity
+        );
+        self.stream = Some(cfg);
+        self
     }
 
     /// Enables aggregate-mode instrumentation: every spawned thread gets a
@@ -129,6 +148,7 @@ impl SessionBuilder {
             log_capacity: self.log_capacity,
             tls_user_bytes: self.tls_user_bytes,
             aggregate_regions: self.aggregate_regions,
+            stream: self.stream,
             tls_of: HashMap::new(),
             report: None,
         })
@@ -140,6 +160,26 @@ struct TlsInfo {
     base: u64,
     log_base: u64,
     agg_base: u64,
+    ring_base: u64,
+}
+
+/// Everything a host-side collector needs to drain one thread's telemetry
+/// ring (see `telemetry::Collector`).
+#[derive(Debug, Clone, Copy)]
+pub struct RingHandle {
+    /// The producing thread.
+    pub tid: ThreadId,
+    /// Guest address of the thread's TLS block (head/tail indices live at
+    /// [`tls::RING_HEAD`] / [`tls::RING_TAIL`] off this base).
+    pub tls_base: u64,
+    /// Guest address of slot 0.
+    pub ring_base: u64,
+    /// Ring capacity in slots (power of two).
+    pub capacity: u64,
+    /// Event deltas per record.
+    pub counters: usize,
+    /// Full-ring policy (see [`StreamConfig::overwrite`]).
+    pub overwrite: bool,
 }
 
 /// A booted, instrumented experiment run.
@@ -154,6 +194,7 @@ pub struct Session {
     log_capacity: usize,
     tls_user_bytes: u64,
     aggregate_regions: usize,
+    stream: Option<StreamConfig>,
     tls_of: HashMap<ThreadId, TlsInfo>,
     report: Option<RunReport>,
 }
@@ -212,21 +253,40 @@ impl Session {
         }
         let rec = tls::record_size(self.events.len().max(1));
         let tls_base = self.layout.alloc(tls::TLS_SIZE + self.tls_user_bytes, 64);
-        let log_base = self.layout.alloc(self.log_capacity as u64 * rec, 64);
+        // Stream mode replaces the post-run log with the telemetry ring:
+        // memory is bounded by the ring capacity regardless of run length.
+        let log_base = if self.stream.is_none() {
+            self.layout.alloc(self.log_capacity as u64 * rec, 64)
+        } else {
+            0
+        };
         let agg_base = if self.aggregate_regions > 0 {
             let entry = crate::instrument::aggregate_entry_size(self.events.len());
             self.layout.alloc(self.aggregate_regions as u64 * entry, 64)
         } else {
             0
         };
+        let ring_base = if let Some(cfg) = self.stream {
+            let slot = tls::ring_slot_size(self.events.len());
+            self.layout.alloc(cfg.capacity * slot, 64)
+        } else {
+            0
+        };
         let mem = &mut self.kernel.machine.mem;
         mem.write_u64(tls_base + tls::LOG_CURSOR as u64, log_base)?;
-        mem.write_u64(
-            tls_base + tls::LOG_END as u64,
-            log_base + self.log_capacity as u64 * rec,
-        )?;
+        let log_end = if log_base != 0 {
+            log_base + self.log_capacity as u64 * rec
+        } else {
+            0
+        };
+        mem.write_u64(tls_base + tls::LOG_END as u64, log_end)?;
         if agg_base != 0 {
             mem.write_u64(tls_base + tls::AGG_BASE as u64, agg_base)?;
+        }
+        if ring_base != 0 {
+            mem.write_u64(tls_base + tls::RING_BASE as u64, ring_base)?;
+            mem.write_u64(tls_base + tls::RING_HEAD as u64, 0)?;
+            mem.write_u64(tls_base + tls::RING_TAIL as u64, 0)?;
         }
         let mut args = vec![tls_base];
         args.extend_from_slice(extra);
@@ -238,6 +298,7 @@ impl Session {
                 base: tls_base,
                 log_base,
                 agg_base,
+                ring_base,
             },
         );
         Ok(tid)
@@ -247,6 +308,7 @@ impl Session {
     pub fn run(&mut self) -> SimResult<RunReport> {
         let report = self.kernel.run()?;
         self.report = Some(report.clone());
+        self.warn_on_drops();
         Ok(report)
     }
 
@@ -255,7 +317,94 @@ impl Session {
     pub fn run_until_exit(&mut self, tid: ThreadId) -> SimResult<RunReport> {
         let report = self.kernel.run_until_exit(tid)?;
         self.report = Some(report.clone());
+        self.warn_on_drops();
         Ok(report)
+    }
+
+    /// Surfaces silent record loss: if any thread dropped records to a full
+    /// log or ring, print one stderr line naming the worst thread and its
+    /// most-affected region (the region appearing most often in the records
+    /// that *did* land — the best available proxy for what was lost).
+    fn warn_on_drops(&self) {
+        let mut total = 0u64;
+        let mut worst: Option<(ThreadId, u64)> = None;
+        for tid in self.spawned_tids() {
+            let d = self.dropped(tid).unwrap_or(0);
+            total += d;
+            if d > 0 && worst.is_none_or(|(_, w)| d > w) {
+                worst = Some((tid, d));
+            }
+        }
+        let Some((tid, d)) = worst else { return };
+        let region = match self.busiest_region(tid) {
+            Some(id) => {
+                let name = self.regions.name(id);
+                if name == "?" {
+                    format!("region {id}")
+                } else {
+                    name.to_string()
+                }
+            }
+            None => "unknown".to_string(),
+        };
+        eprintln!(
+            "warning: {total} instrumentation record(s) dropped to full buffers \
+             (worst: {tid} with {d}; most-affected region: {region})"
+        );
+    }
+
+    /// The region id appearing most often in a thread's landed records
+    /// (log records in log mode, resident ring slots in stream mode).
+    fn busiest_region(&self, tid: ThreadId) -> Option<u64> {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        if let Some(cfg) = self.stream {
+            let info = self.tls(tid);
+            let head = self
+                .read_u64(info.base + tls::RING_HEAD as u64)
+                .unwrap_or(0);
+            let slot = tls::ring_slot_size(self.events.len());
+            for i in 0..head.min(cfg.capacity) {
+                if let Ok(id) = self.read_u64(info.ring_base + i * slot) {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        } else {
+            for r in self.records(tid).ok()? {
+                *counts.entry(r.region).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(id, n)| (n, std::cmp::Reverse(id)))
+            .map(|(id, _)| id)
+    }
+
+    /// Drain handles for every spawned thread's telemetry ring, in spawn
+    /// order (stream-mode sessions only).
+    pub fn ring_handles(&self) -> Vec<RingHandle> {
+        let Some(cfg) = self.stream else {
+            return Vec::new();
+        };
+        self.spawned_tids()
+            .into_iter()
+            .map(|tid| {
+                let info = self.tls(tid);
+                RingHandle {
+                    tid,
+                    tls_base: info.base,
+                    ring_base: info.ring_base,
+                    capacity: cfg.capacity,
+                    counters: self.events.len(),
+                    overwrite: cfg.overwrite,
+                }
+            })
+            .collect()
+    }
+
+    /// The stream configuration, if this session was built with
+    /// [`SessionBuilder::stream`].
+    pub fn stream_config(&self) -> Option<StreamConfig> {
+        self.stream
     }
 
     /// The retained run report.
@@ -572,6 +721,87 @@ mod tests {
         assert!(agg[0].sums[0] < 2 * agg[2].sums[0]);
         let total = s.aggregates_total().unwrap();
         assert_eq!(total[0], agg[0]);
+    }
+
+    #[test]
+    fn stream_mode_appends_to_ring_and_drops_when_full() {
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let cfg = StreamConfig::dropping(4);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .stream(cfg);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        for r in 0..6u64 {
+            ins.emit_enter(&mut asm);
+            asm.burst(10);
+            ins.emit_exit_stream(&mut asm, r, cfg);
+        }
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        let h = s.ring_handles()[0];
+        assert_eq!(h.tid, tid);
+        assert_eq!(h.capacity, 4);
+        // Records 0..4 land; 4 and 5 hit a full ring and are dropped.
+        let head = s.read_u64(h.tls_base + tls::RING_HEAD as u64).unwrap();
+        assert_eq!(head, 4);
+        assert_eq!(s.dropped(tid).unwrap(), 2);
+        let slot = tls::ring_slot_size(1);
+        for i in 0..4u64 {
+            assert_eq!(s.read_u64(h.ring_base + i * slot).unwrap(), i);
+            // Delta covers at least the burst.
+            assert!(s.read_u64(h.ring_base + i * slot + 8).unwrap() >= 10);
+        }
+    }
+
+    #[test]
+    fn stream_overwrite_mode_keeps_newest_records() {
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let cfg = StreamConfig::overwriting(4);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .stream(cfg);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        for r in 0..6u64 {
+            ins.emit_enter(&mut asm);
+            asm.burst(10);
+            ins.emit_exit_stream(&mut asm, r, cfg);
+        }
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        let tid = s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        let h = s.ring_handles()[0];
+        let head = s.read_u64(h.tls_base + tls::RING_HEAD as u64).unwrap();
+        assert_eq!(head, 6);
+        assert_eq!(s.dropped(tid).unwrap(), 0);
+        // Slots 0,1 were overwritten by records 4,5; slots 2,3 still hold
+        // records 2,3.
+        let slot = tls::ring_slot_size(1);
+        let ids: Vec<u64> = (0..4u64)
+            .map(|i| s.read_u64(h.ring_base + i * slot).unwrap())
+            .collect();
+        assert_eq!(ids, vec![4, 5, 2, 3]);
+    }
+
+    #[test]
+    fn non_stream_sessions_have_no_ring_handles() {
+        let mut b = SessionBuilder::new(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+        assert!(s.ring_handles().is_empty());
+        assert!(s.stream_config().is_none());
     }
 
     #[test]

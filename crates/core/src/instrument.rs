@@ -13,7 +13,64 @@
 
 use crate::reader::CounterReader;
 use crate::tls;
-use sim_cpu::{Asm, Cond, Reg};
+use sim_cpu::{AluOp, Asm, Cond, Reg};
+
+/// How region-exit measurements leave an instrumented thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// Append one `(region, deltas...)` record per exit to a fixed
+    /// per-thread log, drained after the run (full per-event detail,
+    /// unbounded only up to the log capacity).
+    Log,
+    /// Fold each exit into a bounded per-region count/sum table (always-on
+    /// accounting; no per-event detail).
+    Aggregate,
+    /// Append records to a per-thread SPSC ring a host-side collector
+    /// drains *while the run executes* — bounded memory with full
+    /// per-event detail (the telemetry subsystem's transport).
+    Stream(StreamConfig),
+}
+
+impl LogMode {
+    /// The stream configuration, if this is [`LogMode::Stream`].
+    pub fn stream(&self) -> Option<StreamConfig> {
+        match self {
+            LogMode::Stream(cfg) => Some(*cfg),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of stream-mode (ring-buffer) instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Ring capacity in records; must be a power of two.
+    pub capacity: u64,
+    /// Full-ring policy: `false` drops the new record (bumping the
+    /// [`tls::DROPPED`] count — the producer stays O(1) and never waits);
+    /// `true` overwrites the oldest record (the producer skips the full
+    /// check entirely; the collector accounts overwritten records on
+    /// drain).
+    pub overwrite: bool,
+}
+
+impl StreamConfig {
+    /// A drop-policy ring of `capacity` records.
+    pub fn dropping(capacity: u64) -> Self {
+        StreamConfig {
+            capacity,
+            overwrite: false,
+        }
+    }
+
+    /// An overwrite-policy ring of `capacity` records.
+    pub fn overwriting(capacity: u64) -> Self {
+        StreamConfig {
+            capacity,
+            overwrite: true,
+        }
+    }
+}
 
 /// Emits region enter/exit instrumentation for a given reader.
 pub struct Instrumenter<'a> {
@@ -69,6 +126,77 @@ impl<'a> Instrumenter<'a> {
         asm.alui_add(Reg::R4, 1);
         asm.store(Reg::R4, tls::TLS_REG, tls::DROPPED);
         asm.bind(done);
+    }
+
+    /// Emits a region exit for `region_id` in the configured `mode`
+    /// (convenience dispatcher for workload emitters).
+    pub fn emit_exit_mode(&self, asm: &mut Asm, region_id: u64, mode: LogMode) {
+        match mode {
+            LogMode::Log => self.emit_exit(asm, region_id),
+            LogMode::Aggregate => self.emit_exit_aggregate(asm, region_id),
+            LogMode::Stream(cfg) => self.emit_exit_stream(asm, region_id, cfg),
+        }
+    }
+
+    /// Emits a region exit in **stream mode**: appends the record to the
+    /// thread's SPSC telemetry ring instead of the post-run log.
+    ///
+    /// The ring lives in guest memory at the address stored in
+    /// [`tls::RING_BASE`]; `head` ([`tls::RING_HEAD`]) and `tail`
+    /// ([`tls::RING_TAIL`]) are free-running indices, so `head - tail` is
+    /// the fill level and `head & (capacity - 1)` selects the slot. Slots
+    /// are [`tls::ring_slot_size`] bytes (record size padded to a power of
+    /// two), making the address computation mask + shift + add — no
+    /// multiply and no allocation on the guest hot path.
+    ///
+    /// Publication discipline: the record body is stored *before* the head
+    /// index advances, so a collector draining between guest instructions
+    /// never observes a half-written record.
+    pub fn emit_exit_stream(&self, asm: &mut Asm, region_id: u64, cfg: StreamConfig) {
+        assert!(
+            cfg.capacity.is_power_of_two(),
+            "ring capacity must be a power of two, got {}",
+            cfg.capacity
+        );
+        let k = self.reader.counters();
+        let shift = tls::ring_slot_shift(k);
+        // r6 = head (kept across the record body to publish at the end).
+        asm.load(Reg::R6, tls::TLS_REG, tls::RING_HEAD);
+        let drop_path = (!cfg.overwrite).then(|| (asm.new_label(), asm.new_label()));
+        if let Some((full, _)) = drop_path {
+            // Drop policy: full when head - tail == capacity.
+            asm.load(Reg::R7, tls::TLS_REG, tls::RING_TAIL);
+            asm.mov(Reg::R4, Reg::R6);
+            asm.sub(Reg::R4, Reg::R7);
+            asm.imm(Reg::R5, cfg.capacity);
+            asm.br(Cond::Ge, Reg::R4, Reg::R5, full);
+        }
+        // r7 = slot address = ring_base + ((head & mask) << shift).
+        asm.mov(Reg::R7, Reg::R6);
+        asm.alui(AluOp::And, Reg::R7, cfg.capacity - 1);
+        asm.alui(AluOp::Shl, Reg::R7, shift);
+        asm.load(Reg::R4, tls::TLS_REG, tls::RING_BASE);
+        asm.add(Reg::R7, Reg::R4);
+        // Record header + deltas.
+        asm.imm(Reg::R4, region_id);
+        asm.store(Reg::R4, Reg::R7, 0);
+        for i in 0..k {
+            self.reader.emit_read(asm, i, Reg::R4, Reg::R5);
+            asm.load(Reg::R5, tls::TLS_REG, tls::scratch_off(i));
+            asm.sub(Reg::R4, Reg::R5);
+            asm.store(Reg::R4, Reg::R7, (8 * (1 + i)) as i32);
+        }
+        // Publish.
+        asm.alui_add(Reg::R6, 1);
+        asm.store(Reg::R6, tls::TLS_REG, tls::RING_HEAD);
+        if let Some((full, done)) = drop_path {
+            asm.jmp(done);
+            asm.bind(full);
+            asm.load(Reg::R4, tls::TLS_REG, tls::DROPPED);
+            asm.alui_add(Reg::R4, 1);
+            asm.store(Reg::R4, tls::TLS_REG, tls::DROPPED);
+            asm.bind(done);
+        }
     }
 
     /// Emits a zero-counter "event mark": appends a record with no deltas

@@ -64,8 +64,8 @@ pub mod report;
 pub mod routine;
 pub mod tls;
 
-pub use harness::{Session, SessionBuilder};
-pub use instrument::Instrumenter;
+pub use harness::{RingHandle, Session, SessionBuilder};
+pub use instrument::{Instrumenter, LogMode, StreamConfig};
 pub use reader::{CounterReader, LimitReader, NullReader};
 pub use report::{RegionRecord, Regions};
 pub use routine::ReadRoutines;

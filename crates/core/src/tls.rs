@@ -12,8 +12,9 @@
 //! | `64`      | log cursor (guest address of the next free record) |
 //! | `72`      | log end (guest address one past the buffer) |
 //! | `80..112` | region-enter snapshots, one per counter slot |
-//! | `112`     | dropped-record count (log buffer full) |
-//! | `128..`   | workload-defined area ([`USER_BASE`]) |
+//! | `112`     | dropped-record count (log or ring full) |
+//! | `136..160` | telemetry ring: base address, head index, tail index |
+//! | `192..`   | workload-defined area ([`USER_BASE`]) |
 //!
 //! The register conventions instrumented code relies on:
 //!
@@ -65,6 +66,19 @@ pub const SEQ: i32 = 120;
 /// instrumentation).
 pub const AGG_BASE: i32 = 128;
 
+/// Byte offset of the telemetry ring's base-address word (stream-mode
+/// instrumentation; see `crate::instrument::Instrumenter::emit_exit_stream`).
+pub const RING_BASE: i32 = 136;
+
+/// Byte offset of the ring head: the producer's monotonically increasing
+/// append index (slot = `head & (capacity - 1)`). Guest-written only.
+pub const RING_HEAD: i32 = 144;
+
+/// Byte offset of the ring tail: the consumer's monotonically increasing
+/// drain index. Written host-side by the collector between guest
+/// instructions (DMA-like), read by the producer's full check.
+pub const RING_TAIL: i32 = 152;
+
 /// First byte available to workload-defined per-thread state.
 pub const USER_BASE: i32 = 192;
 
@@ -75,6 +89,19 @@ pub const TLS_SIZE: u64 = 192;
 /// `region_id` + one delta per counter.
 pub const fn record_size(counters: usize) -> u64 {
     8 * (1 + counters as u64)
+}
+
+/// Size in bytes of one telemetry **ring slot**: [`record_size`] rounded up
+/// to the next power of two so the producer's slot-address computation is
+/// mask-and-shift only (no multiply on the guest hot path). The padding is
+/// dead space, never read.
+pub const fn ring_slot_size(counters: usize) -> u64 {
+    record_size(counters).next_power_of_two()
+}
+
+/// `log2(ring_slot_size(counters))` — the producer's slot shift.
+pub const fn ring_slot_shift(counters: usize) -> u64 {
+    ring_slot_size(counters).trailing_zeros() as u64
 }
 
 #[cfg(test)]
@@ -94,6 +121,9 @@ mod tests {
         spans.push((DROPPED, DROPPED + 8));
         spans.push((SEQ, SEQ + 8));
         spans.push((AGG_BASE, AGG_BASE + 8));
+        spans.push((RING_BASE, RING_BASE + 8));
+        spans.push((RING_HEAD, RING_HEAD + 8));
+        spans.push((RING_TAIL, RING_TAIL + 8));
         spans.sort_unstable();
         for w in spans.windows(2) {
             assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
@@ -106,5 +136,18 @@ mod tests {
         assert_eq!(record_size(0), 8);
         assert_eq!(record_size(2), 24);
         assert_eq!(record_size(4), 40);
+    }
+
+    #[test]
+    fn ring_slots_are_padded_to_powers_of_two() {
+        assert_eq!(ring_slot_size(0), 8);
+        assert_eq!(ring_slot_size(1), 16);
+        assert_eq!(ring_slot_size(2), 32);
+        assert_eq!(ring_slot_size(3), 32);
+        assert_eq!(ring_slot_size(4), 64);
+        for k in 0..=MAX_COUNTERS {
+            assert!(ring_slot_size(k) >= record_size(k));
+            assert_eq!(1u64 << ring_slot_shift(k), ring_slot_size(k));
+        }
     }
 }

@@ -110,6 +110,11 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all recorded samples (exact, unlike `mean() * count()`).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Whether the histogram holds no samples.
     pub fn is_empty(&self) -> bool {
         self.count == 0

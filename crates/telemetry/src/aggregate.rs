@@ -1,0 +1,155 @@
+//! Sharded online aggregation of drained telemetry records.
+//!
+//! One [`AggShard`] per collector stripe; each folds records in O(1) with
+//! no per-record allocation (a region's stats are allocated once, on first
+//! sight). Shards merge on demand — merging is associative and
+//! commutative, so any merge order over any partition of the record stream
+//! yields the same result as single-shard aggregation (property-tested in
+//! `tests/aggregator_props.rs`).
+
+use sim_core::Histogram;
+use std::collections::HashMap;
+
+/// Streaming statistics for one region: exit count plus one log₂-bucketed
+/// histogram (count/sum/min/max included) per event kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStats {
+    /// Region exits folded in.
+    pub count: u64,
+    /// Per-event delta distributions, indexed like the session's event set.
+    pub events: Vec<Histogram>,
+}
+
+impl RegionStats {
+    fn new(counters: usize) -> Self {
+        RegionStats {
+            count: 0,
+            events: vec![Histogram::new(); counters],
+        }
+    }
+
+    /// Total of event `i`'s deltas across all folded records.
+    pub fn event_sum(&self, i: usize) -> u64 {
+        self.events.get(i).map_or(0, |h| h.sum() as u64)
+    }
+}
+
+/// One aggregation shard: a per-region stats table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggShard {
+    counters: usize,
+    regions: HashMap<u64, RegionStats>,
+}
+
+impl AggShard {
+    /// An empty shard for records carrying `counters` event deltas.
+    pub fn new(counters: usize) -> Self {
+        AggShard {
+            counters,
+            regions: HashMap::new(),
+        }
+    }
+
+    /// Folds one record. O(1); allocates only the first time a region id
+    /// is seen.
+    pub fn fold(&mut self, region: u64, deltas: &[u64]) {
+        debug_assert_eq!(deltas.len(), self.counters);
+        let stats = self
+            .regions
+            .entry(region)
+            .or_insert_with(|| RegionStats::new(self.counters));
+        stats.count += 1;
+        for (h, &d) in stats.events.iter_mut().zip(deltas) {
+            h.record(d);
+        }
+    }
+
+    /// Merges another shard into this one.
+    pub fn merge(&mut self, other: &AggShard) {
+        debug_assert_eq!(other.counters, self.counters);
+        for (&region, theirs) in &other.regions {
+            let ours = self
+                .regions
+                .entry(region)
+                .or_insert_with(|| RegionStats::new(self.counters));
+            ours.count += theirs.count;
+            for (h, o) in ours.events.iter_mut().zip(&theirs.events) {
+                h.merge(o);
+            }
+        }
+    }
+
+    /// Event deltas per record.
+    pub fn counters(&self) -> usize {
+        self.counters
+    }
+
+    /// Total records folded across all regions.
+    pub fn total_count(&self) -> u64 {
+        self.regions.values().map(|s| s.count).sum()
+    }
+
+    /// A region's stats, if any records mentioned it.
+    pub fn region(&self, id: u64) -> Option<&RegionStats> {
+        self.regions.get(&id)
+    }
+
+    /// Iterates `(region_id, stats)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &RegionStats)> {
+        self.regions.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Number of distinct regions seen.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no records have been folded.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_accumulates_counts_and_distributions() {
+        let mut s = AggShard::new(2);
+        s.fold(7, &[10, 100]);
+        s.fold(7, &[30, 300]);
+        s.fold(9, &[5, 50]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_count(), 3);
+        let r7 = s.region(7).unwrap();
+        assert_eq!(r7.count, 2);
+        assert_eq!(r7.event_sum(0), 40);
+        assert_eq!(r7.event_sum(1), 400);
+        assert_eq!(r7.events[0].min(), Some(10));
+        assert_eq!(r7.events[0].max(), Some(30));
+        assert!(s.region(8).is_none());
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let records = [(1u64, [4u64, 9u64]), (2, [8, 2]), (1, [16, 5])];
+        let mut whole = AggShard::new(2);
+        let mut a = AggShard::new(2);
+        let mut b = AggShard::new(2);
+        for (i, (region, deltas)) in records.iter().enumerate() {
+            whole.fold(*region, deltas);
+            if i % 2 == 0 {
+                a.fold(*region, deltas);
+            } else {
+                b.fold(*region, deltas);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+}

@@ -1,0 +1,138 @@
+//! Point-in-time views of the aggregated telemetry stream.
+//!
+//! A [`Snapshot`] is what the pipeline serves: per-region streaming stats
+//! (count plus per-event histograms) and transport accounting. The
+//! invariant `appended == drained + dropped + overwritten + in_flight`
+//! holds at every snapshot; after a final drain `in_flight` is zero.
+
+use sim_core::Histogram;
+
+/// One region's aggregated view inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSnapshot {
+    /// Region id.
+    pub id: u64,
+    /// Resolved name, or `#id` when unnamed.
+    pub name: String,
+    /// Region exits drained so far.
+    pub count: u64,
+    /// Per-event delta histograms (count/sum/min/max/log₂ buckets),
+    /// indexed like the session's event set.
+    pub events: Vec<Histogram>,
+}
+
+impl RegionSnapshot {
+    /// Total of event `i`'s deltas.
+    pub fn event_sum(&self, i: usize) -> u64 {
+        self.events.get(i).map_or(0, |h| h.sum() as u64)
+    }
+
+    /// Mean of event `i`'s deltas, or 0 when empty.
+    pub fn event_mean(&self, i: usize) -> f64 {
+        self.events.get(i).and_then(|h| h.mean()).unwrap_or(0.0)
+    }
+}
+
+/// A point-in-time view of the telemetry pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Monotone snapshot number (1-based; the final post-run snapshot is
+    /// the largest).
+    pub seq: u64,
+    /// Frontier cycle when the snapshot was taken.
+    pub cycle: u64,
+    /// Records appended by producers (sum of ring heads at the last
+    /// drain).
+    pub appended: u64,
+    /// Records consumed by the collector.
+    pub drained: u64,
+    /// Records producers dropped to full rings (drop policy).
+    pub dropped: u64,
+    /// Records lost to producer laps (overwrite policy).
+    pub overwritten: u64,
+    /// Per-region stats, descending by event-0 sum.
+    pub regions: Vec<RegionSnapshot>,
+}
+
+impl Snapshot {
+    /// Sum of event `i` across all regions.
+    pub fn total_event(&self, i: usize) -> u64 {
+        self.regions.iter().map(|r| r.event_sum(i)).sum()
+    }
+
+    /// Looks up a region row by name.
+    pub fn region(&self, name: &str) -> Option<&RegionSnapshot> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Records appended but not yet drained or lost.
+    pub fn in_flight(&self) -> u64 {
+        self.appended
+            .saturating_sub(self.drained + self.overwritten)
+    }
+
+    /// Renders a fixed-width table of the snapshot (one row per region,
+    /// `event_names` labelling the delta columns by their mean).
+    pub fn render(&self, event_names: &[&str]) -> String {
+        let mut out = format!(
+            "snapshot #{} @ cycle {} | drained {} dropped {} overwritten {} in-flight {}\n",
+            self.seq,
+            self.cycle,
+            self.drained,
+            self.dropped,
+            self.overwritten,
+            self.in_flight()
+        );
+        out.push_str(&format!("{:<22} {:>8}", "region", "count"));
+        for n in event_names {
+            out.push_str(&format!(" {:>14}", format!("mean {n}")));
+        }
+        out.push('\n');
+        for r in &self.regions {
+            out.push_str(&format!("{:<22} {:>8}", r.name, r.count));
+            for i in 0..event_names.len() {
+                out.push_str(&format!(" {:>14.1}", r.event_mean(i)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(name: &str, count: u64, deltas: &[u64]) -> RegionSnapshot {
+        let mut h = Histogram::new();
+        for &d in deltas {
+            h.record(d);
+        }
+        RegionSnapshot {
+            id: 0,
+            name: name.to_string(),
+            count,
+            events: vec![h],
+        }
+    }
+
+    #[test]
+    fn accounting_and_lookup() {
+        let s = Snapshot {
+            seq: 2,
+            cycle: 100,
+            appended: 10,
+            drained: 6,
+            dropped: 1,
+            overwritten: 1,
+            regions: vec![region("a.acq", 3, &[5, 10, 15]), region("b", 3, &[1, 2, 3])],
+        };
+        assert_eq!(s.in_flight(), 3);
+        assert_eq!(s.total_event(0), 36);
+        assert_eq!(s.region("a.acq").unwrap().event_sum(0), 30);
+        assert!(s.region("nope").is_none());
+        let txt = s.render(&["cycles"]);
+        assert!(txt.contains("a.acq"));
+        assert!(txt.contains("mean cycles"));
+    }
+}

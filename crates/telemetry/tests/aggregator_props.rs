@@ -1,0 +1,45 @@
+//! Property tests for the sharded aggregator: merging shard snapshots in
+//! any order over any partition of the record stream equals single-shard
+//! aggregation (associativity + commutativity).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use telemetry::AggShard;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_merge_equals_single_shard(
+        records in vec((0u64..6, 0u64..10_000, 0u64..10_000), 0..200),
+        nshards in 1usize..5,
+        rot in 0usize..4,
+    ) {
+        // Reference: everything folded into one shard, in stream order.
+        let mut reference = AggShard::new(2);
+        for &(region, a, b) in &records {
+            reference.fold(region, &[a, b]);
+        }
+        // Partition round-robin across shards (stream order within each).
+        let mut shards: Vec<AggShard> = (0..nshards).map(|_| AggShard::new(2)).collect();
+        for (i, &(region, a, b)) in records.iter().enumerate() {
+            shards[i % nshards].fold(region, &[a, b]);
+        }
+        // Merge in a rotated (arbitrary) order.
+        let mut merged = AggShard::new(2);
+        for i in 0..nshards {
+            merged.merge(&shards[(i + rot) % nshards]);
+        }
+        prop_assert_eq!(&merged, &reference);
+        // Commutativity at the pair level: b∪a == a∪b.
+        if nshards >= 2 {
+            let mut ab = shards[0].clone();
+            ab.merge(&shards[1]);
+            let mut ba = shards[1].clone();
+            ba.merge(&shards[0]);
+            prop_assert_eq!(ab, ba);
+        }
+        // Totals survive partitioning exactly.
+        prop_assert_eq!(merged.total_count(), records.len() as u64);
+    }
+}

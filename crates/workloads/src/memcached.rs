@@ -14,7 +14,7 @@
 use crate::{locks, prng};
 use limit::harness::{Session, SessionBuilder};
 use limit::report::Regions;
-use limit::{CounterReader, Instrumenter};
+use limit::{CounterReader, Instrumenter, LogMode};
 use sim_core::{SimError, SimResult};
 use sim_cpu::{AluOp, Asm, Cond, EventKind, MemLayout, Reg};
 use sim_os::{KernelConfig, RunReport};
@@ -36,6 +36,9 @@ pub struct MemcachedConfig {
     pub op_instrs: u32,
     /// Base RNG seed.
     pub seed: u64,
+    /// Instrumentation logging mode: per-event record log, bounded
+    /// aggregate table, or streaming ring (see [`LogMode`]).
+    pub mode: LogMode,
 }
 
 impl Default for MemcachedConfig {
@@ -48,6 +51,7 @@ impl Default for MemcachedConfig {
             set_per_1024: 102, // ~10%
             op_instrs: 250,
             seed: 0xCAC4E,
+            mode: LogMode::Log,
         }
     }
 }
@@ -146,7 +150,7 @@ pub fn emit(
     }
     locks::emit_lock(asm, Reg::R13);
     if instrumented {
-        ins.emit_exit(asm, r.acq);
+        ins.emit_exit_mode(asm, r.acq, cfg.mode);
         ins.emit_enter(asm);
     }
     // Bucket probe: 3 chained words (key, value, metadata).
@@ -160,7 +164,7 @@ pub fn emit(
     asm.store(Reg::R9, Reg::R14, 16);
     asm.bind(skip_set);
     if instrumented {
-        ins.emit_exit(asm, r.hold);
+        ins.emit_exit_mode(asm, r.hold, cfg.mode);
     }
     locks::emit_unlock(asm, Reg::R13);
 
@@ -200,6 +204,39 @@ impl MemcachedRun {
     }
 }
 
+/// Builds the memcached workload — session configured per `cfg.mode`,
+/// all workers spawned — without running it (see [`crate::mysqld::build`]
+/// for the telemetry-monitor use case).
+pub fn build(
+    cfg: &MemcachedConfig,
+    reader: &dyn CounterReader,
+    cores: usize,
+    events: &[EventKind],
+    kernel_cfg: KernelConfig,
+) -> SimResult<(Session, MemcachedImage)> {
+    let mut layout = MemLayout::default();
+    let mut regions = Regions::new();
+    let mut asm = Asm::new();
+    let image = emit(&mut asm, &mut layout, &mut regions, reader, cfg)?;
+    let mut builder = SessionBuilder::new(cores)
+        .events(events)
+        .with_layout(layout)
+        .kernel_config(kernel_cfg);
+    match cfg.mode {
+        LogMode::Log => {}
+        LogMode::Aggregate => builder = builder.aggregate_regions(regions.len()),
+        LogMode::Stream(stream_cfg) => builder = builder.stream(stream_cfg),
+    }
+    let mut session = builder.build(asm)?;
+    session.regions = regions;
+    let mut seed = sim_core::DetRng::new(cfg.seed);
+    for _ in 0..cfg.workers {
+        let s = seed.next_u64();
+        session.spawn_instrumented(image.entry, &[s])?;
+    }
+    Ok((session, image))
+}
+
 /// Builds, runs, and returns the memcached workload under the given reader.
 pub fn run(
     cfg: &MemcachedConfig,
@@ -208,21 +245,7 @@ pub fn run(
     events: &[EventKind],
     kernel_cfg: KernelConfig,
 ) -> SimResult<MemcachedRun> {
-    let mut layout = MemLayout::default();
-    let mut regions = Regions::new();
-    let mut asm = Asm::new();
-    let image = emit(&mut asm, &mut layout, &mut regions, reader, cfg)?;
-    let mut session = SessionBuilder::new(cores)
-        .events(events)
-        .with_layout(layout)
-        .kernel_config(kernel_cfg)
-        .build(asm)?;
-    session.regions = regions;
-    let mut seed = sim_core::DetRng::new(cfg.seed);
-    for _ in 0..cfg.workers {
-        let s = seed.next_u64();
-        session.spawn_instrumented(image.entry, &[s])?;
-    }
+    let (mut session, image) = build(cfg, reader, cores, events, kernel_cfg)?;
     let report = session.run()?;
     Ok(MemcachedRun {
         session,

@@ -20,7 +20,7 @@
 use crate::{locks, prng};
 use limit::harness::{Session, SessionBuilder};
 use limit::report::Regions;
-use limit::{CounterReader, Instrumenter};
+use limit::{CounterReader, Instrumenter, LogMode};
 use sim_core::{SimError, SimResult};
 use sim_cpu::{AluOp, Asm, Cond, EventKind, MemLayout, Reg};
 use sim_os::{KernelConfig, RunReport};
@@ -48,10 +48,9 @@ pub struct MysqlConfig {
     pub bufpool_probes: u64,
     /// Base RNG seed (each worker derives its own).
     pub seed: u64,
-    /// Instrumentation logging mode: `false` appends per-event records
-    /// (histograms possible), `true` accumulates per-region sums/counts in
-    /// a bounded table (always-on accounting).
-    pub aggregate: bool,
+    /// Instrumentation logging mode: per-event record log, bounded
+    /// aggregate table, or streaming ring (see [`LogMode`]).
+    pub mode: LogMode,
 }
 
 impl Default for MysqlConfig {
@@ -67,7 +66,7 @@ impl Default for MysqlConfig {
             bufpool_bytes: 4 * 1024 * 1024,
             bufpool_probes: 4,
             seed: 0x5EED,
-            aggregate: false,
+            mode: LogMode::Log,
         }
     }
 }
@@ -188,14 +187,10 @@ pub fn emit(
             ins.emit_enter(asm);
         }
     };
-    let aggregate = cfg.aggregate;
+    let mode = cfg.mode;
     let exit = |asm: &mut Asm, region: u64| {
         if instrumented {
-            if aggregate {
-                ins.emit_exit_aggregate(asm, region);
-            } else {
-                ins.emit_exit(asm, region);
-            }
+            ins.emit_exit_mode(asm, region, mode);
         }
     };
 
@@ -334,14 +329,17 @@ pub struct MysqlRun {
     pub report: RunReport,
 }
 
-/// Builds, runs, and returns a MySQL workload under the given reader.
-pub fn run(
+/// Builds a MySQL workload — session configured per `cfg.mode`, all
+/// workers spawned — without running it. The caller drives the kernel
+/// (the telemetry monitor attaches a collector and uses
+/// `run_with_hook`-style execution; plain callers use [`run`]).
+pub fn build(
     cfg: &MysqlConfig,
     reader: &dyn CounterReader,
     cores: usize,
     events: &[EventKind],
     kernel_cfg: KernelConfig,
-) -> SimResult<MysqlRun> {
+) -> SimResult<(Session, MysqlImage)> {
     let mut layout = MemLayout::default();
     let mut regions = Regions::new();
     let mut asm = Asm::new();
@@ -350,8 +348,10 @@ pub fn run(
         .events(events)
         .with_layout(layout)
         .kernel_config(kernel_cfg);
-    if cfg.aggregate {
-        builder = builder.aggregate_regions(regions.len());
+    match cfg.mode {
+        LogMode::Log => {}
+        LogMode::Aggregate => builder = builder.aggregate_regions(regions.len()),
+        LogMode::Stream(stream_cfg) => builder = builder.stream(stream_cfg),
     }
     let mut session = builder.build(asm)?;
     session.regions = regions;
@@ -360,6 +360,18 @@ pub fn run(
         let worker_seed = seed.next_u64();
         session.spawn_instrumented(image.entry, &[worker_seed])?;
     }
+    Ok((session, image))
+}
+
+/// Builds, runs, and returns a MySQL workload under the given reader.
+pub fn run(
+    cfg: &MysqlConfig,
+    reader: &dyn CounterReader,
+    cores: usize,
+    events: &[EventKind],
+    kernel_cfg: KernelConfig,
+) -> SimResult<MysqlRun> {
+    let (mut session, image) = build(cfg, reader, cores, events, kernel_cfg)?;
     let report = session.run()?;
     Ok(MysqlRun {
         session,
@@ -485,7 +497,7 @@ mod tests {
         let log_run = run(&small_cfg(), &reader, 4, &events, KernelConfig::default()).unwrap();
         let reader = LimitReader::with_events(events.to_vec());
         let agg_cfg = MysqlConfig {
-            aggregate: true,
+            mode: LogMode::Aggregate,
             ..small_cfg()
         };
         let agg_run = run(&agg_cfg, &reader, 4, &events, KernelConfig::default()).unwrap();

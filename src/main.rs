@@ -23,7 +23,9 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const EXPERIMENTS: [(&str, &str); 13] = [
+mod monitor;
+
+const EXPERIMENTS: [(&str, &str); 14] = [
     ("e1", "read-cost table (the headline)"),
     ("e2", "instrumentation overhead on mysqld"),
     ("e3", "virtualized-count exactness"),
@@ -39,6 +41,7 @@ const EXPERIMENTS: [(&str, &str); 13] = [
     ("e10", "the three hardware-counter enhancements"),
     ("e11", "extension: co-location interference"),
     ("e12", "extension: lock-striping what-if study"),
+    ("e13", "live-telemetry streaming overhead"),
     (
         "kernels",
         "microbenchmark suite characterization + prefetch ablation",
@@ -119,6 +122,16 @@ fn run_one(name: &str) -> Result<String, String> {
             let rows = bench::e12::run(&[1, 2, 4, 16, 64, 256], 8).map_err(fail)?;
             let _ = writeln!(w, "{}", bench::e12::table(&rows));
         }
+        "e13" => {
+            let rows = bench::e13::run(&[1, 2, 4, 8], 120, 8).map_err(fail)?;
+            let _ = writeln!(w, "{}", bench::e13::table(&rows));
+            if let Some(ratio) = bench::e13::stream_vs_aggregate(&rows, 8) {
+                let _ = writeln!(
+                    w,
+                    "stream overhead is {ratio:.2}x aggregate overhead at 8 threads"
+                );
+            }
+        }
         "kernels" => {
             let rows = bench::kernels_char::run(20_000, 1 << 20).map_err(fail)?;
             let _ = writeln!(w, "{}", bench::kernels_char::table(&rows));
@@ -138,9 +151,9 @@ struct ExperimentRun {
 }
 
 /// Runs `names` on `jobs` worker threads, then prints tables in experiment
-/// order and writes `results/*.json`. Returns failure if any experiment
+/// order and writes `<out_dir>/*.json`. Returns failure if any experiment
 /// errored.
-fn run_experiments(names: Vec<&'static str>, jobs: usize) -> ExitCode {
+fn run_experiments(names: Vec<&'static str>, jobs: usize, out_dir: &str) -> ExitCode {
     let started = Instant::now();
     let runs: Vec<ExperimentRun> = bench::parmap_with(jobs, names, |name| {
         let t0 = Instant::now();
@@ -170,8 +183,8 @@ fn run_experiments(names: Vec<&'static str>, jobs: usize) -> ExitCode {
         if jobs == 1 { "" } else { "s" }
     );
 
-    if let Err(e) = write_result_files(&runs, jobs, total_ms) {
-        eprintln!("warning: could not write results/*.json: {e}");
+    if let Err(e) = write_result_files(&runs, jobs, total_ms, out_dir) {
+        eprintln!("warning: could not write {out_dir}/*.json: {e}");
     }
 
     if failed {
@@ -181,10 +194,15 @@ fn run_experiments(names: Vec<&'static str>, jobs: usize) -> ExitCode {
     }
 }
 
-/// Writes one `results/<name>.json` per successful experiment and a
-/// `results/run-summary.json` roll-up with wall times.
-fn write_result_files(runs: &[ExperimentRun], jobs: usize, total_ms: f64) -> std::io::Result<()> {
-    std::fs::create_dir_all("results")?;
+/// Writes one `<out_dir>/<name>.json` per successful experiment and a
+/// `<out_dir>/run-summary.json` roll-up with wall times.
+fn write_result_files(
+    runs: &[ExperimentRun],
+    jobs: usize,
+    total_ms: f64,
+    out_dir: &str,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
     for run in runs {
         if let Ok(tables) = &run.result {
             let doc = Json::object()
@@ -192,7 +210,7 @@ fn write_result_files(runs: &[ExperimentRun], jobs: usize, total_ms: f64) -> std
                 .set("experiment", run.name)
                 .set("wall_ms", run.wall_ms)
                 .set("tables", tables.as_str());
-            std::fs::write(format!("results/{}.json", run.name), doc.pretty())?;
+            std::fs::write(format!("{out_dir}/{}.json", run.name), doc.pretty())?;
         }
     }
     let summary = Json::object()
@@ -212,7 +230,7 @@ fn write_result_files(runs: &[ExperimentRun], jobs: usize, total_ms: f64) -> std
                     .collect(),
             ),
         );
-    std::fs::write("results/run-summary.json", summary.pretty())
+    std::fs::write(format!("{out_dir}/run-summary.json"), summary.pretty())
 }
 
 /// `limit-repro stat <workload>`: a perf-stat-like summary for one of the
@@ -327,33 +345,51 @@ per-thread accounting:
 }
 
 fn usage() {
-    eprintln!("usage: limit-repro <list | run <experiment|all> [--jobs N] | stat <workload>>");
+    eprintln!(
+        "usage: limit-repro <command>
+  list                                                  what can run
+  run <experiment|all> [--jobs N] [--out-dir DIR]       run experiments
+  stat <workload>                                       perf-stat summary
+  monitor <mysqld|memcached> [--threads N] [--queries N]
+          [--interval CYCLES] [--capacity N] [--out-dir DIR]
+                                                        live telemetry stream
+  check-telemetry <file>                                validate NDJSON output"
+    );
 }
 
-/// Parses a `--jobs N` / `--jobs=N` flag from the argument tail. Defaults
-/// to 1 (sequential); `--jobs 0` means "all available cores".
-fn parse_jobs(args: &[String]) -> Result<usize, String> {
-    let mut jobs = 1usize;
+/// Parses `--key value` / `--key=value` pairs from an argument tail,
+/// rejecting keys outside `allowed`.
+fn parse_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let value = if arg == "--jobs" {
-            it.next()
-                .ok_or_else(|| "--jobs needs a value".to_string())?
-                .as_str()
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            v
-        } else {
+        let Some(rest) = arg.strip_prefix("--") else {
             return Err(format!("unknown argument {arg:?}"));
         };
-        jobs = value
-            .parse::<usize>()
-            .map_err(|_| format!("invalid --jobs value {value:?}"))?;
+        let (key, value) = match rest.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (
+                rest,
+                it.next()
+                    .ok_or_else(|| format!("--{rest} needs a value"))?
+                    .as_str(),
+            ),
+        };
+        if !allowed.contains(&key) {
+            return Err(format!("unknown flag --{key}"));
+        }
+        out.push((key, value));
     }
-    Ok(if jobs == 0 {
-        bench::default_jobs()
-    } else {
-        jobs
-    })
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("invalid --{key} value {value:?}"))
 }
 
 fn main() -> ExitCode {
@@ -384,14 +420,31 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::FAILURE;
             };
-            let jobs = match parse_jobs(&args[2..]) {
-                Ok(jobs) => jobs,
+            let mut jobs = 1usize;
+            let mut out_dir = "results".to_string();
+            match parse_flags(&args[2..], &["jobs", "out-dir"]) {
+                Ok(flags) => {
+                    for (key, value) in flags {
+                        match key {
+                            "jobs" => match parse_num::<usize>(key, value) {
+                                Ok(0) => jobs = bench::default_jobs(),
+                                Ok(n) => jobs = n,
+                                Err(e) => {
+                                    eprintln!("error: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                            },
+                            "out-dir" => out_dir = value.to_string(),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     usage();
                     return ExitCode::FAILURE;
                 }
-            };
+            }
             let names: Vec<&'static str> = if which == "all" {
                 EXPERIMENTS.iter().map(|&(n, _)| n).collect()
             } else {
@@ -405,7 +458,62 @@ fn main() -> ExitCode {
                     }
                 }
             };
-            run_experiments(names, jobs)
+            run_experiments(names, jobs, &out_dir)
+        }
+        Some("monitor") => {
+            let Some(which) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            let mut opts = monitor::MonitorOptions::default();
+            let flags = match parse_flags(
+                &args[2..],
+                &["threads", "queries", "interval", "capacity", "out-dir"],
+            ) {
+                Ok(flags) => flags,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, value) in flags {
+                let parsed: Result<(), String> = (|| {
+                    match key {
+                        "threads" => opts.threads = parse_num(key, value)?,
+                        "queries" => opts.queries = parse_num(key, value)?,
+                        "interval" => opts.interval = parse_num(key, value)?,
+                        "capacity" => opts.capacity = parse_num(key, value)?,
+                        "out-dir" => opts.out_dir = value.to_string(),
+                        _ => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = parsed {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match monitor::run(which, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check-telemetry") => {
+            let Some(path) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            match monitor::check(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => {
             usage();

@@ -1,0 +1,303 @@
+//! `limit-repro monitor <workload>`: live telemetry over a streaming run.
+//!
+//! The workload is built in stream mode (per-thread SPSC rings), a
+//! [`Collector`] drains the rings every `--interval` guest cycles, and
+//! each drain serves a [`Snapshot`]: a per-region table printed to stdout,
+//! an online bottleneck classification ([`analysis::classify`]), and one
+//! NDJSON record appended to `<out-dir>/telemetry-<workload>.json`. The
+//! companion `check-telemetry` subcommand re-parses that file and verifies
+//! the schema plus the transport-accounting invariant, so CI can smoke the
+//! whole pipeline.
+
+use analysis::online::{classify, DetectorConfig, Finding};
+use bench::json::Json;
+use limit::harness::Session;
+use limit::{LimitReader, LogMode, StreamConfig};
+use sim_cpu::EventKind;
+use sim_os::KernelConfig;
+use telemetry::{run_streaming, Collector, Snapshot};
+use workloads::{memcached, mysqld};
+
+/// Counters every monitored run attaches: cycles rank regions,
+/// instructions + LLC misses feed the memory-bound detector.
+pub const EVENTS: [EventKind; 3] = [
+    EventKind::Cycles,
+    EventKind::Instructions,
+    EventKind::LlcMisses,
+];
+const EVENT_NAMES: [&str; 3] = ["cycles", "instrs", "llc"];
+
+/// NDJSON schema version written by `monitor` and checked by
+/// `check-telemetry`.
+pub const SCHEMA: u64 = 1;
+
+/// Knobs of a monitored run (all have CLI flags).
+#[derive(Debug, Clone)]
+pub struct MonitorOptions {
+    /// Worker threads in the workload.
+    pub threads: usize,
+    /// Queries (mysqld) / operations (memcached) per worker.
+    pub queries: u64,
+    /// Drain cadence in guest cycles.
+    pub interval: u64,
+    /// Per-thread ring capacity in records (power of two).
+    pub capacity: u64,
+    /// Directory receiving `telemetry-<workload>.json`.
+    pub out_dir: String,
+}
+
+impl Default for MonitorOptions {
+    fn default() -> Self {
+        MonitorOptions {
+            threads: 8,
+            queries: 150,
+            interval: 50_000,
+            capacity: 256,
+            out_dir: "results".to_string(),
+        }
+    }
+}
+
+fn build_session(workload: &str, opts: &MonitorOptions) -> Result<Session, String> {
+    let fail = |e: sim_core::SimError| e.to_string();
+    let mode = LogMode::Stream(StreamConfig::dropping(opts.capacity));
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let cores = opts.threads.clamp(1, 8);
+    match workload {
+        "mysqld" => {
+            let cfg = mysqld::MysqlConfig {
+                threads: opts.threads,
+                queries_per_thread: opts.queries,
+                mode,
+                ..Default::default()
+            };
+            let (session, _) =
+                mysqld::build(&cfg, &reader, cores, &EVENTS, KernelConfig::default())
+                    .map_err(fail)?;
+            Ok(session)
+        }
+        "memcached" => {
+            let cfg = memcached::MemcachedConfig {
+                workers: opts.threads,
+                ops_per_worker: opts.queries,
+                mode,
+                ..Default::default()
+            };
+            let (session, _) =
+                memcached::build(&cfg, &reader, cores, &EVENTS, KernelConfig::default())
+                    .map_err(fail)?;
+            Ok(session)
+        }
+        other => Err(format!("unknown workload {other:?} (mysqld|memcached)")),
+    }
+}
+
+/// One snapshot (plus its findings) as an NDJSON record.
+fn snapshot_json(workload: &str, snap: &Snapshot, findings: &[Finding]) -> Json {
+    let regions = snap
+        .regions
+        .iter()
+        .map(|r| {
+            let hist: Vec<Json> = r
+                .events
+                .iter()
+                .map(|h| {
+                    Json::Array(
+                        h.iter_buckets()
+                            .map(|(lo, hi, n)| Json::Array(vec![lo.into(), hi.into(), n.into()]))
+                            .collect(),
+                    )
+                })
+                .collect();
+            Json::object()
+                .set("name", r.name.as_str())
+                .set("count", r.count)
+                .set(
+                    "sums",
+                    (0..EVENTS.len())
+                        .map(|i| r.event_sum(i))
+                        .collect::<Vec<u64>>(),
+                )
+                .set("hist", Json::Array(hist))
+        })
+        .collect();
+    let findings_json = findings
+        .iter()
+        .map(|f| {
+            Json::object()
+                .set("kind", f.kind.to_string())
+                .set("region", f.region.as_str())
+                .set("share", f.share)
+                .set("detail", f.detail.as_str())
+        })
+        .collect();
+    Json::object()
+        .set("schema", SCHEMA)
+        .set("workload", workload)
+        .set("seq", snap.seq)
+        .set("cycle", snap.cycle)
+        .set("appended", snap.appended)
+        .set("drained", snap.drained)
+        .set("dropped", snap.dropped)
+        .set("overwritten", snap.overwritten)
+        .set("in_flight", snap.in_flight())
+        .set("events", EVENT_NAMES.to_vec())
+        .set("regions", Json::Array(regions))
+        .set("findings", Json::Array(findings_json))
+}
+
+/// Runs the monitor: streams snapshots to stdout and NDJSON to
+/// `<out-dir>/telemetry-<workload>.json`.
+pub fn run(workload: &str, opts: &MonitorOptions) -> Result<(), String> {
+    if !opts.capacity.is_power_of_two() {
+        return Err(format!(
+            "--capacity must be a power of two, got {}",
+            opts.capacity
+        ));
+    }
+    if opts.interval == 0 {
+        return Err("--interval must be non-zero".to_string());
+    }
+    let mut session = build_session(workload, opts)?;
+    let mut collector = Collector::new(opts.threads.max(1), EVENTS.len());
+    collector.attach(&session);
+    println!(
+        "monitoring {workload}: {} threads, ring capacity {}, drain every {} cycles",
+        opts.threads, opts.capacity, opts.interval
+    );
+
+    let detector = DetectorConfig::default();
+    let mut ndjson = String::new();
+    let mut total_findings = 0usize;
+    let report = run_streaming(&mut session, &mut collector, opts.interval, |snap| {
+        let findings = classify(snap, &EVENTS, &detector);
+        println!("{}", snap.render(&EVENT_NAMES));
+        for f in &findings {
+            println!(
+                "  >> {}: {} ({:.1}% of cycles; {})",
+                f.kind,
+                f.region,
+                f.share * 100.0,
+                f.detail
+            );
+        }
+        if !findings.is_empty() {
+            println!();
+        }
+        total_findings += findings.len();
+        ndjson.push_str(&snapshot_json(workload, snap, &findings).compact());
+        ndjson.push('\n');
+    })
+    .map_err(|e| e.to_string())?;
+
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir))?;
+    let path = format!("{}/telemetry-{workload}.json", opts.out_dir);
+    std::fs::write(&path, &ndjson).map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    let snapshots = ndjson.lines().count();
+    println!(
+        "run complete: {} cycles, {} snapshots, {} records drained, {} dropped, {} findings",
+        report.total_cycles,
+        snapshots,
+        collector.drained(),
+        collector.dropped(),
+        total_findings
+    );
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// `limit-repro check-telemetry <file>`: validates an NDJSON stream
+/// written by `monitor` — per-line schema, monotone progress, and the
+/// transport-accounting invariant on the final snapshot.
+pub fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut snapshots = 0u64;
+    let mut findings = 0u64;
+    let mut last_seq = 0u64;
+    let mut last_drained = 0u64;
+    let mut last: Option<Json> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{n}: {e}"))?;
+        let field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}:{n}: missing numeric field {key:?}"))
+        };
+        if field("schema")? != SCHEMA {
+            return Err(format!("{path}:{n}: unsupported schema"));
+        }
+        let seq = field("seq")?;
+        if seq <= last_seq {
+            return Err(format!("{path}:{n}: seq not monotone"));
+        }
+        let drained = field("drained")?;
+        if drained < last_drained {
+            return Err(format!("{path}:{n}: drained went backwards"));
+        }
+        let (appended, dropped, overwritten, in_flight) = (
+            field("appended")?,
+            field("dropped")?,
+            field("overwritten")?,
+            field("in_flight")?,
+        );
+        if appended != drained + overwritten + in_flight {
+            return Err(format!(
+                "{path}:{n}: accounting violated: {appended} appended != {drained} drained + {overwritten} overwritten + {in_flight} in-flight (+ {dropped} dropped never entered a ring)"
+            ));
+        }
+        let regions = doc
+            .get("regions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{path}:{n}: missing regions array"))?;
+        for r in regions {
+            for key in ["name", "count", "sums", "hist"] {
+                if r.get(key).is_none() {
+                    return Err(format!("{path}:{n}: region missing {key:?}"));
+                }
+            }
+            // Histogram counts must reproduce the region's exit count.
+            let count = r.get("count").and_then(Json::as_u64).unwrap_or(0);
+            if let Some(hists) = r.get("hist").and_then(Json::as_array) {
+                for h in hists {
+                    let total: u64 = h
+                        .as_array()
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|b| b.as_array()?.get(2)?.as_u64())
+                        .sum();
+                    if total != count {
+                        return Err(format!(
+                            "{path}:{n}: histogram totals {total} != count {count}"
+                        ));
+                    }
+                }
+            }
+        }
+        findings += doc
+            .get("findings")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{path}:{n}: missing findings array"))?
+            .len() as u64;
+        last_seq = seq;
+        last_drained = drained;
+        snapshots += 1;
+        last = Some(doc);
+    }
+    if snapshots < 3 {
+        return Err(format!(
+            "{path}: only {snapshots} snapshots — expected mid-run streaming (>= 3)"
+        ));
+    }
+    if findings == 0 {
+        return Err(format!("{path}: no bottleneck findings in any snapshot"));
+    }
+    let last = last.unwrap();
+    if last.get("in_flight").and_then(Json::as_u64) != Some(0) {
+        return Err(format!("{path}: final snapshot left records in flight"));
+    }
+    println!("{path}: ok — {snapshots} snapshots, {findings} findings, final drain clean");
+    Ok(())
+}

@@ -156,3 +156,26 @@ fn e1b_limit_scales_linearly_and_perf_pays_per_counter() {
     // Reading all four counters with LiMiT still beats ONE perf read.
     assert!(cell("limit", 4) < cell("perf", 1) / 10.0);
 }
+
+#[test]
+fn e13_streaming_telemetry_is_affordable_and_lossless() {
+    let rows = bench::e13::run(&[8], 80, 8).expect("E13 runs");
+    let stream = rows
+        .iter()
+        .find(|r| r.row.method == "stream")
+        .expect("stream row");
+    // The live pipeline saw every record and served mid-run snapshots.
+    assert_eq!(stream.dropped, 0, "drop-policy ring must not drop");
+    assert!(stream.snapshots >= 3, "only {} snapshots", stream.snapshots);
+    let log = rows.iter().find(|r| r.row.method == "log").unwrap();
+    assert_eq!(
+        stream.row.reads, log.row.reads,
+        "stream must drain exactly the records log mode appends"
+    );
+    // The headline claim: streaming costs at most ~2x the aggregate-table
+    // fold — continuous interrogation is affordable.
+    let ratio = bench::e13::stream_vs_aggregate(&rows, 8).expect("both overheads");
+    assert!(ratio <= 2.0, "stream/aggregate overhead ratio {ratio:.2}");
+    // And it cannot be cheaper than the shorter aggregate path.
+    assert!(ratio > 0.8, "suspicious ratio {ratio:.2}");
+}
