@@ -132,13 +132,16 @@ impl SessionBuilder {
         }
         let ranges: Vec<(u32, u32)> = prog
             .iter_ranges()
-            .filter(|(name, _)| name.starts_with("limit_read"))
+            .filter(|(name, _)| name.starts_with(crate::reader::LIMIT_RANGE_PREFIX))
             .map(|(_, r)| r)
             .collect();
         let machine = Machine::new(self.machine_cfg, prog)?;
         let mut kernel = Kernel::new(machine, self.kernel_cfg);
         for (s, e) in ranges {
-            kernel.register_restart_range(s, e);
+            // Reader-emitted ranges are disjoint by construction; a rejected
+            // registration is counted kernel-side and surfaced at teardown
+            // (see `Session::warn_on_rejected_ranges`).
+            let _ = kernel.register_restart_range(s, e);
         }
         Ok(Session {
             kernel,
@@ -309,6 +312,7 @@ impl Session {
         let report = self.kernel.run()?;
         self.report = Some(report.clone());
         self.warn_on_drops();
+        Self::warn_on_rejected_ranges(&report);
         Ok(report)
     }
 
@@ -318,7 +322,22 @@ impl Session {
         let report = self.kernel.run_until_exit(tid)?;
         self.report = Some(report.clone());
         self.warn_on_drops();
+        Self::warn_on_rejected_ranges(&report);
         Ok(report)
+    }
+
+    /// Surfaces silently unprotected read sequences: a restart-range
+    /// registration rejected for overlapping a different range means the
+    /// kernel could not rewind interrupts landing in that sequence, so its
+    /// reads may be torn. One stderr line, like the record-drop warning.
+    fn warn_on_rejected_ranges(report: &RunReport) {
+        let n = report.limit_rejected_ranges;
+        if n > 0 {
+            eprintln!(
+                "warning: {n} restart-range registration(s) rejected for overlap; \
+                 the affected read sequences ran without the atomicity fix-up"
+            );
+        }
     }
 
     /// Surfaces silent record loss: if any thread dropped records to a full

@@ -27,6 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// deterministic tables.
 static NEXT_RANGE: AtomicU64 = AtomicU64::new(0);
 
+/// Prefix of every restart-range name a [`LimitReader`] emits. Harnesses
+/// (and the torture driver) match assembled range names against this to
+/// find the read sequences that need kernel registration.
+pub const LIMIT_RANGE_PREFIX: &str = "limit_read";
+
 /// Emits guest code for counter attachment and reads.
 pub trait CounterReader {
     /// Number of counters this reader attaches.
@@ -113,7 +118,10 @@ impl CounterReader for LimitReader {
 
     fn emit_read(&self, asm: &mut Asm, i: usize, dst: Reg, scratch: Reg) {
         assert!(i < self.events.len(), "counter {i} not attached");
-        let range = format!("limit_read.{}", NEXT_RANGE.fetch_add(1, Ordering::Relaxed));
+        let range = format!(
+            "{LIMIT_RANGE_PREFIX}.{}",
+            NEXT_RANGE.fetch_add(1, Ordering::Relaxed)
+        );
         asm.begin_range(&range);
         asm.load(dst, TLS_REG, tls::accum_off(i));
         asm.rdpmc(scratch, i as u8);

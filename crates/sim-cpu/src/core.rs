@@ -4,6 +4,7 @@
 //! because one step touches the core, shared guest memory, and the shared
 //! memory hierarchy at once.
 
+use crate::events::EventKind;
 use crate::pmu::{Pmu, PmuConfig};
 use crate::regs::Context;
 use serde::{Deserialize, Serialize};
@@ -105,6 +106,10 @@ pub struct Core {
     pub predictor: BranchPredictor,
     /// Optional execution trace ring (host debugging; off by default).
     pub trace: Option<crate::trace::Trace>,
+    /// Per-step user-mode event scratch for the differential oracle
+    /// ([`crate::oracle`]); `None` unless the machine's oracle is enabled.
+    /// Flushed into the per-thread ledger after every step.
+    pub oracle_scratch: Option<Box<[u64; EventKind::COUNT]>>,
 }
 
 impl Core {
@@ -119,6 +124,7 @@ impl Core {
             running: None,
             predictor: BranchPredictor::new(),
             trace: None,
+            oracle_scratch: None,
         })
     }
 

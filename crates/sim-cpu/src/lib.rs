@@ -26,6 +26,7 @@ pub mod events;
 pub mod gmem;
 pub mod isa;
 pub mod machine;
+pub mod oracle;
 pub mod pmu;
 pub mod prog;
 pub mod regs;
@@ -38,6 +39,7 @@ pub use events::EventKind;
 pub use gmem::{GuestMem, MemLayout};
 pub use isa::{AluOp, Cond, Instr};
 pub use machine::{Machine, MachineConfig};
+pub use oracle::{Divergence, Oracle};
 pub use pmu::{CounterCfg, Pmu, PmuConfig};
 pub use prog::{Label, Program};
 pub use regs::Reg;

@@ -12,6 +12,7 @@ use crate::cost;
 use crate::events::EventKind;
 use crate::gmem::GuestMem;
 use crate::isa::Instr;
+use crate::oracle::Oracle;
 use crate::pmu::PmuConfig;
 use crate::prog::Program;
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,9 @@ pub struct Machine {
     /// The single program image all threads execute from.
     pub prog: Program,
     freq: Freq,
+    /// Differential oracle for the torture harness; off unless enabled via
+    /// [`Machine::enable_oracle`].
+    oracle: Option<Oracle>,
 }
 
 impl Machine {
@@ -87,7 +91,28 @@ impl Machine {
             memsys: MemorySystem::new(config.cores, config.hierarchy)?,
             prog,
             freq: config.freq,
+            oracle: None,
         })
+    }
+
+    /// Enables the differential oracle, checking virtualized reads inside
+    /// the given restart ranges. Every core gains a per-step event scratch;
+    /// the overhead is zero when the oracle is off.
+    pub fn enable_oracle(&mut self, ranges: &[(u32, u32)]) {
+        self.oracle = Some(Oracle::new(ranges));
+        for core in &mut self.cores {
+            core.oracle_scratch = Some(Box::new([0; EventKind::COUNT]));
+        }
+    }
+
+    /// The oracle, if enabled.
+    pub fn oracle(&self) -> Option<&Oracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Mutable oracle access (the kernel reports counter attach/detach).
+    pub fn oracle_mut(&mut self) -> Option<&mut Oracle> {
+        self.oracle.as_mut()
     }
 
     /// The core clock frequency.
@@ -103,6 +128,13 @@ impl Machine {
     fn count(core: &mut Core, event: EventKind, n: u64) {
         let tag = core.ctx.tag;
         core.pmu.count(event, n, core.mode, tag);
+        // Shadow-ledger tap: user-mode events also land in the oracle
+        // scratch, outside the PMU (no width limit, no fold, no spill).
+        if core.mode == Mode::User {
+            if let Some(scratch) = &mut core.oracle_scratch {
+                scratch[event.index()] += n;
+            }
+        }
     }
 
     fn mem_access_events(core: &mut Core, acc: &MemAccess) {
@@ -383,6 +415,13 @@ impl Machine {
             }
         }
 
+        // Oracle taps (no-ops unless enabled): an in-range `rdpmc` arms an
+        // expected value from the shadow ledger; the range's final
+        // instruction resolves the check against the architected result.
+        if self.oracle.is_some() && trap.is_none() && self.cores[core_idx].mode == Mode::User {
+            self.oracle_observe(core_idx, pc, instr);
+        }
+
         self.cores[core_idx].ctx.pc = next_pc;
         let step = Step {
             cycles,
@@ -393,6 +432,31 @@ impl Machine {
         Ok(step)
     }
 
+    /// Feeds one retired user-mode instruction to the oracle (see
+    /// [`crate::oracle`]). Called with the pre-advance `pc`.
+    fn oracle_observe(&mut self, core_idx: usize, pc: u32, instr: Instr) {
+        let Some(tid) = self.cores[core_idx].running else {
+            return;
+        };
+        match instr {
+            Instr::Rdpmc(_, idx) | Instr::RdpmcClear(_, idx) => {
+                if let Some(o) = self.oracle.as_mut() {
+                    o.observe_read(tid, idx, pc);
+                }
+            }
+            // The read sequence ends in `add dst, scratch`; any other ALU
+            // op at a range end would simply never resolve a pending check.
+            Instr::Alu(_, rd, _) => {
+                let actual = self.cores[core_idx].ctx.get(rd);
+                let clock = self.cores[core_idx].clock;
+                if let Some(o) = self.oracle.as_mut() {
+                    o.complete(tid, pc, actual, clock);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Applies clock advance, cycle/instruction counting, and pending
     /// hardware spills for a completed step.
     fn finish_step(&mut self, core_idx: usize, step: &Step) {
@@ -401,6 +465,23 @@ impl Machine {
             core.clock += step.cycles;
             Self::count(core, EventKind::Cycles, step.cycles);
             Self::count(core, EventKind::Instructions, step.instrs);
+        }
+        // Flush this step's oracle scratch into the installed thread's
+        // shadow ledger.
+        if let Some(oracle) = &mut self.oracle {
+            let core = &mut self.cores[core_idx];
+            if let Some(scratch) = &mut core.oracle_scratch {
+                if let Some(tid) = core.running {
+                    for (i, v) in scratch.iter_mut().enumerate() {
+                        if *v > 0 {
+                            oracle.record(tid, EventKind::ALL[i], *v);
+                        }
+                        *v = 0;
+                    }
+                } else {
+                    scratch.fill(0);
+                }
+            }
         }
         // Hardware enhancement 2: self-virtualizing counters spill to guest
         // memory without kernel involvement.

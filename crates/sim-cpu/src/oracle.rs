@@ -1,0 +1,263 @@
+//! Differential oracle for counter virtualization (the torture harness).
+//!
+//! The oracle maintains a **shadow per-thread event ledger** entirely
+//! outside the PMU path: every user-mode event a core delivers is also
+//! added to a plain 64-bit tally keyed by the thread installed on the core.
+//! Nothing in the ledger is folded, rewound, spilled, or width-limited, so
+//! it is immune by construction to every virtualization mechanism under
+//! test.
+//!
+//! Checking works at the two ends of the LiMiT read sequence
+//! (`load accum; rdpmc; add`):
+//!
+//! 1. When a thread executes `rdpmc` *inside a registered restart range*,
+//!    the oracle arms a pending check with the **expected** virtualized
+//!    value: `ledger[thread][event] - baseline`, where `baseline` was
+//!    snapshotted when the counter was attached (`LIMIT_OPEN`).
+//! 2. When the final instruction of that range (the `add`) retires, the
+//!    architected result — accumulator + live counter as the guest computed
+//!    it — is compared against the expectation. A mismatch is a
+//!    [`Divergence`]: the virtualization layer produced a wrong read.
+//!
+//! An undisturbed sequence matches exactly: at the `rdpmc`, the user-memory
+//! accumulator holds all folded history and the live counter holds the
+//! remainder, both counted since `LIMIT_OPEN` — precisely the ledger delta.
+//! A disturbance landing between the `load` and the `add` changes the
+//! architected sum unless the kernel's restart fix-up rewinds the sequence,
+//! which is exactly the invariant the torture harness exists to test.
+
+use crate::events::EventKind;
+use sim_core::ThreadId;
+use std::collections::HashMap;
+
+/// One wrong virtualized read caught by the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// The thread that performed the read.
+    pub tid: ThreadId,
+    /// The restart range `[start, end)` containing the read sequence.
+    pub range: (u32, u32),
+    /// The event being read.
+    pub event: EventKind,
+    /// What the read should have returned (shadow-ledger delta).
+    pub expected: u64,
+    /// What the guest actually computed.
+    pub actual: u64,
+    /// Core-local clock when the sequence's final instruction retired.
+    pub clock: u64,
+}
+
+/// A check armed by an in-range `rdpmc`, resolved by the range's last
+/// instruction.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    range: (u32, u32),
+    event: EventKind,
+    expected: u64,
+}
+
+/// The shadow ledger plus check state. Owned by [`crate::Machine`] when
+/// enabled; the kernel reports counter attach/detach via
+/// [`Oracle::note_open`] / [`Oracle::note_close`].
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Registered restart ranges, sorted by start, non-overlapping.
+    ranges: Vec<(u32, u32)>,
+    /// Per-thread event tallies (user-mode only, never folded or wrapped).
+    ledger: HashMap<ThreadId, [u64; EventKind::COUNT]>,
+    /// Open LiMiT slots: (thread, slot) → (event, ledger baseline at open).
+    opens: HashMap<(ThreadId, u8), (EventKind, u64)>,
+    /// At most one in-flight read sequence per thread.
+    pending: HashMap<ThreadId, Pending>,
+    /// Reads checked (armed *and* resolved).
+    pub checks: u64,
+    divergences: Vec<Divergence>,
+}
+
+impl Oracle {
+    /// An oracle checking reads inside the given restart ranges.
+    pub fn new(ranges: &[(u32, u32)]) -> Self {
+        let mut ranges = ranges.to_vec();
+        ranges.sort_unstable();
+        Oracle {
+            ranges,
+            ..Oracle::default()
+        }
+    }
+
+    /// Adds `n` occurrences of `event` to `tid`'s ledger.
+    pub fn record(&mut self, tid: ThreadId, event: EventKind, n: u64) {
+        self.ledger.entry(tid).or_insert([0; EventKind::COUNT])[event.index()] += n;
+    }
+
+    /// The ledger value for `(tid, event)`.
+    pub fn ledger(&self, tid: ThreadId, event: EventKind) -> u64 {
+        self.ledger.get(&tid).map_or(0, |l| l[event.index()])
+    }
+
+    /// The kernel attached `event` to `(tid, slot)`: snapshot the baseline.
+    /// Reads report events since the attach, so the expectation must too.
+    pub fn note_open(&mut self, tid: ThreadId, slot: u8, event: EventKind) {
+        let baseline = self.ledger(tid, event);
+        self.opens.insert((tid, slot), (event, baseline));
+    }
+
+    /// The kernel detached `(tid, slot)`.
+    pub fn note_close(&mut self, tid: ThreadId, slot: u8) {
+        self.opens.remove(&(tid, slot));
+    }
+
+    /// The range containing `pc`, if any (ranges are sorted and disjoint).
+    fn containing_range(&self, pc: u32) -> Option<(u32, u32)> {
+        let pos = self.ranges.partition_point(|&(s, _)| s <= pc);
+        match pos.checked_sub(1).map(|i| self.ranges[i]) {
+            Some((s, e)) if pc < e => Some((s, e)),
+            _ => None,
+        }
+    }
+
+    /// `tid` executed `rdpmc slot` at `pc`. If the read sits inside a
+    /// registered range and the slot is an open LiMiT counter, arm the
+    /// check. A re-execution (restart fix-up rewound the sequence)
+    /// overwrites the previous arm — only the sequence that *completes*
+    /// produces the architected value.
+    pub fn observe_read(&mut self, tid: ThreadId, slot: u8, pc: u32) {
+        let Some(range) = self.containing_range(pc) else {
+            return;
+        };
+        let Some(&(event, baseline)) = self.opens.get(&(tid, slot)) else {
+            return;
+        };
+        let expected = self.ledger(tid, event) - baseline;
+        self.pending.insert(
+            tid,
+            Pending {
+                range,
+                event,
+                expected,
+            },
+        );
+    }
+
+    /// `tid` retired the instruction at `pc` leaving `actual` in the
+    /// sequence's destination register. Resolves the pending check if `pc`
+    /// is the final instruction of the armed range.
+    pub fn complete(&mut self, tid: ThreadId, pc: u32, actual: u64, clock: u64) {
+        let Some(p) = self.pending.get(&tid) else {
+            return;
+        };
+        if pc + 1 != p.range.1 {
+            return;
+        }
+        let p = *p;
+        self.pending.remove(&tid);
+        self.checks += 1;
+        if actual != p.expected {
+            self.divergences.push(Divergence {
+                tid,
+                range: p.range,
+                event: p.event,
+                expected: p.expected,
+                actual,
+                clock,
+            });
+        }
+    }
+
+    /// All divergences caught so far, in detection order.
+    pub fn divergences(&self) -> &[Divergence] {
+        &self.divergences
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: ThreadId = ThreadId(7);
+
+    #[test]
+    fn undisturbed_read_matches() {
+        let mut o = Oracle::new(&[(10, 13)]);
+        o.record(T, EventKind::Instructions, 5);
+        o.note_open(T, 0, EventKind::Instructions);
+        o.record(T, EventKind::Instructions, 42);
+        o.observe_read(T, 0, 11);
+        // The rdpmc's own retirement lands after the read, so it is in the
+        // ledger but not in the architected value; the arm-time snapshot
+        // already excluded it.
+        o.record(T, EventKind::Instructions, 1);
+        o.complete(T, 12, 42, 1_000);
+        assert_eq!(o.checks, 1);
+        assert!(o.divergences().is_empty());
+    }
+
+    #[test]
+    fn wrong_value_is_a_divergence() {
+        let mut o = Oracle::new(&[(10, 13)]);
+        o.note_open(T, 0, EventKind::Instructions);
+        o.record(T, EventKind::Instructions, 100);
+        o.observe_read(T, 0, 11);
+        o.complete(T, 12, 60, 500);
+        assert_eq!(o.checks, 1);
+        let d = o.divergences()[0];
+        assert_eq!((d.expected, d.actual), (100, 60));
+        assert_eq!(d.range, (10, 13));
+    }
+
+    #[test]
+    fn baseline_excludes_pre_open_events() {
+        let mut o = Oracle::new(&[(10, 13)]);
+        o.record(T, EventKind::Instructions, 1_000);
+        o.note_open(T, 0, EventKind::Instructions);
+        o.record(T, EventKind::Instructions, 3);
+        o.observe_read(T, 0, 11);
+        o.complete(T, 12, 3, 0);
+        assert!(o.divergences().is_empty());
+    }
+
+    #[test]
+    fn rewound_sequence_overwrites_the_arm() {
+        let mut o = Oracle::new(&[(10, 13)]);
+        o.note_open(T, 0, EventKind::Instructions);
+        o.record(T, EventKind::Instructions, 10);
+        o.observe_read(T, 0, 11); // first attempt, expected 10
+        o.record(T, EventKind::Instructions, 7); // disturbance + re-run
+        o.observe_read(T, 0, 11); // re-armed, expected 17
+        o.complete(T, 12, 17, 0);
+        assert_eq!(o.checks, 1);
+        assert!(o.divergences().is_empty());
+    }
+
+    #[test]
+    fn reads_outside_ranges_or_unopened_slots_are_ignored() {
+        let mut o = Oracle::new(&[(10, 13)]);
+        o.note_open(T, 0, EventKind::Instructions);
+        o.observe_read(T, 0, 50); // outside any range
+        o.complete(T, 12, 999, 0);
+        o.observe_read(T, 3, 11); // slot never opened
+        o.complete(T, 12, 999, 0);
+        assert_eq!(o.checks, 0);
+        assert!(o.divergences().is_empty());
+    }
+
+    #[test]
+    fn close_forgets_the_slot() {
+        let mut o = Oracle::new(&[(10, 13)]);
+        o.note_open(T, 0, EventKind::Cycles);
+        o.note_close(T, 0);
+        o.observe_read(T, 0, 11);
+        o.complete(T, 12, 0, 0);
+        assert_eq!(o.checks, 0);
+    }
+
+    #[test]
+    fn containing_range_boundaries() {
+        let o = Oracle::new(&[(10, 13), (20, 23)]);
+        assert_eq!(o.containing_range(9), None);
+        assert_eq!(o.containing_range(10), Some((10, 13)));
+        assert_eq!(o.containing_range(12), Some((10, 13)));
+        assert_eq!(o.containing_range(13), None);
+        assert_eq!(o.containing_range(22), Some((20, 23)));
+    }
+}

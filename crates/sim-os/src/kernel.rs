@@ -7,10 +7,11 @@
 //! relative to the LiMiT read sequence.
 
 use crate::futex::FutexTable;
-use crate::limitmod::LimitMod;
+use crate::inject::{InjectAction, Injection, Injector};
+use crate::limitmod::{LimitMod, RangeReg};
 use crate::perf::{PerfFd, PerfSubsystem, Sample};
 use crate::sched::Scheduler;
-use crate::syscall::{decode_event, Sys, SYS_ERR};
+use crate::syscall::{decode_event, validate_limit_slot, Sys, SYS_ERR};
 use crate::thread::{Thread, ThreadState, VCounter};
 use sim_core::{CoreId, SimError, SimResult, ThreadId};
 use sim_cpu::pmu::CounterCfg;
@@ -76,6 +77,10 @@ pub struct RunReport {
     pub limit_unfixed_races: u64,
     /// Syscalls dispatched.
     pub syscalls: u64,
+    /// Restart-range registrations rejected for overlapping a different
+    /// range (each one is an unprotected read sequence — see
+    /// [`crate::limitmod::RangeReg::Overlap`]).
+    pub limit_rejected_ranges: u64,
     /// Futex (waits, wakes).
     pub futex: (u64, u64),
     /// Total cycles threads spent blocked on futexes.
@@ -122,6 +127,8 @@ pub struct Kernel {
     install_clock: Vec<u64>,
     pmis: u64,
     syscalls: u64,
+    /// Disturbance injector for the torture harness (off by default).
+    injector: Option<Injector>,
 }
 
 impl Kernel {
@@ -139,9 +146,22 @@ impl Kernel {
             install_clock: vec![0; cores],
             pmis: 0,
             syscalls: 0,
+            injector: None,
             cfg,
             machine,
         }
+    }
+
+    /// Installs a disturbance-injection schedule (torture harness). Each
+    /// trigger fires at most once, at the exact instruction boundary the
+    /// kernel would otherwise have stepped the thread.
+    pub fn set_injector(&mut self, schedule: &[Injection]) {
+        self.injector = Some(Injector::new(schedule));
+    }
+
+    /// The injector, if one is installed.
+    pub fn injector(&self) -> Option<&Injector> {
+        self.injector.as_ref()
     }
 
     /// The kernel configuration.
@@ -171,7 +191,8 @@ impl Kernel {
         }
         t.affinity = affinity;
         self.threads.push(t);
-        self.sched.enqueue(tid);
+        self.sched
+            .enqueue(self.threads.last().expect("just pushed"));
         tid
     }
 
@@ -183,6 +204,8 @@ impl Kernel {
     /// Sets a thread's scheduling priority (higher wins; default 0).
     pub fn set_priority(&mut self, tid: ThreadId, priority: u8) {
         self.threads[tid.index()].priority = priority;
+        // The scheduler snapshots priority at enqueue; re-bucket if queued.
+        self.sched.requeue(&self.threads[tid.index()]);
     }
 
     /// All threads.
@@ -202,9 +225,11 @@ impl Kernel {
 
     /// Registers a restartable read-sequence PC range host-side (the
     /// equivalent of the `LimitSetRestartRange` syscall, used by harnesses
-    /// that know the ranges from the assembled program).
-    pub fn register_restart_range(&mut self, start: u32, end: u32) {
-        self.limit.register_range(start, end);
+    /// that know the ranges from the assembled program). Returns the
+    /// registration outcome; [`RangeReg::Overlap`] means the sequence will
+    /// run unprotected.
+    pub fn register_restart_range(&mut self, start: u32, end: u32) -> RangeReg {
+        self.limit.register_range(start, end)
     }
 
     /// All sampling hits recorded by live and closed perf fds.
@@ -305,6 +330,14 @@ impl Kernel {
                 self.preempt(core)?;
                 continue;
             }
+            // Torture-harness injection: fires at the same instruction
+            // boundary organic preemptions and PMIs land on.
+            if self.injector.is_some() {
+                if let Some(action) = self.poll_injection(core) {
+                    self.apply_injection(core, action)?;
+                    continue;
+                }
+            }
 
             let step = self.machine.step(core)?;
             match step.trap {
@@ -331,6 +364,7 @@ impl Kernel {
             limit_fixups: self.limit.fixups,
             limit_unfixed_races: self.limit.unfixed_races,
             syscalls: self.syscalls,
+            limit_rejected_ranges: self.limit.rejected_ranges,
             futex: self.futex.stats(),
             blocked_cycles: self.threads.iter().map(|t| t.stats.blocked_cycles).sum(),
         })
@@ -344,14 +378,14 @@ impl Kernel {
                 if until <= now {
                     t.state = ThreadState::Ready;
                     t.ready_at = until;
-                    self.sched.enqueue(t.tid);
+                    self.sched.enqueue(t);
                 }
             }
         }
         for i in 0..self.machine.num_cores() {
             let core = CoreId::new(i as u32);
             if self.machine.cores[i].running.is_none() {
-                if let Some(tid) = self.sched.pick(core, &self.threads) {
+                if let Some(tid) = self.sched.pick(core) {
                     self.switch_in(core, tid);
                 }
             }
@@ -385,7 +419,7 @@ impl Kernel {
                 if matches!(t.state, ThreadState::Sleeping { until: u } if u <= until) {
                     t.state = ThreadState::Ready;
                     t.ready_at = until;
-                    self.sched.enqueue(t.tid);
+                    self.sched.enqueue(t);
                 }
             }
             return Ok(true);
@@ -559,12 +593,121 @@ impl Kernel {
         Ok(tid)
     }
 
+    /// Asks the injector whether a disturbance is scheduled for the
+    /// instruction `core` is about to execute.
+    fn poll_injection(&mut self, core: CoreId) -> Option<InjectAction> {
+        let c = &self.machine.cores[core.index()];
+        let tid = c.running?;
+        let pc = c.ctx.pc;
+        self.injector.as_mut()?.poll(tid, pc)
+    }
+
+    /// Forces one injected disturbance on `core`, reusing the organic
+    /// kernel paths so the virtualization layer sees exactly what a real
+    /// preemption / overflow / migration / spill would do to it.
+    fn apply_injection(&mut self, core: CoreId, action: InjectAction) -> SimResult<()> {
+        let i = core.index();
+        match action {
+            InjectAction::Preempt => {
+                self.preempt(core)?;
+            }
+            InjectAction::Pmi => {
+                // Spurious *early* overflow: fold each live LiMiT counter's
+                // raw value (not the wrap modulus — the counter has not
+                // actually wrapped, so folding the modulus would corrupt
+                // counts) through the normal PMI epilogue: fix-up + seq.
+                let Some(tid) = self.machine.cores[i].running else {
+                    return Ok(());
+                };
+                self.pmis += 1;
+                let prev_mode = self.machine.cores[i].mode;
+                self.machine.cores[i].mode = Mode::Kernel;
+                self.machine.charge(core, self.cfg.pmi_cost, 400);
+                self.machine.cores[i].mode = prev_mode;
+
+                let t = &self.threads[tid.index()];
+                let mut had_limit = false;
+                let mut folded = false;
+                {
+                    let sim_cpu::Machine { cores, mem, .. } = &mut self.machine;
+                    let pmu = &mut cores[i].pmu;
+                    for (slot, vc) in t.vcounters.iter().enumerate() {
+                        if let Some(VCounter::Limit { accum_addr, .. }) = vc {
+                            had_limit = true;
+                            let raw = pmu.read_clear(slot as u8).expect("slot in range");
+                            if raw > 0 {
+                                mem.fetch_add_u64(*accum_addr, raw)
+                                    .expect("aligned at limit_open");
+                                self.limit.folds += 1;
+                                folded = true;
+                            }
+                        }
+                    }
+                }
+                if had_limit {
+                    let pc = self.machine.cores[i].ctx.pc;
+                    self.machine.cores[i].ctx.pc = self.limit.fixup_pc(pc);
+                }
+                if folded {
+                    self.bump_seq(tid);
+                }
+            }
+            InjectAction::Migrate => {
+                let now = self.machine.cores[i].clock;
+                let tid = self.switch_out(core, ThreadState::Ready)?;
+                self.threads[tid.index()].ready_at = now;
+                self.sched.note_preemption();
+                let ncores = self.machine.num_cores();
+                let target = CoreId::new(((i + 1) % ncores) as u32);
+                let pinned_elsewhere = self.threads[tid.index()]
+                    .affinity
+                    .is_some_and(|a| a != target);
+                if target == core || pinned_elsewhere {
+                    // Nowhere legal to move it: degrade to a preemption.
+                    self.sched.enqueue(&self.threads[tid.index()]);
+                } else {
+                    if self.machine.cores[target.index()].running.is_some() {
+                        let victim = self.switch_out(target, ThreadState::Ready)?;
+                        let vnow = self.machine.cores[target.index()].clock;
+                        self.threads[victim.index()].ready_at = vnow;
+                        self.sched.enqueue(&self.threads[victim.index()]);
+                        self.sched.note_preemption();
+                    }
+                    self.switch_in(target, tid);
+                }
+            }
+            InjectAction::Spill => {
+                // Self-virtualizing hardware spill forced mid-stream: the
+                // live raw value moves to the accumulator with no kernel
+                // involvement — no fix-up, no fold accounting, no seq bump.
+                let Some(tid) = self.machine.cores[i].running else {
+                    return Ok(());
+                };
+                let t = &self.threads[tid.index()];
+                let sim_cpu::Machine { cores, mem, .. } = &mut self.machine;
+                let mut spilled = 0u64;
+                for (slot, vc) in t.vcounters.iter().enumerate() {
+                    if let Some(VCounter::Limit { accum_addr, .. }) = vc {
+                        let raw = cores[i].pmu.read_clear(slot as u8).expect("slot in range");
+                        if raw > 0 {
+                            mem.fetch_add_u64(*accum_addr, raw)
+                                .expect("aligned at limit_open");
+                        }
+                        spilled += 1;
+                    }
+                }
+                cores[i].clock += spilled * cost::SPILL;
+            }
+        }
+        Ok(())
+    }
+
     /// Quantum expiry: requeue the running thread.
     fn preempt(&mut self, core: CoreId) -> SimResult<()> {
         let now = self.machine.cores[core.index()].clock;
         let tid = self.switch_out(core, ThreadState::Ready)?;
         self.threads[tid.index()].ready_at = now;
-        self.sched.enqueue(tid);
+        self.sched.enqueue(&self.threads[tid.index()]);
         self.sched.note_preemption();
         Ok(())
     }
@@ -690,7 +833,7 @@ impl Kernel {
                 let now = self.machine.cores[i].clock;
                 let t = self.switch_out(core, ThreadState::Ready)?;
                 self.threads[t.index()].ready_at = now;
-                self.sched.enqueue(t);
+                self.sched.enqueue(&self.threads[t.index()]);
             }
             Sys::Nanosleep { cycles } => {
                 set_r0(self, 0);
@@ -716,7 +859,7 @@ impl Kernel {
                     t.state = ThreadState::Ready;
                     t.ready_at = now;
                     t.stats.blocked_cycles += now.saturating_sub(t.blocked_at);
-                    self.sched.enqueue(w);
+                    self.sched.enqueue(t);
                 }
                 set_r0(self, n);
             }
@@ -757,8 +900,10 @@ impl Kernel {
             }
             Sys::LimitSetRestartRange { start, end } => {
                 if start < end && end <= self.machine.prog.len() as u64 {
-                    self.limit.register_range(start as u32, end as u32);
-                    set_r0(self, 0);
+                    match self.limit.register_range(start as u32, end as u32) {
+                        RangeReg::Registered | RangeReg::Duplicate => set_r0(self, 0),
+                        RangeReg::Overlap | RangeReg::Empty => set_r0(self, SYS_ERR),
+                    }
                 } else {
                     set_r0(self, SYS_ERR);
                 }
@@ -921,14 +1066,19 @@ impl Kernel {
         let Some(event) = decode_event(event) else {
             return SYS_ERR;
         };
-        let slots = self.threads[tid.index()].vcounters.len() as u64;
-        if slot >= slots || !accum_addr.is_multiple_of(8) {
+        let pmu_cfg = self.machine.cores[i].pmu.config();
+        // The hardware, not the virtual-counter table, bounds the slot
+        // space: a slot the PMU does not have must fail here, not alias.
+        let Some(slot) = validate_limit_slot(slot, pmu_cfg.programmable) else {
+            return SYS_ERR;
+        };
+        let slots = self.threads[tid.index()].vcounters.len();
+        if slot as usize >= slots || !accum_addr.is_multiple_of(8) {
             return SYS_ERR;
         }
         if self.threads[tid.index()].vcounters[slot as usize].is_some() {
             return SYS_ERR;
         }
-        let pmu_cfg = self.machine.cores[i].pmu.config();
         if tag != 0 && !pmu_cfg.ext_tag_filter {
             return SYS_ERR;
         }
@@ -939,12 +1089,12 @@ impl Kernel {
         });
         self.threads[tid.index()].uses_limit = true;
         let pmu = &mut self.machine.cores[i].pmu;
-        pmu.configure(
-            slot as u8,
-            limit_counter_cfg(pmu_cfg, event, accum_addr, tag),
-        )
-        .expect("slot index validated");
+        pmu.configure(slot, limit_counter_cfg(pmu_cfg, event, accum_addr, tag))
+            .expect("slot index validated");
         pmu.set_user_rdpmc(true);
+        if let Some(o) = self.machine.oracle_mut() {
+            o.note_open(tid, slot, event);
+        }
         0
     }
 
@@ -975,7 +1125,11 @@ impl Kernel {
             .vcounters
             .iter()
             .any(|v| matches!(v, Some(VCounter::Limit { .. })));
-        self.machine.cores[i].pmu.set_user_rdpmc(t.uses_limit);
+        let uses_limit = t.uses_limit;
+        self.machine.cores[i].pmu.set_user_rdpmc(uses_limit);
+        if let Some(o) = self.machine.oracle_mut() {
+            o.note_close(tid, slot as u8);
+        }
         0
     }
 }
@@ -1239,7 +1393,7 @@ mod tests {
         };
         let mut k = boot_cfg(prog, 1, kcfg);
         // Register the restart range via host (kernel API) for simplicity.
-        k.limit.register_range(seq_start, seq_end);
+        let _ = k.register_restart_range(seq_start, seq_end);
         k.spawn("main", &[0x20000]).unwrap();
         k.spawn("main", &[0x20040]).unwrap();
         let report = k.run().unwrap();
@@ -1652,5 +1806,175 @@ mod tests {
         // loop: 2000*(100+2) = 204000, head 2, trailing imm+load = 2
         // (rdpmc reads before its own retirement is counted).
         assert_eq!(k.log(), &[204_004]);
+    }
+
+    #[test]
+    fn restart_range_overlap_fails_the_syscall_and_is_counted() {
+        let mut a = Asm::new();
+        a.export("main");
+        a.imm(Reg::R0, 2);
+        a.imm(Reg::R1, 5);
+        a.syscall(nr::LIMIT_SET_RESTART_RANGE);
+        a.syscall(nr::LOG_VALUE); // 0: registered
+        a.imm(Reg::R0, 4);
+        a.imm(Reg::R1, 8);
+        a.syscall(nr::LIMIT_SET_RESTART_RANGE); // overlaps [2, 5)
+        a.syscall(nr::LOG_VALUE); // SYS_ERR: rejected, sequence unprotected
+        a.halt();
+        let mut k = boot(a.assemble().unwrap(), 1);
+        k.spawn("main", &[]).unwrap();
+        let report = k.run().unwrap();
+        assert_eq!(k.log(), &[0, SYS_ERR]);
+        assert_eq!(report.limit_rejected_ranges, 1);
+    }
+
+    #[test]
+    fn limit_open_rejects_slots_beyond_the_hardware() {
+        let mut a = Asm::new();
+        a.export("main");
+        for slot in [0u64, 1, 2] {
+            a.imm(Reg::R0, slot);
+            a.imm(Reg::R1, encode_event(EventKind::Instructions));
+            a.imm(Reg::R2, 0x20000 + slot * 8);
+            a.imm(Reg::R3, 0);
+            a.syscall(nr::LIMIT_OPEN);
+            a.syscall(nr::LOG_VALUE);
+        }
+        a.halt();
+        let mcfg = MachineConfig::new(1)
+            .with_hierarchy(HierarchyConfig::tiny())
+            .with_pmu(sim_cpu::PmuConfig {
+                programmable: 2,
+                ..Default::default()
+            });
+        let mut k = Kernel::new(
+            Machine::new(mcfg, a.assemble().unwrap()).unwrap(),
+            KernelConfig::default(),
+        );
+        k.spawn("main", &[]).unwrap();
+        k.run().unwrap();
+        // Slots 0 and 1 exist on this 2-counter PMU; slot 2 must fail
+        // deterministically at open, never alias another counter.
+        assert_eq!(k.log(), &[0, 0, SYS_ERR]);
+    }
+
+    #[test]
+    fn injected_disturbances_fire_and_are_fixed_up() {
+        let accum = 0x20000u64;
+        let mut a = Asm::new();
+        a.export("main");
+        a.imm(Reg::R0, 0);
+        a.imm(Reg::R1, encode_event(EventKind::Instructions));
+        a.imm(Reg::R2, accum);
+        a.syscall(nr::LIMIT_OPEN);
+        a.burst(100);
+        a.imm(Reg::R9, accum);
+        let seq_start = a.here();
+        a.load(Reg::R4, Reg::R9, 0);
+        a.rdpmc(Reg::R5, 0);
+        a.add(Reg::R4, Reg::R5);
+        let seq_end = a.here();
+        a.mov(Reg::R0, Reg::R4);
+        a.syscall(nr::LOG_VALUE);
+        a.halt();
+        let mut k = boot(a.assemble().unwrap(), 1);
+        let _ = k.register_restart_range(seq_start, seq_end);
+        let tid = k.spawn("main", &[]).unwrap();
+        // Both disturbances land between the load and the rdpmc — the
+        // exact window the restart fix-up exists for.
+        k.set_injector(&[
+            Injection {
+                tid,
+                pc: seq_start + 1,
+                hit: 1,
+                action: InjectAction::Preempt,
+            },
+            Injection {
+                tid,
+                pc: seq_start + 1,
+                hit: 2,
+                action: InjectAction::Pmi,
+            },
+        ]);
+        let report = k.run().unwrap();
+        assert_eq!(k.injector().unwrap().fired, 2);
+        assert!(report.limit_fixups >= 2, "fixups {}", report.limit_fixups);
+        assert!(report.limit_folds >= 2, "folds {}", report.limit_folds);
+        // burst(100) + imm + load = 102 before the first rdpmc attempt;
+        // each of the two rewinds re-executes the load (+1 each). The
+        // value stays *consistent* — accumulator + raw at one instant.
+        assert_eq!(k.log(), &[104]);
+    }
+
+    #[test]
+    fn injected_migration_moves_the_thread() {
+        let mut a = Asm::new();
+        a.export("main");
+        a.burst(500);
+        a.burst(500);
+        a.halt();
+        let mut k = boot(a.assemble().unwrap(), 2);
+        let tid = k.spawn("main", &[]).unwrap();
+        // Fire between the two bursts (each burst is one instruction).
+        k.set_injector(&[Injection {
+            tid,
+            pc: 1,
+            hit: 1,
+            action: InjectAction::Migrate,
+        }]);
+        let report = k.run().unwrap();
+        assert_eq!(k.injector().unwrap().fired, 1);
+        assert_eq!(report.migrations, 1);
+        assert_eq!(k.thread(tid).last_core, Some(CoreId::new(1)));
+    }
+
+    #[test]
+    fn oracle_validates_reads_and_catches_the_unfixed_race() {
+        let run = |fixup: bool| {
+            let accum = 0x20000u64;
+            let mut a = Asm::new();
+            a.export("main");
+            a.imm(Reg::R0, 0);
+            a.imm(Reg::R1, encode_event(EventKind::Instructions));
+            a.imm(Reg::R2, accum);
+            a.syscall(nr::LIMIT_OPEN);
+            a.imm(Reg::R9, accum);
+            a.imm(Reg::R1, 10);
+            a.imm(Reg::R2, 0);
+            let top = a.new_label();
+            a.bind(top);
+            a.burst(20);
+            let seq_start = a.here();
+            a.load(Reg::R4, Reg::R9, 0);
+            a.rdpmc(Reg::R5, 0);
+            a.add(Reg::R4, Reg::R5);
+            let seq_end = a.here();
+            a.alui_sub(Reg::R1, 1);
+            a.br(Cond::Ne, Reg::R1, Reg::R2, top);
+            a.halt();
+            let kcfg = KernelConfig {
+                restart_fixup: fixup,
+                ..Default::default()
+            };
+            let mut k = boot_cfg(a.assemble().unwrap(), 1, kcfg);
+            let _ = k.register_restart_range(seq_start, seq_end);
+            k.machine.enable_oracle(&[(seq_start, seq_end)]);
+            let tid = k.spawn("main", &[]).unwrap();
+            k.set_injector(&[Injection {
+                tid,
+                pc: seq_start + 1,
+                hit: 4,
+                action: InjectAction::Preempt,
+            }]);
+            k.run().unwrap();
+            let o = k.machine.oracle().unwrap();
+            (o.checks, o.divergences().len())
+        };
+        let (checks_on, div_on) = run(true);
+        assert_eq!(checks_on, 10);
+        assert_eq!(div_on, 0, "fix-up must keep every read consistent");
+        let (checks_off, div_off) = run(false);
+        assert_eq!(checks_off, 10);
+        assert!(div_off > 0, "disabled fix-up must expose the read race");
     }
 }

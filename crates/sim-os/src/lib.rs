@@ -19,6 +19,7 @@
 //! * the run loop itself ([`kernel`]).
 
 pub mod futex;
+pub mod inject;
 pub mod kernel;
 pub mod limitmod;
 pub mod perf;
@@ -27,8 +28,9 @@ pub mod stat;
 pub mod syscall;
 pub mod thread;
 
+pub use inject::{InjectAction, Injection, Injector};
 pub use kernel::{Kernel, KernelConfig, RunReport};
-pub use limitmod::LimitMod;
+pub use limitmod::{LimitMod, RangeReg};
 pub use perf::{PerfFd, PerfSubsystem, Sample};
 pub use stat::{ThreadStatRow, ThreadStats};
 pub use syscall::Sys;

@@ -21,6 +21,26 @@
 //!    `fixup_enabled` switch exists for experiment E4's ablation: turning
 //!    it off makes the race observable.
 
+/// Outcome of a [`LimitMod::register_range`] call.
+///
+/// `Overlap` is the one that matters: a *distinct* read sequence was left
+/// unprotected, so a fold landing inside it will silently corrupt reads.
+/// Callers must surface it (the syscall returns an error; the harness warns
+/// at teardown via the `rejected_ranges` stat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an Overlap result means a read sequence was left unprotected"]
+pub enum RangeReg {
+    /// Newly registered.
+    Registered,
+    /// Exact duplicate of an existing range: idempotent, harmless.
+    Duplicate,
+    /// Overlaps a *different* existing range: rejected and counted in
+    /// [`LimitMod::rejected_ranges`] — the new sequence is unprotected.
+    Overlap,
+    /// `start >= end`: rejected, nothing to protect.
+    Empty,
+}
+
 /// LiMiT kernel-extension state.
 #[derive(Debug, Clone)]
 pub struct LimitMod {
@@ -37,6 +57,9 @@ pub struct LimitMod {
     /// Reads observed to be in-flight during a disturbance while the
     /// fix-up was *disabled* (each is a potentially corrupted read).
     pub unfixed_races: u64,
+    /// Distinct-but-overlapping registrations rejected ([`RangeReg::Overlap`]):
+    /// each one is a read sequence running without fix-up protection.
+    pub rejected_ranges: u64,
 }
 
 impl LimitMod {
@@ -48,28 +71,39 @@ impl LimitMod {
             folds: 0,
             fixups: 0,
             unfixed_races: 0,
+            rejected_ranges: 0,
         }
     }
 
     /// Registers a restartable read-sequence PC range `[start, end)`.
     ///
-    /// Ranges are kept sorted by start. Empty ranges and ranges overlapping
-    /// an already-registered one (including exact duplicates) are ignored:
-    /// read sequences occupy distinct code addresses, so an overlap can only
-    /// be a duplicate registration. O(log n) search + ordered insert.
-    pub fn register_range(&mut self, start: u32, end: u32) {
+    /// Ranges are kept sorted by start. Exact duplicates are idempotent;
+    /// a range overlapping a *different* registered one is rejected and
+    /// counted in `rejected_ranges` — distinct read sequences occupy
+    /// distinct code addresses, so a non-duplicate overlap means someone's
+    /// sequence is about to run unprotected and the caller must be told.
+    /// O(log n) search + ordered insert.
+    pub fn register_range(&mut self, start: u32, end: u32) -> RangeReg {
         if start >= end {
-            return;
+            return RangeReg::Empty;
         }
         let pos = self.ranges.partition_point(|&(s, _)| s < start);
         // Overlap is only possible with the nearest neighbour on each side.
         if pos > 0 && self.ranges[pos - 1].1 > start {
-            return;
+            self.rejected_ranges += 1;
+            return RangeReg::Overlap;
         }
-        if pos < self.ranges.len() && self.ranges[pos].0 < end {
-            return;
+        if pos < self.ranges.len() {
+            if self.ranges[pos] == (start, end) {
+                return RangeReg::Duplicate;
+            }
+            if self.ranges[pos].0 < end {
+                self.rejected_ranges += 1;
+                return RangeReg::Overlap;
+            }
         }
         self.ranges.insert(pos, (start, end));
+        RangeReg::Registered
     }
 
     /// Registered ranges, sorted by start.
@@ -123,11 +157,17 @@ impl Default for LimitMod {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Test helper: register a range whose outcome is not under test.
+    fn reg(m: &mut LimitMod, start: u32, end: u32) {
+        let _ = m.register_range(start, end);
+    }
 
     #[test]
     fn rewind_only_strictly_inside() {
         let mut m = LimitMod::new(true);
-        m.register_range(10, 15);
+        reg(&mut m, 10, 15);
         assert_eq!(m.rewind_target(9), None);
         assert_eq!(m.rewind_target(10), None, "at start: nothing read yet");
         assert_eq!(m.rewind_target(11), Some(10));
@@ -138,7 +178,7 @@ mod tests {
     #[test]
     fn fixup_rewinds_when_enabled() {
         let mut m = LimitMod::new(true);
-        m.register_range(10, 15);
+        reg(&mut m, 10, 15);
         assert_eq!(m.fixup_pc(12), 10);
         assert_eq!(m.fixups, 1);
         assert_eq!(m.unfixed_races, 0);
@@ -147,7 +187,7 @@ mod tests {
     #[test]
     fn fixup_counts_races_when_disabled() {
         let mut m = LimitMod::new(false);
-        m.register_range(10, 15);
+        reg(&mut m, 10, 15);
         assert_eq!(m.fixup_pc(12), 12, "no rewind");
         assert_eq!(m.fixups, 0);
         assert_eq!(m.unfixed_races, 1);
@@ -156,7 +196,7 @@ mod tests {
     #[test]
     fn pc_outside_ranges_untouched() {
         let mut m = LimitMod::new(true);
-        m.register_range(10, 15);
+        reg(&mut m, 10, 15);
         assert_eq!(m.fixup_pc(100), 100);
         assert_eq!(m.fixups, 0);
     }
@@ -164,17 +204,18 @@ mod tests {
     #[test]
     fn duplicate_and_empty_ranges_ignored() {
         let mut m = LimitMod::new(true);
-        m.register_range(10, 15);
-        m.register_range(10, 15);
-        m.register_range(20, 20);
+        assert_eq!(m.register_range(10, 15), RangeReg::Registered);
+        assert_eq!(m.register_range(10, 15), RangeReg::Duplicate);
+        assert_eq!(m.register_range(20, 20), RangeReg::Empty);
         assert_eq!(m.ranges().len(), 1);
+        assert_eq!(m.rejected_ranges, 0, "neither outcome is an overlap");
     }
 
     #[test]
     fn multiple_ranges_resolve_independently() {
         let mut m = LimitMod::new(true);
-        m.register_range(10, 15);
-        m.register_range(30, 40);
+        reg(&mut m, 10, 15);
+        reg(&mut m, 30, 40);
         assert_eq!(m.rewind_target(35), Some(30));
         assert_eq!(m.rewind_target(12), Some(10));
     }
@@ -182,9 +223,9 @@ mod tests {
     #[test]
     fn registration_order_does_not_matter() {
         let mut m = LimitMod::new(true);
-        m.register_range(30, 40);
-        m.register_range(10, 15);
-        m.register_range(20, 25);
+        reg(&mut m, 30, 40);
+        reg(&mut m, 10, 15);
+        reg(&mut m, 20, 25);
         assert_eq!(m.ranges(), &[(10, 15), (20, 25), (30, 40)]);
         assert_eq!(m.rewind_target(12), Some(10));
         assert_eq!(m.rewind_target(24), Some(20));
@@ -193,14 +234,46 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_registrations_are_ignored() {
+    fn overlapping_registrations_are_rejected_and_counted() {
+        // Regression: overlapping non-duplicate registrations used to be
+        // silently dropped, leaving a genuinely distinct read sequence
+        // unprotected with no signal at all.
         let mut m = LimitMod::new(true);
-        m.register_range(10, 20);
-        m.register_range(15, 25); // overlaps tail
-        m.register_range(5, 12); // overlaps head
-        m.register_range(12, 18); // fully inside
-        m.register_range(0, 100); // fully covering
+        assert_eq!(m.register_range(10, 20), RangeReg::Registered);
+        assert_eq!(m.register_range(15, 25), RangeReg::Overlap); // tail
+        assert_eq!(m.register_range(5, 12), RangeReg::Overlap); // head
+        assert_eq!(m.register_range(12, 18), RangeReg::Overlap); // inside
+        assert_eq!(m.register_range(0, 100), RangeReg::Overlap); // covering
         assert_eq!(m.ranges(), &[(10, 20)]);
+        assert_eq!(m.rejected_ranges, 4);
+    }
+
+    #[test]
+    fn two_distinct_overlapping_ranges_signal_the_second() {
+        let mut m = LimitMod::new(true);
+        assert_eq!(m.register_range(100, 103), RangeReg::Registered);
+        assert_eq!(m.register_range(102, 105), RangeReg::Overlap);
+        assert_eq!(m.rejected_ranges, 1);
+        // The first range keeps its protection; the second has none.
+        assert_eq!(m.rewind_target(101), Some(100));
+        assert_eq!(m.rewind_target(104), None);
+    }
+
+    #[test]
+    fn rewind_target_at_exact_boundaries() {
+        // The documented contract, pinned at each edge: `start` has read
+        // nothing yet (no rewind), `end` is exclusive (past the sequence),
+        // `end-1` is the last in-sequence instruction (rewinds).
+        let mut m = LimitMod::new(true);
+        reg(&mut m, 10, 13);
+        assert_eq!(m.rewind_target(10), None, "at start");
+        assert_eq!(m.rewind_target(13), None, "at end (exclusive)");
+        assert_eq!(m.rewind_target(12), Some(10), "at end-1");
+        // A minimal 2-instruction range exercises start == end-1 adjacency.
+        reg(&mut m, 20, 22);
+        assert_eq!(m.rewind_target(20), None);
+        assert_eq!(m.rewind_target(21), Some(20));
+        assert_eq!(m.rewind_target(22), None);
     }
 
     #[test]
@@ -223,7 +296,7 @@ mod tests {
             while !spans.is_empty() {
                 let i = rng.index(spans.len());
                 let (s, e) = spans.swap_remove(i);
-                m.register_range(s, e);
+                reg(&mut m, s, e);
                 naive.push((s, e));
             }
             for pc in 0..4_100u32 {
@@ -232,6 +305,45 @@ mod tests {
                     .find(|&&(s, e)| pc > s && pc < e)
                     .map(|&(s, _)| s);
                 assert_eq!(m.rewind_target(pc), want, "pc {pc}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Accounting invariant: over any disturbance sequence,
+        /// `fixups + unfixed_races` equals the number of disturbances
+        /// landing strictly inside a range, regardless of `fixup_enabled` —
+        /// the knob redirects the count, it never loses one.
+        #[test]
+        fn fixup_accounting_is_conserved(
+            enabled in any::<bool>(),
+            spans in prop::collection::vec((0u32..60, 2u32..8), 0..16),
+            pcs in prop::collection::vec(0u32..600, 0..120),
+        ) {
+            let mut m = LimitMod::new(enabled);
+            let mut registered: Vec<(u32, u32)> = Vec::new();
+            let mut at = 0u32;
+            for &(gap, len) in &spans {
+                let start = at + gap + 1;
+                let end = start + len;
+                prop_assert_eq!(m.register_range(start, end), RangeReg::Registered);
+                registered.push((start, end));
+                at = end;
+            }
+            let mut mid_range = 0u64;
+            for &pc in &pcs {
+                let _ = m.fixup_pc(pc);
+                if registered.iter().any(|&(s, e)| pc > s && pc < e) {
+                    mid_range += 1;
+                }
+            }
+            prop_assert_eq!(m.fixups + m.unfixed_races, mid_range);
+            if enabled {
+                prop_assert_eq!(m.unfixed_races, 0);
+            } else {
+                prop_assert_eq!(m.fixups, 0);
             }
         }
     }

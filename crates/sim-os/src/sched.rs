@@ -4,15 +4,45 @@
 //! unless a thread is pinned) — the paper's mechanisms care that context
 //! switches and migrations *happen*, with realistic frequency, not about
 //! CFS-grade placement policy. The quantum defaults to 1 ms of guest time.
+//!
+//! Internally the queue is bucketed: one priority-indexed map of FIFO
+//! deques for unpinned threads, plus one per core for pinned threads, with
+//! a global enqueue sequence number breaking priority ties across queues.
+//! [`Scheduler::pick`] is therefore O(log buckets) instead of the previous
+//! linear scan + `VecDeque::remove` — which was O(ready²) per quantum once
+//! affinity pinning made early queue entries ineligible (exactly the
+//! many-thread shape the torture harness produces). Pick order is
+//! *behaviorally identical* to the scan: highest priority first, FIFO by
+//! enqueue order within a priority, pinned threads only on their core (see
+//! the property test cross-checking against the old implementation).
+//!
+//! Affinity and priority are snapshotted at enqueue time; the kernel's
+//! [`crate::kernel::Kernel::set_priority`] re-buckets a queued thread via
+//! [`Scheduler::requeue`], preserving its original enqueue order.
 
 use crate::thread::Thread;
 use sim_core::{CoreId, ThreadId};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Priority-bucketed FIFO: priority → queue of (enqueue seq, thread),
+/// each deque ordered by ascending seq. Buckets are never left empty.
+type Buckets = BTreeMap<u8, VecDeque<(u64, ThreadId)>>;
 
 /// Scheduler state and accounting.
 #[derive(Debug)]
 pub struct Scheduler {
-    ready: VecDeque<ThreadId>,
+    /// Unpinned ready threads, runnable on any core.
+    global: Buckets,
+    /// Pinned ready threads, one bucket set per core.
+    pinned: Vec<Buckets>,
+    /// Ready threads pinned to a core this scheduler does not manage:
+    /// counted in `ready_len` (so all-idle detection still reports them as
+    /// unschedulable) but never picked.
+    unplaceable: Vec<ThreadId>,
+    /// Monotone enqueue counter; the cross-queue FIFO tie-breaker.
+    seq: u64,
+    /// Total queued threads, `unplaceable` included.
+    len: usize,
     slice_end: Vec<u64>,
     quantum: u64,
     /// Total switch-ins.
@@ -27,7 +57,11 @@ impl Scheduler {
     /// Creates a scheduler for `cores` cores with the given quantum.
     pub fn new(cores: usize, quantum: u64) -> Self {
         Scheduler {
-            ready: VecDeque::new(),
+            global: Buckets::new(),
+            pinned: (0..cores).map(|_| Buckets::new()).collect(),
+            unplaceable: Vec::new(),
+            seq: 0,
+            len: 0,
             slice_end: vec![0; cores],
             quantum,
             switches: 0,
@@ -41,41 +75,148 @@ impl Scheduler {
         self.quantum
     }
 
-    /// Adds a thread to the back of the run queue.
-    pub fn enqueue(&mut self, tid: ThreadId) {
+    /// Adds a thread to the back of the run queue, snapshotting its
+    /// affinity and priority.
+    pub fn enqueue(&mut self, t: &Thread) {
         debug_assert!(
-            !self.ready.contains(&tid),
-            "thread {tid} enqueued while already ready"
+            !self.contains(t.tid),
+            "thread {} enqueued while already ready",
+            t.tid
         );
-        self.ready.push_back(tid);
+        self.seq += 1;
+        self.insert(t, self.seq);
+    }
+
+    fn insert(&mut self, t: &Thread, seq: u64) {
+        self.len += 1;
+        match t.affinity {
+            None => self
+                .global
+                .entry(t.priority)
+                .or_default()
+                .push_back((seq, t.tid)),
+            Some(c) if c.index() < self.pinned.len() => self.pinned[c.index()]
+                .entry(t.priority)
+                .or_default()
+                .push_back((seq, t.tid)),
+            Some(_) => self.unplaceable.push(t.tid),
+        }
+    }
+
+    /// Re-buckets `t` (already mutated by the caller) if it is currently
+    /// queued, keeping its original enqueue order. Cold path: only runs
+    /// when priority changes while a thread sits in the queue.
+    pub fn requeue(&mut self, t: &Thread) {
+        if let Some(seq) = self.remove(t.tid) {
+            self.insert(t, seq);
+            // A re-insert must not disturb FIFO order within the target
+            // bucket; deques are seq-sorted, so place it where it belongs.
+            let q = match t.affinity {
+                None => self.global.get_mut(&t.priority),
+                Some(c) if c.index() < self.pinned.len() => {
+                    self.pinned[c.index()].get_mut(&t.priority)
+                }
+                Some(_) => None,
+            };
+            if let Some(q) = q {
+                q.make_contiguous().sort_unstable();
+            }
+        }
+    }
+
+    /// Removes `tid` from whichever queue holds it, returning its enqueue
+    /// seq. Cold path (linear scan) used only by [`Scheduler::requeue`].
+    fn remove(&mut self, tid: ThreadId) -> Option<u64> {
+        if let Some(i) = self.unplaceable.iter().position(|&t| t == tid) {
+            self.unplaceable.swap_remove(i);
+            self.len -= 1;
+            // Unplaceable threads have no recorded seq; treat the removal
+            // moment as the enqueue point (they were never pickable).
+            self.seq += 1;
+            return Some(self.seq);
+        }
+        let all = std::iter::once(&mut self.global).chain(self.pinned.iter_mut());
+        for buckets in all {
+            let mut found = None;
+            for (&prio, q) in buckets.iter_mut() {
+                if let Some(i) = q.iter().position(|&(_, t)| t == tid) {
+                    let (seq, _) = q.remove(i).expect("index just found");
+                    found = Some((prio, q.is_empty(), seq));
+                    break;
+                }
+            }
+            if let Some((prio, empty, seq)) = found {
+                if empty {
+                    buckets.remove(&prio);
+                }
+                self.len -= 1;
+                return Some(seq);
+            }
+        }
+        None
+    }
+
+    fn contains(&self, tid: ThreadId) -> bool {
+        let in_buckets = |b: &Buckets| b.values().any(|q| q.iter().any(|&(_, t)| t == tid));
+        in_buckets(&self.global)
+            || self.pinned.iter().any(in_buckets)
+            || self.unplaceable.contains(&tid)
     }
 
     /// Number of ready threads.
     pub fn ready_len(&self) -> usize {
-        self.ready.len()
+        self.len
+    }
+
+    /// The head candidate of a bucket set: (priority, seq) of the
+    /// front-of-deque entry in the highest-priority bucket.
+    fn best(buckets: &Buckets) -> Option<(u8, u64)> {
+        buckets
+            .iter()
+            .next_back()
+            .map(|(&prio, q)| (prio, q.front().expect("buckets are never empty").0))
+    }
+
+    /// Pops the head candidate. Caller guarantees the set is non-empty.
+    fn pop(buckets: &mut Buckets) -> ThreadId {
+        let (&prio, _) = buckets.iter().next_back().expect("checked by caller");
+        let q = buckets.get_mut(&prio).expect("key just observed");
+        let (_, tid) = q.pop_front().expect("buckets are never empty");
+        if q.is_empty() {
+            buckets.remove(&prio);
+        }
+        tid
     }
 
     /// Picks the next thread eligible to run on `core`: among queued
     /// threads whose affinity allows the core, the highest-priority one
     /// (FIFO within a priority level).
-    pub fn pick(&mut self, core: CoreId, threads: &[Thread]) -> Option<ThreadId> {
-        let mut best: Option<(usize, u8)> = None;
-        for (pos, &tid) in self.ready.iter().enumerate() {
-            let t = &threads[tid.index()];
-            let eligible = match t.affinity {
-                None => true,
-                Some(a) => a == core,
-            };
-            if !eligible {
-                continue;
+    pub fn pick(&mut self, core: CoreId) -> Option<ThreadId> {
+        let g = Self::best(&self.global);
+        let p = self
+            .pinned
+            .get(core.index())
+            .and_then(Self::best);
+        // Priority wins; on a tie the earlier enqueue (smaller seq) does,
+        // matching the old scan's front-of-queue-first order.
+        let from_global = match (g, p) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((gp, gs)), Some((pp, ps))) => {
+                if gp != pp {
+                    gp > pp
+                } else {
+                    gs < ps
+                }
             }
-            match best {
-                Some((_, bp)) if bp >= t.priority => {}
-                _ => best = Some((pos, t.priority)),
-            }
-        }
-        let (pos, _) = best?;
-        self.ready.remove(pos)
+        };
+        self.len -= 1;
+        Some(if from_global {
+            Self::pop(&mut self.global)
+        } else {
+            Self::pop(&mut self.pinned[core.index()])
+        })
     }
 
     /// Starts a fresh timeslice on `core` at time `now`.
@@ -104,6 +245,7 @@ impl Scheduler {
 mod tests {
     use super::*;
     use crate::thread::Thread;
+    use sim_core::DetRng;
 
     fn mk_threads(n: usize) -> Vec<Thread> {
         (0..n)
@@ -115,11 +257,11 @@ mod tests {
     fn fifo_pick_order() {
         let threads = mk_threads(3);
         let mut s = Scheduler::new(2, 1000);
-        s.enqueue(ThreadId::new(0));
-        s.enqueue(ThreadId::new(1));
-        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(0)));
-        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(1)));
-        assert_eq!(s.pick(CoreId::new(0), &threads), None);
+        s.enqueue(&threads[0]);
+        s.enqueue(&threads[1]);
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(0)));
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(0)), None);
     }
 
     #[test]
@@ -127,11 +269,11 @@ mod tests {
         let mut threads = mk_threads(2);
         threads[0].affinity = Some(CoreId::new(1));
         let mut s = Scheduler::new(2, 1000);
-        s.enqueue(ThreadId::new(0));
-        s.enqueue(ThreadId::new(1));
+        s.enqueue(&threads[0]);
+        s.enqueue(&threads[1]);
         // Core 0 must skip the pinned thread and take thread 1.
-        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(1)));
-        assert_eq!(s.pick(CoreId::new(1), &threads), Some(ThreadId::new(0)));
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(1)), Some(ThreadId::new(0)));
     }
 
     #[test]
@@ -139,13 +281,13 @@ mod tests {
         let mut threads = mk_threads(3);
         threads[2].priority = 5;
         let mut s = Scheduler::new(1, 1000);
-        s.enqueue(ThreadId::new(0));
-        s.enqueue(ThreadId::new(1));
-        s.enqueue(ThreadId::new(2));
-        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(2)));
+        s.enqueue(&threads[0]);
+        s.enqueue(&threads[1]);
+        s.enqueue(&threads[2]);
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(2)));
         // FIFO among equals.
-        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(0)));
-        assert_eq!(s.pick(CoreId::new(0), &threads), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(0)));
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(1)));
     }
 
     #[test]
@@ -155,5 +297,131 @@ mod tests {
         assert!(!s.slice_expired(CoreId::new(0), 1499));
         assert!(s.slice_expired(CoreId::new(0), 1500));
         assert_eq!(s.switches, 1);
+    }
+
+    #[test]
+    fn requeue_applies_a_priority_change_in_place() {
+        let mut threads = mk_threads(3);
+        let mut s = Scheduler::new(1, 1000);
+        s.enqueue(&threads[0]);
+        s.enqueue(&threads[1]);
+        s.enqueue(&threads[2]);
+        threads[1].priority = 9;
+        s.requeue(&threads[1]);
+        assert_eq!(s.ready_len(), 3);
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(0)));
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(2)));
+    }
+
+    #[test]
+    fn unplaceable_threads_count_as_ready_but_are_never_picked() {
+        let mut threads = mk_threads(2);
+        threads[0].affinity = Some(CoreId::new(7)); // no such core
+        let mut s = Scheduler::new(2, 1000);
+        s.enqueue(&threads[0]);
+        s.enqueue(&threads[1]);
+        assert_eq!(s.ready_len(), 2);
+        assert_eq!(s.pick(CoreId::new(0)), Some(ThreadId::new(1)));
+        assert_eq!(s.pick(CoreId::new(0)), None);
+        assert_eq!(s.pick(CoreId::new(1)), None);
+        // Still counted, so the kernel's all-idle check can report it.
+        assert_eq!(s.ready_len(), 1);
+    }
+
+    /// The seed implementation, kept verbatim as the reference model for
+    /// the equivalence test below: linear scan for the first
+    /// highest-priority eligible entry, then `VecDeque::remove`.
+    struct ReferenceScheduler {
+        ready: VecDeque<ThreadId>,
+    }
+
+    impl ReferenceScheduler {
+        fn new() -> Self {
+            ReferenceScheduler {
+                ready: VecDeque::new(),
+            }
+        }
+
+        fn enqueue(&mut self, tid: ThreadId) {
+            self.ready.push_back(tid);
+        }
+
+        fn pick(&mut self, core: CoreId, threads: &[Thread]) -> Option<ThreadId> {
+            let mut best: Option<(usize, u8)> = None;
+            for (pos, &tid) in self.ready.iter().enumerate() {
+                let t = &threads[tid.index()];
+                let eligible = match t.affinity {
+                    None => true,
+                    Some(a) => a == core,
+                };
+                if !eligible {
+                    continue;
+                }
+                match best {
+                    Some((_, bp)) if bp >= t.priority => {}
+                    _ => best = Some((pos, t.priority)),
+                }
+            }
+            let (pos, _) = best?;
+            self.ready.remove(pos)
+        }
+    }
+
+    /// Behavioral equivalence with the seed implementation over randomized
+    /// enqueue / pick / set-priority interleavings on multiple cores.
+    #[test]
+    fn bucketed_pick_matches_reference_scan() {
+        let mut rng = DetRng::new(0x5c4e_d001);
+        for trial in 0..300 {
+            let cores = 1 + rng.index(3);
+            let mut threads = mk_threads(12);
+            for t in threads.iter_mut() {
+                if rng.chance(0.4) {
+                    t.affinity = Some(CoreId::new(rng.index(cores) as u32));
+                }
+                t.priority = rng.index(3) as u8;
+            }
+            let mut s = Scheduler::new(cores, 1000);
+            let mut r = ReferenceScheduler::new();
+            let mut queued = vec![false; threads.len()];
+            for op in 0..200 {
+                match rng.index(5) {
+                    // Enqueue a not-yet-queued thread.
+                    0 | 1 => {
+                        let free: Vec<usize> = (0..threads.len()).filter(|&i| !queued[i]).collect();
+                        if let Some(&i) = free.get(rng.index(free.len().max(1))) {
+                            queued[i] = true;
+                            s.enqueue(&threads[i]);
+                            r.enqueue(threads[i].tid);
+                        }
+                    }
+                    // Change a queued thread's priority.
+                    2 => {
+                        let q: Vec<usize> = (0..threads.len()).filter(|&i| queued[i]).collect();
+                        if let Some(&i) = q.get(rng.index(q.len().max(1))) {
+                            threads[i].priority = rng.index(3) as u8;
+                            s.requeue(&threads[i]);
+                            // The reference reads priority at pick time, so
+                            // it needs no update.
+                        }
+                    }
+                    // Pick on a random core.
+                    _ => {
+                        let core = CoreId::new(rng.index(cores) as u32);
+                        let got = s.pick(core);
+                        let want = r.pick(core, &threads);
+                        assert_eq!(
+                            got, want,
+                            "trial {trial} op {op}: pick({core}) diverged from reference"
+                        );
+                        if let Some(tid) = got {
+                            queued[tid.index()] = false;
+                        }
+                        assert_eq!(s.ready_len(), r.ready.len());
+                    }
+                }
+            }
+        }
     }
 }

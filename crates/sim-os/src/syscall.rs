@@ -216,6 +216,22 @@ pub fn encode_event(event: EventKind) -> u64 {
         .expect("event present in ALL") as u64
 }
 
+/// Validates a `LimitOpen` counter-slot argument against the PMU's
+/// programmable-counter count, returning the narrowed slot index.
+///
+/// This is kernel ABI policy, kept beside the syscall definitions: a slot
+/// the *hardware* does not have must fail the syscall deterministically.
+/// The per-thread virtual-counter table happens to be sized from the same
+/// configuration today, but relying on that coupling would let a future
+/// table-sizing change silently turn an invalid slot into an aliased one.
+pub fn validate_limit_slot(slot: u64, pmu_slots: usize) -> Option<u8> {
+    if slot < pmu_slots.min(u8::MAX as usize + 1) as u64 {
+        Some(slot as u8)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +267,17 @@ mod tests {
                 tag: 0
             })
         );
+    }
+
+    #[test]
+    fn limit_slot_validation_tracks_pmu_width() {
+        assert_eq!(validate_limit_slot(0, 4), Some(0));
+        assert_eq!(validate_limit_slot(3, 4), Some(3));
+        assert_eq!(validate_limit_slot(4, 4), None, "one past the hardware");
+        assert_eq!(validate_limit_slot(2, 2), None);
+        assert_eq!(validate_limit_slot(u64::MAX, 16), None);
+        // Slots beyond u8 can never name hardware, whatever the config.
+        assert_eq!(validate_limit_slot(256, 10_000), None);
     }
 
     #[test]

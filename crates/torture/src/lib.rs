@@ -1,0 +1,486 @@
+//! Counter-virtualization torture harness.
+//!
+//! The virtualization layer under test (sim-os's LiMiT extension) promises
+//! one invariant: **a userspace counter read returns the thread's exact
+//! private event count, no matter where preemptions, overflow interrupts,
+//! migrations, or counter spills land relative to the 3-instruction read
+//! sequence**. Organic workloads (experiment E4) only sample a few of the
+//! billions of possible disturbance placements; this crate enumerates them.
+//!
+//! The pieces, each deterministic from a single seed:
+//!
+//! * **Injection schededules** ([`schedule_for`]) — the cross-product of
+//!   (restart range × instruction offset × disturbance kind × thread) is
+//!   swept *exhaustively* across the schedule indices, so every in-range
+//!   boundary sees every [`InjectAction`] on every thread; which dynamic
+//!   occurrence gets hit, plus extra off-sequence injections, are
+//!   seeded-random. The kernel fires each trigger at the exact instruction
+//!   boundary an organic disturbance would land on (`sim_os::inject`).
+//! * **Differential oracle** (`sim_cpu::oracle`) — a shadow per-thread
+//!   event ledger kept entirely outside the PMU/virtualization path checks
+//!   every completed read sequence; any mismatch is a [`Divergence`].
+//! * **Shrinking** ([`shrink`]) — a failing schedule is minimized by
+//!   delta-debugging over its injection points: re-run with subsets until
+//!   no single injection can be removed. Divergent schedules here are tiny
+//!   (≤ [`MAX_EXTRA_INJECTIONS`] + 1 points), so greedy one-at-a-time
+//!   removal reaches a genuine local minimum fast.
+//! * **Repro rendering** ([`render_repro`]) — seed, schedule index, the
+//!   minimal injection list, and the disassembled read sequence, enough to
+//!   replay the failure from scratch.
+
+use limit::harness::{Session, SessionBuilder};
+use limit::reader::{CounterReader, LimitReader};
+use sim_core::{DetRng, SimResult, ThreadId};
+use sim_cpu::oracle::Divergence;
+use sim_cpu::{Cond, EventKind, Reg};
+use sim_os::inject::{InjectAction, Injection};
+use sim_os::KernelConfig;
+
+/// Instruction-boundary offsets inside the 3-instruction read sequence
+/// (`load`, `rdpmc`, `add`): before the load, between load and rdpmc (the
+/// window the restart fix-up exists for), and between rdpmc and add.
+const SEQ_OFFSETS: u32 = 3;
+
+/// Read call sites emitted in the guest loop body (each is its own
+/// uniquely-named restart range).
+const READ_SITES: usize = 4;
+
+/// Cap on seeded-random injections added beyond a schedule's primary
+/// (exhaustively-swept) one.
+pub const MAX_EXTRA_INJECTIONS: usize = 2;
+
+/// Torture-run parameters. Everything downstream — guest program, schedule
+/// contents, kernel behavior — is a pure function of this struct, so two
+/// runs with equal configs produce identical results.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Master seed; every schedule derives from `seed` and its own index.
+    pub seed: u64,
+    /// Number of injection schedules per arm.
+    pub schedules: u64,
+    /// Include [`InjectAction::Spill`] in the action set. A forced
+    /// mid-sequence self-virtualizing spill is invisible to the kernel, so
+    /// the restart fix-up *cannot* protect against it — this arm documents
+    /// that known race rather than hunting regressions.
+    pub spill: bool,
+    /// Guest threads hammering the read sequence.
+    pub threads: usize,
+    /// Simulated cores.
+    pub cores: usize,
+    /// Counter reads each thread performs (spread over [`READ_SITES`]
+    /// call sites).
+    pub reads: u32,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            seed: 7,
+            schedules: 1_000,
+            spill: false,
+            threads: 2,
+            cores: 2,
+            reads: 40,
+        }
+    }
+}
+
+impl TortureConfig {
+    /// Loop iterations per thread (each iteration visits every read site).
+    fn iters(&self) -> u32 {
+        (self.reads / READ_SITES as u32).max(1)
+    }
+
+    /// The action set for this config.
+    fn actions(&self) -> Vec<InjectAction> {
+        let mut a = InjectAction::FIXABLE.to_vec();
+        if self.spill {
+            a.push(InjectAction::Spill);
+        }
+        a
+    }
+}
+
+/// Outcome of replaying one injection schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Reads the oracle checked.
+    pub checks: u64,
+    /// Injections that actually fired.
+    pub fired: u64,
+    /// Wrong reads the oracle caught.
+    pub divergences: Vec<Divergence>,
+}
+
+/// A schedule that produced at least one divergence, kept for shrinking
+/// and repro rendering.
+#[derive(Debug, Clone)]
+pub struct FailingSchedule {
+    /// Schedule index (combine with the config seed to regenerate).
+    pub index: u64,
+    /// The injections that were active when the divergence appeared.
+    pub injections: Vec<Injection>,
+    /// The first divergence the oracle recorded.
+    pub divergence: Divergence,
+}
+
+/// Aggregate result of one torture arm (a fix-up setting × an action set).
+#[derive(Debug, Clone)]
+pub struct ArmReport {
+    /// Whether the kernel restart fix-up was enabled.
+    pub fixup: bool,
+    /// Schedules replayed.
+    pub schedules: u64,
+    /// Total oracle checks across all schedules.
+    pub checks: u64,
+    /// Total injections fired.
+    pub fired: u64,
+    /// Schedules with at least one divergence.
+    pub divergent_schedules: u64,
+    /// Total divergences.
+    pub divergences: u64,
+    /// The first failing schedule, if any.
+    pub first_failure: Option<FailingSchedule>,
+}
+
+/// Builds the torture guest: `threads` identical hammer loops, one LiMiT
+/// instruction counter each, [`READ_SITES`] read sequences per iteration
+/// separated by unequal bursts (so range PCs do not alias modulo anything).
+/// The quantum is effectively infinite — injected disturbances are the
+/// *only* disturbances, which is what makes the sweep exhaustive rather
+/// than statistical.
+fn build_session(cfg: &TortureConfig, fixup: bool) -> SimResult<Session> {
+    let reader = LimitReader::with_events(vec![EventKind::Instructions]);
+    let mut b = SessionBuilder::new(cfg.cores)
+        .events(&[EventKind::Instructions])
+        .kernel_config(KernelConfig {
+            quantum: 1_000_000_000,
+            restart_fixup: fixup,
+            ..Default::default()
+        });
+    let mut asm = b.asm();
+    asm.export("main");
+    reader.emit_thread_setup(&mut asm);
+    asm.imm(Reg::R9, cfg.iters() as u64);
+    asm.imm(Reg::R10, 0);
+    let top = asm.new_label();
+    asm.bind(top);
+    for work in [7u32, 5, 9, 3] {
+        asm.burst(work);
+        reader.emit_read(&mut asm, 0, Reg::R4, Reg::R5);
+    }
+    asm.alui_sub(Reg::R9, 1);
+    asm.br(Cond::Ne, Reg::R9, Reg::R10, top);
+    asm.halt();
+    b.build(asm)
+}
+
+/// Generates schedule `index`'s injection list for the given restart
+/// ranges. The primary injection walks the full cross-product of
+/// (range × offset × action × thread) as `index` advances; its dynamic
+/// occurrence and up to [`MAX_EXTRA_INJECTIONS`] extra injections come
+/// from a per-schedule RNG split off the master seed.
+pub fn schedule_for(cfg: &TortureConfig, ranges: &[(u32, u32)], index: u64) -> Vec<Injection> {
+    assert!(!ranges.is_empty(), "guest must register restart ranges");
+    let actions = cfg.actions();
+    let mut rng = DetRng::new(cfg.seed).split(index);
+    let iters = cfg.iters() as u64;
+    let rand_inj = |rng: &mut DetRng| {
+        let (start, _) = ranges[rng.index(ranges.len())];
+        Injection {
+            tid: ThreadId(rng.index(cfg.threads) as u32),
+            pc: start + rng.index(SEQ_OFFSETS as usize) as u32,
+            hit: rng.range(1, iters) as u32,
+            action: actions[rng.index(actions.len())],
+        }
+    };
+
+    // Primary: exhaustive sweep of the cross-product.
+    let mut c = index as usize;
+    let tid = c % cfg.threads;
+    c /= cfg.threads;
+    let action = actions[c % actions.len()];
+    c /= actions.len();
+    let offset = (c % SEQ_OFFSETS as usize) as u32;
+    c /= SEQ_OFFSETS as usize;
+    let (start, _) = ranges[c % ranges.len()];
+    let mut schedule = vec![Injection {
+        tid: ThreadId(tid as u32),
+        pc: start + offset,
+        hit: rng.range(1, iters) as u32,
+        action,
+    }];
+    for _ in 0..rng.index(MAX_EXTRA_INJECTIONS + 1) {
+        schedule.push(rand_inj(&mut rng));
+    }
+    schedule
+}
+
+/// Replays one explicit injection list against a fresh session.
+pub fn run_with_injections(
+    cfg: &TortureConfig,
+    fixup: bool,
+    injections: &[Injection],
+) -> SimResult<ScheduleOutcome> {
+    let mut s = build_session(cfg, fixup)?;
+    let ranges = s.kernel.limit().ranges().to_vec();
+    s.kernel.machine.enable_oracle(&ranges);
+    s.kernel.set_injector(injections);
+    for _ in 0..cfg.threads {
+        s.spawn_instrumented("main", &[])?;
+    }
+    s.run()?;
+    let fired = s.kernel.injector().expect("installed above").fired;
+    let o = s.kernel.machine.oracle().expect("enabled above");
+    Ok(ScheduleOutcome {
+        checks: o.checks,
+        fired,
+        divergences: o.divergences().to_vec(),
+    })
+}
+
+/// The restart ranges the torture guest registers (needed to generate
+/// schedules without running one). Deterministic for a given config.
+pub fn guest_ranges(cfg: &TortureConfig) -> SimResult<Vec<(u32, u32)>> {
+    Ok(build_session(cfg, true)?.kernel.limit().ranges().to_vec())
+}
+
+/// Generates and replays schedule `index`. Returns the schedule alongside
+/// its outcome so failures are replayable.
+pub fn run_schedule(
+    cfg: &TortureConfig,
+    fixup: bool,
+    ranges: &[(u32, u32)],
+    index: u64,
+) -> SimResult<(Vec<Injection>, ScheduleOutcome)> {
+    let schedule = schedule_for(cfg, ranges, index);
+    let outcome = run_with_injections(cfg, fixup, &schedule)?;
+    Ok((schedule, outcome))
+}
+
+/// Runs one full torture arm: `cfg.schedules` schedules against the given
+/// fix-up setting.
+pub fn run_arm(cfg: &TortureConfig, fixup: bool) -> SimResult<ArmReport> {
+    let ranges = guest_ranges(cfg)?;
+    let mut report = ArmReport {
+        fixup,
+        schedules: cfg.schedules,
+        checks: 0,
+        fired: 0,
+        divergent_schedules: 0,
+        divergences: 0,
+        first_failure: None,
+    };
+    for index in 0..cfg.schedules {
+        let (schedule, outcome) = run_schedule(cfg, fixup, &ranges, index)?;
+        report.checks += outcome.checks;
+        report.fired += outcome.fired;
+        if let Some(&first) = outcome.divergences.first() {
+            report.divergent_schedules += 1;
+            report.divergences += outcome.divergences.len() as u64;
+            if report.first_failure.is_none() {
+                report.first_failure = Some(FailingSchedule {
+                    index,
+                    injections: schedule,
+                    divergence: first,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Minimizes a failing schedule by delta debugging: repeatedly re-run with
+/// one injection removed, keep any subset that still diverges, until no
+/// single removal preserves the failure. The result is a locally-minimal
+/// set of injection points that reproduces a divergence.
+pub fn shrink(
+    cfg: &TortureConfig,
+    fixup: bool,
+    failing: &FailingSchedule,
+) -> SimResult<Vec<Injection>> {
+    let mut current = failing.injections.clone();
+    loop {
+        let mut reduced = None;
+        for skip in 0..current.len() {
+            if current.len() == 1 {
+                break;
+            }
+            let candidate: Vec<Injection> = current
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &inj)| inj)
+                .collect();
+            if !run_with_injections(cfg, fixup, &candidate)?
+                .divergences
+                .is_empty()
+            {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return Ok(current),
+        }
+    }
+}
+
+/// Renders a self-contained replayable repro: config seed, schedule index,
+/// the minimal injection list, the divergence, and the disassembled read
+/// sequence the divergence happened in.
+pub fn render_repro(
+    cfg: &TortureConfig,
+    fixup: bool,
+    failing: &FailingSchedule,
+    minimal: &[Injection],
+) -> SimResult<String> {
+    let s = build_session(cfg, fixup)?;
+    let prog = &s.kernel.machine.prog;
+    let d = failing.divergence;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "divergence repro (seed {}, schedule {}, fixup {})\n",
+        cfg.seed,
+        failing.index,
+        if fixup { "on" } else { "off" }
+    ));
+    out.push_str(&format!(
+        "  {}: read of {:?} in range [{}, {}) returned {} (expected {}) at cycle {}\n",
+        d.tid, d.event, d.range.0, d.range.1, d.actual, d.expected, d.clock
+    ));
+    out.push_str(&format!(
+        "  minimal injections ({} of {} kept):\n",
+        minimal.len(),
+        failing.injections.len()
+    ));
+    for inj in minimal {
+        out.push_str(&format!("    {inj}\n"));
+    }
+    out.push_str("  read sequence:\n");
+    for pc in d.range.0..d.range.1 {
+        if let Some(instr) = prog.fetch(pc) {
+            out.push_str(&format!("    {pc:>5}: {instr}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TortureConfig {
+        TortureConfig {
+            schedules: 60,
+            ..TortureConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixup_on_survives_the_sweep() {
+        let report = run_arm(&small(), true).unwrap();
+        assert!(report.checks > 0, "the oracle must actually check reads");
+        assert!(report.fired > 0, "injections must actually fire");
+        assert_eq!(
+            report.divergences, 0,
+            "fix-up enabled: every read must be exact; first failure: {:?}",
+            report.first_failure
+        );
+    }
+
+    #[test]
+    fn fixup_off_rediscovers_the_read_race() {
+        let report = run_arm(&small(), false).unwrap();
+        assert!(
+            report.divergent_schedules > 0,
+            "fix-up disabled: the sweep must expose the load/rdpmc race"
+        );
+        assert!(report.first_failure.is_some());
+    }
+
+    #[test]
+    fn spill_arm_exposes_the_self_virtualizing_race_despite_fixup() {
+        let cfg = TortureConfig {
+            spill: true,
+            schedules: 120,
+            ..TortureConfig::default()
+        };
+        let report = run_arm(&cfg, true).unwrap();
+        assert!(
+            report.divergent_schedules > 0,
+            "a mid-sequence hardware spill is invisible to the kernel; \
+             the fix-up cannot protect it"
+        );
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let cfg = small();
+        let ranges = guest_ranges(&cfg).unwrap();
+        for index in [0, 7, 41] {
+            assert_eq!(
+                schedule_for(&cfg, &ranges, index),
+                schedule_for(&cfg, &ranges, index)
+            );
+            let (_, a) = run_schedule(&cfg, false, &ranges, index).unwrap();
+            let (_, b) = run_schedule(&cfg, false, &ranges, index).unwrap();
+            assert_eq!(a.checks, b.checks);
+            assert_eq!(a.fired, b.fired);
+            assert_eq!(a.divergences, b.divergences);
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_a_minimal_repro() {
+        let cfg = small();
+        let report = run_arm(&cfg, false).unwrap();
+        let failing = report.first_failure.expect("off arm must fail");
+        let minimal = shrink(&cfg, false, &failing).unwrap();
+        assert!(!minimal.is_empty() && minimal.len() <= 5);
+        assert!(minimal.len() <= failing.injections.len());
+        // The minimal set still reproduces...
+        let again = run_with_injections(&cfg, false, &minimal).unwrap();
+        assert!(!again.divergences.is_empty());
+        // ...and is minimal: removing any one injection loses the failure.
+        if minimal.len() > 1 {
+            for skip in 0..minimal.len() {
+                let without: Vec<Injection> = minimal
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &inj)| inj)
+                    .collect();
+                assert!(run_with_injections(&cfg, false, &without)
+                    .unwrap()
+                    .divergences
+                    .is_empty());
+            }
+        }
+        let repro = render_repro(&cfg, false, &failing, &minimal).unwrap();
+        assert!(repro.contains("seed 7"));
+        assert!(repro.contains("read sequence:"));
+        assert!(repro.contains("rdpmc"));
+    }
+
+    #[test]
+    fn exhaustive_sweep_visits_every_offset_action_and_thread() {
+        let cfg = TortureConfig {
+            schedules: 400,
+            ..TortureConfig::default()
+        };
+        let ranges = guest_ranges(&cfg).unwrap();
+        let combos = ranges.len() * SEQ_OFFSETS as usize * 3 * cfg.threads;
+        assert!(
+            cfg.schedules as usize >= combos,
+            "default schedule count must cover the cross-product ({combos})"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..combos as u64 {
+            let primary = schedule_for(&cfg, &ranges, index)[0];
+            seen.insert((primary.tid, primary.pc, primary.action));
+        }
+        assert_eq!(seen.len(), combos, "primary injections must not alias");
+    }
+}

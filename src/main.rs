@@ -25,7 +25,7 @@ use std::time::Instant;
 
 mod monitor;
 
-const EXPERIMENTS: [(&str, &str); 14] = [
+const EXPERIMENTS: [(&str, &str); 15] = [
     ("e1", "read-cost table (the headline)"),
     ("e2", "instrumentation overhead on mysqld"),
     ("e3", "virtualized-count exactness"),
@@ -42,6 +42,7 @@ const EXPERIMENTS: [(&str, &str); 14] = [
     ("e11", "extension: co-location interference"),
     ("e12", "extension: lock-striping what-if study"),
     ("e13", "live-telemetry streaming overhead"),
+    ("e14", "virtualization torture sweep (injection + oracle)"),
     (
         "kernels",
         "microbenchmark suite characterization + prefetch ablation",
@@ -130,6 +131,23 @@ fn run_one(name: &str) -> Result<String, String> {
                     w,
                     "stream overhead is {ratio:.2}x aggregate overhead at 8 threads"
                 );
+            }
+        }
+        "e14" => {
+            let rows = bench::e14::run(300).map_err(fail)?;
+            let _ = writeln!(w, "{}", bench::e14::table(&rows));
+            for r in &rows {
+                eprintln!(
+                    "[timing] e14/{:<9} {:>8.0} schedules/sec",
+                    r.arm, r.schedules_per_sec
+                );
+            }
+            if let Some(repro) = rows
+                .iter()
+                .find(|r| !r.fixup)
+                .and_then(|r| r.repro.as_ref())
+            {
+                let _ = writeln!(w, "shrunk fixup-off repro:\n{repro}");
             }
         }
         "kernels" => {
@@ -344,6 +362,85 @@ per-thread accounting:
     Ok(())
 }
 
+/// `limit-repro torture`: run the counter-virtualization torture harness
+/// directly (the CI smoke entry point; E14 is the table-producing wrapper).
+///
+/// Exit status encodes the harness contract: the fixup-on arm must be
+/// divergence-free, and the fixup-off arm must rediscover the read race
+/// (zero findings there means the harness itself lost its teeth).
+fn torture_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use torture::{render_repro, run_arm, shrink, TortureConfig};
+
+    let mut cfg = TortureConfig::default();
+    let mut fixup = "both".to_string();
+    for (key, value) in parse_flags(args, &["schedules", "seed", "fixup", "spill"])? {
+        match key {
+            "schedules" => cfg.schedules = parse_num(key, value)?,
+            "seed" => cfg.seed = parse_num(key, value)?,
+            "fixup" => match value {
+                "on" | "off" | "both" => fixup = value.to_string(),
+                other => return Err(format!("invalid --fixup value {other:?} (on|off|both)")),
+            },
+            "spill" => cfg.spill = parse_num(key, value)?,
+            _ => unreachable!(),
+        }
+    }
+
+    let fail = |e: sim_core::SimError| e.to_string();
+    let arms: &[bool] = match fixup.as_str() {
+        "on" => &[true],
+        "off" => &[false],
+        _ => &[true, false],
+    };
+    let mut ok = true;
+    for &arm_fixup in arms {
+        let label = if arm_fixup { "fixup-on" } else { "fixup-off" };
+        let t0 = Instant::now();
+        let report = run_arm(&cfg, arm_fixup).map_err(fail)?;
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "{label}: {} schedules, {} reads checked, {} injections fired, \
+             {} divergent schedules ({} wrong reads)",
+            report.schedules,
+            report.checks,
+            report.fired,
+            report.divergent_schedules,
+            report.divergences
+        );
+        eprintln!(
+            "[timing] torture/{label:<9} {:>8.0} schedules/sec",
+            report.schedules as f64 / secs
+        );
+        if arm_fixup {
+            if report.divergences > 0 {
+                ok = false;
+                eprintln!("error: fixup-on arm diverged — virtualization bug");
+                if let Some(failing) = &report.first_failure {
+                    let minimal = shrink(&cfg, arm_fixup, failing).map_err(fail)?;
+                    println!(
+                        "{}",
+                        render_repro(&cfg, arm_fixup, failing, &minimal).map_err(fail)?
+                    );
+                }
+            }
+        } else if report.divergences == 0 {
+            ok = false;
+            eprintln!("error: fixup-off arm found no divergence — harness has lost its teeth");
+        } else if let Some(failing) = &report.first_failure {
+            let minimal = shrink(&cfg, arm_fixup, failing).map_err(fail)?;
+            println!(
+                "shrunk repro of the first fixup-off failure:\n{}",
+                render_repro(&cfg, arm_fixup, failing, &minimal).map_err(fail)?
+            );
+        }
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn usage() {
     eprintln!(
         "usage: limit-repro <command>
@@ -353,7 +450,9 @@ fn usage() {
   monitor <mysqld|memcached> [--threads N] [--queries N]
           [--interval CYCLES] [--capacity N] [--out-dir DIR]
                                                         live telemetry stream
-  check-telemetry <file>                                validate NDJSON output"
+  check-telemetry <file>                                validate NDJSON output
+  torture [--schedules N] [--seed S] [--fixup on|off|both] [--spill true|false]
+                                                        virtualization torture sweep"
     );
 }
 
@@ -502,6 +601,14 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("torture") => match torture_cmd(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::FAILURE
+            }
+        },
         Some("check-telemetry") => {
             let Some(path) = args.get(1) else {
                 usage();
