@@ -5,11 +5,13 @@ use bench::e14;
 fn main() {
     let rows = e14::run(400).expect("E14 runs");
     println!("{}", e14::table(&rows));
-    for r in &rows {
-        eprintln!(
-            "[timing] {:<10} {:>8.0} schedules/sec",
-            r.arm, r.schedules_per_sec
-        );
+    for s in bench::spans::drain() {
+        let rate = s
+            .meta
+            .iter()
+            .find(|(k, _)| k == "schedules_per_sec")
+            .map_or(String::new(), |(_, v)| format!("{v:>8.0} schedules/sec"));
+        eprintln!("[span] {:<14} {:>10.1} ms {rate}", s.name, s.wall_ms);
     }
     let on = &rows[0];
     let off = &rows[1];

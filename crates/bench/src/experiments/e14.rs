@@ -17,9 +17,9 @@
 //!   cannot protect the sequence: a documented residual race of hardware
 //!   enhancement 2, not a regression.
 
+use crate::spans;
 use analysis::Table;
 use sim_core::SimResult;
-use std::time::Instant;
 use torture::{render_repro, run_arm, shrink, TortureConfig};
 
 /// Outcome of one torture arm.
@@ -56,9 +56,11 @@ fn run_one(arm: &'static str, fixup: bool, spill: bool, schedules: u64) -> SimRe
         spill,
         ..TortureConfig::default()
     };
-    let t0 = Instant::now();
+    let span = spans::start(format!("e14/{arm}"));
     let report = run_arm(&cfg, fixup)?;
-    let secs = t0.elapsed().as_secs_f64();
+    let secs = (span.elapsed_ms() / 1e3).max(1e-9);
+    let schedules_per_sec = report.schedules as f64 / secs;
+    span.meta("schedules_per_sec", schedules_per_sec).finish();
     let repro = match &report.first_failure {
         Some(failing) => {
             let minimal = shrink(&cfg, fixup, failing)?;
@@ -76,7 +78,7 @@ fn run_one(arm: &'static str, fixup: bool, spill: bool, schedules: u64) -> SimRe
         divergent_schedules: report.divergent_schedules,
         divergences: report.divergences,
         divergent_per_1k: report.divergent_schedules as f64 * 1e3 / report.schedules.max(1) as f64,
-        schedules_per_sec: report.schedules as f64 / secs.max(1e-9),
+        schedules_per_sec,
         repro,
     })
 }

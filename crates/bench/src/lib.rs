@@ -6,6 +6,7 @@
 pub mod experiments;
 pub mod json;
 pub mod parallel;
+pub mod spans;
 
 pub use experiments::*;
 pub use parallel::{default_jobs, parmap, parmap_with};

@@ -9,9 +9,10 @@
 //! events the workload's [`crate::reader::CounterReader`] attaches — the
 //! session uses its length to size and parse log records.
 
-use crate::instrument::StreamConfig;
+use crate::instrument::{StreamConfig, ENTER_MARK_PREFIX, EXIT_MARK_PREFIX};
 use crate::report::{parse_log, RegionRecord, Regions};
 use crate::tls;
+use flight::{EventData, FlightConfig, RegionMark};
 use sim_core::{CoreId, Freq, SimError, SimResult, ThreadId};
 use sim_cpu::{Asm, EventKind, Machine, MachineConfig, MemLayout};
 use sim_os::{Kernel, KernelConfig, RunReport};
@@ -307,55 +308,77 @@ impl Session {
         Ok(tid)
     }
 
+    /// Turns on the machine-wide flight recorder: installs per-core event
+    /// rings, scans the program for the instrumenter's region marks and the
+    /// reader's `limit_read.*` restart ranges (so in-range `rdpmc` reads
+    /// become counter samples), and leaves every kernel/CPU emission site
+    /// live. Call before [`Session::run`]; costs nothing if never called.
+    pub fn enable_flight(&mut self, cfg: FlightConfig) {
+        let mut marks = HashMap::new();
+        let mut limit_ranges = Vec::new();
+        for (name, (start, end)) in self.kernel.machine.prog.iter_ranges() {
+            if name.starts_with(ENTER_MARK_PREFIX) {
+                marks.insert(start, RegionMark::Enter);
+            } else if let Some(rest) = name.strip_prefix(EXIT_MARK_PREFIX) {
+                let region = rest
+                    .trim_start_matches('.')
+                    .split('.')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                marks.insert(start, RegionMark::Exit(region));
+            } else if name.starts_with(crate::reader::LIMIT_RANGE_PREFIX) {
+                limit_ranges.push((start, end));
+            }
+        }
+        self.kernel.machine.enable_flight(cfg);
+        let fl = self.kernel.machine.flight_mut().expect("just enabled");
+        fl.set_marks(marks);
+        fl.set_limit_ranges(&limit_ranges);
+    }
+
+    /// Region id → name map, in the shape the flight-trace Chrome export
+    /// wants ([`flight::chrome_trace`]).
+    pub fn region_names(&self) -> HashMap<u64, String> {
+        self.regions
+            .iter()
+            .map(|(id, name)| (id, name.to_string()))
+            .collect()
+    }
+
     /// Runs to completion, retaining the report.
     pub fn run(&mut self) -> SimResult<RunReport> {
-        let report = self.kernel.run()?;
-        self.report = Some(report.clone());
-        self.warn_on_drops();
-        Self::warn_on_rejected_ranges(&report);
+        self.flight_session_open();
+        let mut report = self.kernel.run()?;
+        self.finish_run(&mut report);
         Ok(report)
     }
 
     /// Runs until the given thread exits (background threads may still be
     /// live), retaining the report.
     pub fn run_until_exit(&mut self, tid: ThreadId) -> SimResult<RunReport> {
-        let report = self.kernel.run_until_exit(tid)?;
-        self.report = Some(report.clone());
-        self.warn_on_drops();
-        Self::warn_on_rejected_ranges(&report);
+        self.flight_session_open();
+        let mut report = self.kernel.run_until_exit(tid)?;
+        self.finish_run(&mut report);
         Ok(report)
     }
 
-    /// Surfaces silently unprotected read sequences: a restart-range
-    /// registration rejected for overlapping a different range means the
-    /// kernel could not rewind interrupts landing in that sequence, so its
-    /// reads may be torn. One stderr line, like the record-drop warning.
-    fn warn_on_rejected_ranges(report: &RunReport) {
-        let n = report.limit_rejected_ranges;
-        if n > 0 {
-            eprintln!(
-                "warning: {n} restart-range registration(s) rejected for overlap; \
-                 the affected read sequences ran without the atomicity fix-up"
-            );
+    fn flight_session_open(&mut self) {
+        let threads = self.tls_of.len() as u32;
+        let now = self.kernel.machine.global_clock();
+        if let Some(fl) = self.kernel.machine.flight_mut() {
+            fl.record_host(now, None, EventData::SessionOpen { threads });
         }
     }
 
-    /// Surfaces silent record loss: if any thread dropped records to a full
-    /// log or ring, print one stderr line naming the worst thread and its
-    /// most-affected region (the region appearing most often in the records
-    /// that *did* land — the best available proxy for what was lost).
-    fn warn_on_drops(&self) {
-        let mut total = 0u64;
-        let mut worst: Option<(ThreadId, u64)> = None;
-        for tid in self.spawned_tids() {
-            let d = self.dropped(tid).unwrap_or(0);
-            total += d;
-            if d > 0 && worst.is_none_or(|(_, w)| d > w) {
-                worst = Some((tid, d));
-            }
-        }
-        let Some((tid, d)) = worst else { return };
-        let region = match self.busiest_region(tid) {
+    /// Teardown accounting: fills the report's structured warnings (the
+    /// kernel already filled the fields it owns), mirrors them onto the
+    /// flight recorder's host ring, and prints the legacy stderr lines.
+    fn finish_run(&mut self, report: &mut RunReport) {
+        let (dropped, worst) = self.drop_stats();
+        report.warnings.dropped_records = dropped;
+        report.warnings.worst_dropper = worst;
+        report.warnings.busiest_region = worst.map(|(tid, _)| match self.busiest_region(tid) {
             Some(id) => {
                 let name = self.regions.name(id);
                 if name == "?" {
@@ -365,11 +388,60 @@ impl Session {
                 }
             }
             None => "unknown".to_string(),
-        };
-        eprintln!(
-            "warning: {total} instrumentation record(s) dropped to full buffers \
-             (worst: {tid} with {d}; most-affected region: {region})"
-        );
+        });
+        let w = report.warnings.clone();
+
+        let now = self.kernel.machine.global_clock();
+        if let Some(fl) = self.kernel.machine.flight_mut() {
+            fl.record_host(
+                now,
+                None,
+                EventData::SessionClose {
+                    dropped: w.dropped_records,
+                    rejected: w.rejected_ranges,
+                    unfixed: w.unfixed_races,
+                },
+            );
+        }
+        self.report = Some(report.clone());
+
+        // Surface silent record loss: name the worst thread and its
+        // most-affected region (the region appearing most often in the
+        // records that *did* land — the best available proxy for what was
+        // lost).
+        if let Some((tid, d)) = w.worst_dropper {
+            let region = w.busiest_region.as_deref().unwrap_or("unknown");
+            eprintln!(
+                "warning: {} instrumentation record(s) dropped to full buffers \
+                 (worst: {tid} with {d}; most-affected region: {region})",
+                w.dropped_records
+            );
+        }
+        // Surface silently unprotected read sequences: a rejected
+        // restart-range registration means interrupts landing in that
+        // sequence could not be rewound, so its reads may be torn.
+        if w.rejected_ranges > 0 {
+            eprintln!(
+                "warning: {} restart-range registration(s) rejected for overlap; \
+                 the affected read sequences ran without the atomicity fix-up",
+                w.rejected_ranges
+            );
+        }
+    }
+
+    /// Total dropped records across spawned threads, plus the worst
+    /// offender.
+    fn drop_stats(&self) -> (u64, Option<(ThreadId, u64)>) {
+        let mut total = 0u64;
+        let mut worst: Option<(ThreadId, u64)> = None;
+        for tid in self.spawned_tids() {
+            let d = self.dropped(tid).unwrap_or(0);
+            total += d;
+            if d > 0 && worst.is_none_or(|(_, w)| d > w) {
+                worst = Some((tid, d));
+            }
+        }
+        (total, worst)
     }
 
     /// The region id appearing most often in a thread's landed records
@@ -682,6 +754,63 @@ mod tests {
         s.run().unwrap();
         assert_eq!(s.records(tid).unwrap().len(), 2);
         assert_eq!(s.dropped(tid).unwrap(), 3);
+        // Satellite accounting: the same loss shows up as structured data
+        // on the report, not only as a stderr line.
+        let w = &s.report().warnings;
+        assert_eq!(w.dropped_records, 3);
+        assert_eq!(w.worst_dropper, Some((tid, 3)));
+        assert_eq!(w.busiest_region.as_deref(), Some("region 1"));
+        assert!(w.any());
+    }
+
+    #[test]
+    fn flight_recorder_captures_session_timeline() {
+        use flight::EventData;
+
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Instructions]);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        ins.emit_enter(&mut asm);
+        asm.burst(50);
+        ins.emit_exit(&mut asm, 7);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.enable_flight(FlightConfig::default());
+        s.spawn_instrumented("main", &[]).unwrap();
+        s.run().unwrap();
+
+        let fl = s.kernel.machine.flight().expect("enabled");
+        assert_eq!(fl.evicted(), 0);
+        let events: Vec<_> = fl.rings()[0].iter().map(|e| &e.data).collect();
+        let count = |pred: &dyn Fn(&EventData) -> bool| events.iter().filter(|e| pred(e)).count();
+        // The enter sequence and the region-7 exit sequence both marked.
+        assert_eq!(count(&|e| matches!(e, EventData::RegionEnter { .. })), 1);
+        assert_eq!(
+            count(&|e| matches!(e, EventData::RegionExit { region: 7, .. })),
+            1
+        );
+        // limit_open attach, in-range rdpmc reads (one per enter/exit),
+        // balanced switch and syscall events.
+        assert_eq!(count(&|e| matches!(e, EventData::LimitOpen { .. })), 1);
+        assert_eq!(
+            count(&|e| matches!(e, EventData::Rdpmc { in_range: true, .. })),
+            2
+        );
+        assert_eq!(
+            count(&|e| matches!(e, EventData::SwitchIn)),
+            count(&|e| matches!(e, EventData::SwitchOut { .. }))
+        );
+        assert_eq!(
+            count(&|e| matches!(e, EventData::SyscallEnter { .. })),
+            count(&|e| matches!(e, EventData::SyscallExit { .. }))
+        );
+        // Host ring has the open/close lifecycle pair.
+        let host: Vec<_> = fl.host_ring().iter().map(|e| &e.data).collect();
+        assert!(matches!(host[0], EventData::SessionOpen { threads: 1 }));
+        assert!(matches!(host[1], EventData::SessionClose { .. }));
     }
 
     #[test]

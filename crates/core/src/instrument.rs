@@ -14,6 +14,25 @@
 use crate::reader::CounterReader;
 use crate::tls;
 use sim_cpu::{AluOp, Asm, Cond, Reg};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Named-range prefix marking a region-enter sequence. The flight
+/// recorder installs an instant at the range's first instruction; the
+/// range itself is pure metadata and costs nothing at execution time.
+pub const ENTER_MARK_PREFIX: &str = "flight.enter";
+
+/// Named-range prefix marking a region-exit sequence. The region id is
+/// the third dot-separated segment (`flight.exit.<region>.<n>`).
+pub const EXIT_MARK_PREFIX: &str = "flight.exit";
+
+/// Range names must be unique program-wide; regions repeat (one enter per
+/// call site), so a process-global counter disambiguates — same idiom as
+/// the reader's `limit_read.<n>` restart ranges.
+static NEXT_MARK: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_mark(prefix: &str) -> String {
+    format!("{prefix}.{}", NEXT_MARK.fetch_add(1, Ordering::Relaxed))
+}
 
 /// How region-exit measurements leave an instrumented thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,10 +109,18 @@ impl<'a> Instrumenter<'a> {
 
     /// Emits a region entry: snapshot every counter into TLS scratch.
     pub fn emit_enter(&self, asm: &mut Asm) {
+        if self.reader.counters() == 0 {
+            // Nothing to emit (null reader) — and an empty named range
+            // would fail program verification.
+            return;
+        }
+        let mark = fresh_mark(ENTER_MARK_PREFIX);
+        asm.begin_range(&mark);
         for i in 0..self.reader.counters() {
             self.reader.emit_read(asm, i, Reg::R4, Reg::R5);
             asm.store(Reg::R4, tls::TLS_REG, tls::scratch_off(i));
         }
+        asm.end_range(&mark);
     }
 
     /// Emits a region exit for `region_id`: read counters, compute deltas
@@ -101,6 +128,8 @@ impl<'a> Instrumenter<'a> {
     /// log (or bump the dropped count if the buffer is full).
     pub fn emit_exit(&self, asm: &mut Asm, region_id: u64) {
         let k = self.reader.counters();
+        let mark = fresh_mark(&format!("{EXIT_MARK_PREFIX}.{region_id}"));
+        asm.begin_range(&mark);
         // r6 = cursor; r7 = end.
         asm.load(Reg::R6, tls::TLS_REG, tls::LOG_CURSOR);
         asm.load(Reg::R7, tls::TLS_REG, tls::LOG_END);
@@ -126,6 +155,7 @@ impl<'a> Instrumenter<'a> {
         asm.alui_add(Reg::R4, 1);
         asm.store(Reg::R4, tls::TLS_REG, tls::DROPPED);
         asm.bind(done);
+        asm.end_range(&mark);
     }
 
     /// Emits a region exit for `region_id` in the configured `mode`
@@ -160,6 +190,8 @@ impl<'a> Instrumenter<'a> {
         );
         let k = self.reader.counters();
         let shift = tls::ring_slot_shift(k);
+        let mark = fresh_mark(&format!("{EXIT_MARK_PREFIX}.{region_id}"));
+        asm.begin_range(&mark);
         // r6 = head (kept across the record body to publish at the end).
         asm.load(Reg::R6, tls::TLS_REG, tls::RING_HEAD);
         let drop_path = (!cfg.overwrite).then(|| (asm.new_label(), asm.new_label()));
@@ -197,6 +229,7 @@ impl<'a> Instrumenter<'a> {
             asm.store(Reg::R4, tls::TLS_REG, tls::DROPPED);
             asm.bind(done);
         }
+        asm.end_range(&mark);
     }
 
     /// Emits a zero-counter "event mark": appends a record with no deltas
@@ -217,6 +250,8 @@ impl<'a> Instrumenter<'a> {
     pub fn emit_exit_aggregate(&self, asm: &mut Asm, region_id: u64) {
         let k = self.reader.counters();
         let entry = aggregate_entry_size(k);
+        let mark = fresh_mark(&format!("{EXIT_MARK_PREFIX}.{region_id}"));
+        asm.begin_range(&mark);
         // r6 = this region's table entry.
         asm.load(Reg::R6, tls::TLS_REG, tls::AGG_BASE);
         asm.alui_add(Reg::R6, region_id * entry);
@@ -233,6 +268,7 @@ impl<'a> Instrumenter<'a> {
             asm.add(Reg::R7, Reg::R4);
             asm.store(Reg::R7, Reg::R6, (8 * (1 + i)) as i32);
         }
+        asm.end_range(&mark);
     }
 }
 

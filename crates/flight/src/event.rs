@@ -1,0 +1,356 @@
+//! The event taxonomy: what each layer reports, and the category bitmask
+//! that filters emission at record time.
+//!
+//! Payloads are deliberately primitive-only (`u32`/`u64`/`bool`/`&'static
+//! str`): recording must never allocate, and the exporters must not need
+//! any type from the layers above `sim-core`.
+
+use std::fmt;
+
+/// One recorded event: the producing core's simulated clock, the thread
+/// installed there (if any), and the typed payload. The producing core is
+/// implied by which ring holds the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Core-local simulated clock (cycles) at emission.
+    pub ts: u64,
+    /// Thread installed on the producing core, if one was.
+    pub tid: Option<u32>,
+    /// The payload.
+    pub data: EventData,
+}
+
+/// Typed event payloads, one variant per emission site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventData {
+    /// Scheduler installed the event's `tid` on the core.
+    SwitchIn,
+    /// Kernel removed the thread; `state` is where it went
+    /// (`ready`/`blocked`/`sleeping`/`exited`).
+    SwitchOut {
+        /// Next thread state.
+        state: &'static str,
+    },
+    /// Scheduler picked a thread for an idle core.
+    SchedPick,
+    /// The thread moved cores (recorded on the target core).
+    Migration {
+        /// Core it last ran on.
+        from: u32,
+        /// Core it is being installed on.
+        to: u32,
+    },
+    /// A performance-monitor interrupt was delivered and folded.
+    Pmi {
+        /// Overflowing counter slot.
+        slot: u8,
+    },
+    /// A self-virtualizing hardware counter spill (enhancement 2).
+    Spill {
+        /// Guest accumulator address receiving the spill.
+        addr: u64,
+        /// Event count moved.
+        amount: u64,
+    },
+    /// `LIMIT_OPEN` attached a virtualized counter.
+    LimitOpen {
+        /// Counter slot.
+        slot: u8,
+        /// Attached event kind.
+        event: &'static str,
+    },
+    /// `LIMIT_CLOSE` detached a counter.
+    LimitClose {
+        /// Counter slot.
+        slot: u8,
+    },
+    /// A user-mode `rdpmc` retired.
+    Rdpmc {
+        /// Counter slot read.
+        slot: u8,
+        /// Instruction address.
+        pc: u32,
+        /// Value the guest observed.
+        value: u64,
+        /// Whether the read sits inside a registered restart range.
+        in_range: bool,
+    },
+    /// The differential oracle armed an expectation at an in-range read.
+    OracleArm {
+        /// The `rdpmc`'s address.
+        pc: u32,
+    },
+    /// The oracle resolved a pending check.
+    OracleCheck {
+        /// Address of the sequence's final instruction.
+        pc: u32,
+        /// `false` is a divergence: the virtualized read was wrong.
+        ok: bool,
+    },
+    /// Syscall entry (before dispatch).
+    SyscallEnter {
+        /// Decoded syscall name.
+        name: &'static str,
+    },
+    /// Syscall completion (kernel-side; emitted even if the caller was
+    /// switched out mid-syscall, so enter/exit balance per thread).
+    SyscallExit {
+        /// Decoded syscall name.
+        name: &'static str,
+    },
+    /// The torture injector forced a disturbance.
+    Injection {
+        /// Instruction boundary it landed on.
+        pc: u32,
+        /// Action name (`preempt`/`pmi`/`migrate`/`spill`).
+        action: &'static str,
+    },
+    /// Harness session started running.
+    SessionOpen {
+        /// Threads spawned at open.
+        threads: u32,
+    },
+    /// Harness teardown summary.
+    SessionClose {
+        /// Log records dropped to full buffers.
+        dropped: u64,
+        /// Restart-range registrations rejected.
+        rejected: u64,
+        /// Torn reads the fix-up could not repair.
+        unfixed: u64,
+    },
+    /// A restart-range registration syscall resolved.
+    RangeRegistered {
+        /// Range start (inclusive).
+        start: u32,
+        /// Range end (exclusive).
+        end: u32,
+        /// Whether the kernel accepted it.
+        ok: bool,
+    },
+    /// An instrumented region's enter sequence began.
+    RegionEnter {
+        /// First instruction of the enter sequence.
+        pc: u32,
+    },
+    /// An instrumented region's exit sequence began.
+    RegionExit {
+        /// Region id the exit logs.
+        region: u64,
+        /// First instruction of the exit sequence.
+        pc: u32,
+    },
+    /// The telemetry collector drained the SPSC rings.
+    RingDrain {
+        /// Records consumed in this drain.
+        records: u64,
+    },
+    /// A telemetry snapshot was published.
+    SnapshotPublish {
+        /// Snapshot sequence number.
+        seq: u64,
+    },
+}
+
+impl EventData {
+    /// Stable NDJSON kind string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EventData::SwitchIn => "switch_in",
+            EventData::SwitchOut { .. } => "switch_out",
+            EventData::SchedPick => "sched_pick",
+            EventData::Migration { .. } => "migration",
+            EventData::Pmi { .. } => "pmi",
+            EventData::Spill { .. } => "spill",
+            EventData::LimitOpen { .. } => "limit_open",
+            EventData::LimitClose { .. } => "limit_close",
+            EventData::Rdpmc { .. } => "rdpmc",
+            EventData::OracleArm { .. } => "oracle_arm",
+            EventData::OracleCheck { .. } => "oracle_check",
+            EventData::SyscallEnter { .. } => "syscall_enter",
+            EventData::SyscallExit { .. } => "syscall_exit",
+            EventData::Injection { .. } => "injection",
+            EventData::SessionOpen { .. } => "session_open",
+            EventData::SessionClose { .. } => "session_close",
+            EventData::RangeRegistered { .. } => "range_registered",
+            EventData::RegionEnter { .. } => "region_enter",
+            EventData::RegionExit { .. } => "region_exit",
+            EventData::RingDrain { .. } => "ring_drain",
+            EventData::SnapshotPublish { .. } => "snapshot_publish",
+        }
+    }
+
+    /// The category this payload belongs to (exactly one bit).
+    pub fn category(&self) -> Categories {
+        match self {
+            EventData::SwitchIn
+            | EventData::SwitchOut { .. }
+            | EventData::SchedPick
+            | EventData::Migration { .. } => Categories::SCHED,
+            EventData::Pmi { .. } => Categories::IRQ,
+            EventData::Spill { .. }
+            | EventData::LimitOpen { .. }
+            | EventData::LimitClose { .. }
+            | EventData::Rdpmc { .. } => Categories::PMU,
+            EventData::OracleArm { .. } | EventData::OracleCheck { .. } => Categories::ORACLE,
+            EventData::SyscallEnter { .. } | EventData::SyscallExit { .. } => Categories::SYSCALL,
+            EventData::Injection { .. } => Categories::INJECT,
+            EventData::SessionOpen { .. }
+            | EventData::SessionClose { .. }
+            | EventData::RangeRegistered { .. } => Categories::HARNESS,
+            EventData::RegionEnter { .. } | EventData::RegionExit { .. } => Categories::REGION,
+            EventData::RingDrain { .. } | EventData::SnapshotPublish { .. } => {
+                Categories::TELEMETRY
+            }
+        }
+    }
+}
+
+/// A set of event categories (a 9-bit mask). Filtering happens at record
+/// time: an unselected category's events are never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Categories(u16);
+
+impl Categories {
+    /// Scheduling: switches, picks, migrations.
+    pub const SCHED: Categories = Categories(1 << 0);
+    /// Interrupts: PMI delivery.
+    pub const IRQ: Categories = Categories(1 << 1);
+    /// PMU: counter opens/closes, rdpmc reads, spills.
+    pub const PMU: Categories = Categories(1 << 2);
+    /// Differential-oracle arms and checks.
+    pub const ORACLE: Categories = Categories(1 << 3);
+    /// Syscall enter/exit.
+    pub const SYSCALL: Categories = Categories(1 << 4);
+    /// Torture-harness injections.
+    pub const INJECT: Categories = Categories(1 << 5);
+    /// Harness session lifecycle and range registration.
+    pub const HARNESS: Categories = Categories(1 << 6);
+    /// Instrumented-region enter/exit marks.
+    pub const REGION: Categories = Categories(1 << 7);
+    /// Telemetry drains and snapshots.
+    pub const TELEMETRY: Categories = Categories(1 << 8);
+    /// Everything.
+    pub const ALL: Categories = Categories(0x1ff);
+
+    const NAMES: [(&'static str, Categories); 9] = [
+        ("sched", Categories::SCHED),
+        ("irq", Categories::IRQ),
+        ("pmu", Categories::PMU),
+        ("oracle", Categories::ORACLE),
+        ("syscall", Categories::SYSCALL),
+        ("inject", Categories::INJECT),
+        ("harness", Categories::HARNESS),
+        ("region", Categories::REGION),
+        ("telemetry", Categories::TELEMETRY),
+    ];
+
+    /// Parses a comma-separated category list (or `all`).
+    pub fn parse(spec: &str) -> Result<Categories, String> {
+        let mut out = Categories(0);
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if part == "all" {
+                return Ok(Categories::ALL);
+            }
+            let bit = Categories::NAMES
+                .iter()
+                .find(|(name, _)| *name == part)
+                .map(|&(_, c)| c)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown trace category {part:?} (expected all or a comma list of: {})",
+                        Categories::NAMES
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+            out.0 |= bit.0;
+        }
+        if out.0 == 0 {
+            return Err("empty trace category list".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Whether every bit of `other` is selected.
+    #[inline]
+    pub fn contains(self, other: Categories) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl Default for Categories {
+    fn default() -> Self {
+        Categories::ALL
+    }
+}
+
+impl fmt::Display for Categories {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Categories::ALL {
+            return f.write_str("all");
+        }
+        let mut first = true;
+        for (name, cat) in Categories::NAMES {
+            if self.contains(cat) {
+                if !first {
+                    f.write_str(",")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        let c = Categories::parse("sched, pmu,oracle").unwrap();
+        assert!(c.contains(Categories::SCHED));
+        assert!(c.contains(Categories::PMU));
+        assert!(c.contains(Categories::ORACLE));
+        assert!(!c.contains(Categories::SYSCALL));
+        assert_eq!(c.to_string(), "sched,pmu,oracle");
+        assert_eq!(Categories::parse("all").unwrap(), Categories::ALL);
+        assert_eq!(Categories::ALL.to_string(), "all");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_empty() {
+        assert!(Categories::parse("sched,bogus").is_err());
+        assert!(Categories::parse("").is_err());
+    }
+
+    #[test]
+    fn every_payload_maps_into_all() {
+        let samples = [
+            EventData::SwitchIn,
+            EventData::Pmi { slot: 0 },
+            EventData::Rdpmc {
+                slot: 0,
+                pc: 1,
+                value: 2,
+                in_range: true,
+            },
+            EventData::OracleCheck { pc: 0, ok: true },
+            EventData::SyscallEnter { name: "exit" },
+            EventData::Injection {
+                pc: 0,
+                action: "pmi",
+            },
+            EventData::SessionOpen { threads: 1 },
+            EventData::RegionEnter { pc: 0 },
+            EventData::SnapshotPublish { seq: 1 },
+        ];
+        for s in samples {
+            assert!(Categories::ALL.contains(s.category()), "{:?}", s.kind());
+        }
+    }
+}

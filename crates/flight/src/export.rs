@@ -1,0 +1,709 @@
+//! Exporters and the trace validator.
+//!
+//! Two outputs, one source of truth:
+//!
+//! * [`ndjson`] — a header line plus one compact record per event, in
+//!   per-core ring order. Each core's stream is temporally ordered (core
+//!   clocks are monotone); no *global* order is claimed, because migration
+//!   legitimately skews clocks between cores.
+//! * [`chrome_trace`] — Chrome trace-event JSON, loadable in Perfetto or
+//!   `chrome://tracing`. Guest threads render as tracks (pid 1) carrying
+//!   region/syscall duration spans, instants for PMIs / migrations /
+//!   injections / divergences, and counter tracks from in-range `rdpmc`
+//!   reads; core occupancy renders as pid 2; host-side spans (bench
+//!   self-profiling) as pid 3.
+//!
+//! [`check`] re-parses an NDJSON trace and enforces the conservation
+//! invariants `limit-repro check-trace` promises: schema intact, per-core
+//! timestamps monotone, core occupancy well-formed (every switch-out names
+//! the installed thread; no double switch-in), per-thread switch and
+//! syscall balance, and no ring eviction (a truncated trace cannot be
+//! validated, so it is rejected outright).
+
+use crate::event::{EventData, FlightEvent};
+use crate::recorder::FlightRecorder;
+use sim_core::json::Json;
+use std::collections::{BTreeMap, HashMap};
+
+/// NDJSON schema version.
+pub const SCHEMA: u64 = 1;
+
+/// A host-side duration span (bench self-profiling) merged into the Chrome
+/// export as pid 3.
+#[derive(Debug, Clone)]
+pub struct HostSpan {
+    /// Span name (experiment or phase).
+    pub name: String,
+    /// Start, microseconds (host wall clock; the host track has its own
+    /// time base).
+    pub start_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Extra numeric args rendered into the span's `args`.
+    pub args: Vec<(String, f64)>,
+}
+
+fn event_json(core: Option<usize>, ev: &FlightEvent) -> Json {
+    let mut j = Json::object().set("ev", ev.data.kind());
+    j = match core {
+        Some(c) => j.set("core", c as u64),
+        None => j.set("core", Json::Null),
+    };
+    j = j.set("ts", ev.ts);
+    j = match ev.tid {
+        Some(t) => j.set("tid", u64::from(t)),
+        None => j.set("tid", Json::Null),
+    };
+    match ev.data {
+        EventData::SwitchIn | EventData::SchedPick => j,
+        EventData::SwitchOut { state } => j.set("state", state),
+        EventData::Migration { from, to } => {
+            j.set("from", u64::from(from)).set("to", u64::from(to))
+        }
+        EventData::Pmi { slot } => j.set("slot", u64::from(slot)),
+        EventData::Spill { addr, amount } => j.set("addr", addr).set("amount", amount),
+        EventData::LimitOpen { slot, event } => j.set("slot", u64::from(slot)).set("event", event),
+        EventData::LimitClose { slot } => j.set("slot", u64::from(slot)),
+        EventData::Rdpmc {
+            slot,
+            pc,
+            value,
+            in_range,
+        } => j
+            .set("slot", u64::from(slot))
+            .set("pc", u64::from(pc))
+            .set("value", value)
+            .set("in_range", in_range),
+        EventData::OracleArm { pc } => j.set("pc", u64::from(pc)),
+        EventData::OracleCheck { pc, ok } => j.set("pc", u64::from(pc)).set("ok", ok),
+        EventData::SyscallEnter { name } | EventData::SyscallExit { name } => j.set("name", name),
+        EventData::Injection { pc, action } => j.set("pc", u64::from(pc)).set("action", action),
+        EventData::SessionOpen { threads } => j.set("threads", u64::from(threads)),
+        EventData::SessionClose {
+            dropped,
+            rejected,
+            unfixed,
+        } => j
+            .set("dropped", dropped)
+            .set("rejected", rejected)
+            .set("unfixed", unfixed),
+        EventData::RangeRegistered { start, end, ok } => j
+            .set("start", u64::from(start))
+            .set("end", u64::from(end))
+            .set("ok", ok),
+        EventData::RegionEnter { pc } => j.set("pc", u64::from(pc)),
+        EventData::RegionExit { region, pc } => j.set("region", region).set("pc", u64::from(pc)),
+        EventData::RingDrain { records } => j.set("records", records),
+        EventData::SnapshotPublish { seq } => j.set("seq", seq),
+    }
+}
+
+/// Renders the recorder as NDJSON: a header record, then every retained
+/// event in per-core ring order (host ring last, `core: null`).
+pub fn ndjson(rec: &FlightRecorder, freq_hz: u64) -> String {
+    let cores = rec.num_cores();
+    let header = Json::object()
+        .set("type", "header")
+        .set("schema", SCHEMA)
+        .set("cores", cores as u64)
+        .set("freq_hz", freq_hz)
+        .set("recorded", rec.total_recorded())
+        .set("retained", rec.retained())
+        .set("evicted", rec.evicted());
+    let mut out = header.compact();
+    out.push('\n');
+    for (i, ring) in rec.rings().iter().enumerate() {
+        let core = if i < cores { Some(i) } else { None };
+        for ev in ring.iter() {
+            out.push_str(&event_json(core, ev).compact());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn instant(name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64) -> Json {
+    Json::object()
+        .set("name", name)
+        .set("cat", cat)
+        .set("ph", "i")
+        .set("s", "t")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", ts_us)
+}
+
+fn complete(name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64, dur_us: f64) -> Json {
+    Json::object()
+        .set("name", name)
+        .set("cat", cat)
+        .set("ph", "X")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("ts", ts_us)
+        .set("dur", dur_us)
+}
+
+fn name_meta(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Json {
+    let mut j = Json::object()
+        .set("name", kind)
+        .set("ph", "M")
+        .set("pid", pid);
+    if let Some(t) = tid {
+        j = j.set("tid", t);
+    }
+    j.set("args", Json::object().set("name", name))
+}
+
+const PID_THREADS: u64 = 1;
+const PID_CORES: u64 = 2;
+const PID_HOST: u64 = 3;
+
+/// Builds Chrome trace-event JSON from the recorder. `region_names`
+/// resolves region ids to display names (unresolved ids render as
+/// `region #N`); `host_spans` lands on the host process track.
+pub fn chrome_trace(
+    rec: &FlightRecorder,
+    freq_hz: u64,
+    region_names: &HashMap<u64, String>,
+    host_spans: &[HostSpan],
+) -> Json {
+    let us = |cycles: u64| cycles as f64 * 1e6 / freq_hz as f64;
+    let mut events: Vec<Json> = vec![
+        name_meta("process_name", PID_THREADS, None, "guest threads"),
+        name_meta("process_name", PID_CORES, None, "cores"),
+        name_meta("process_name", PID_HOST, None, "host"),
+    ];
+
+    // Per-thread tracks. A thread's events are scattered across core rings
+    // (migration); its own clock is monotone — switch-in clamps the target
+    // core's clock to at least the thread's ready time — so a stable
+    // per-thread sort by ts reconstructs its timeline.
+    let cores = rec.num_cores();
+    let mut per_tid: BTreeMap<u32, Vec<FlightEvent>> = BTreeMap::new();
+    for ring in &rec.rings()[..cores] {
+        for ev in ring.iter() {
+            if let Some(tid) = ev.tid {
+                per_tid.entry(tid).or_default().push(*ev);
+            }
+        }
+    }
+    for (&tid, evs) in &mut per_tid {
+        evs.sort_by_key(|e| e.ts);
+        let t = u64::from(tid);
+        events.push(name_meta(
+            "thread_name",
+            PID_THREADS,
+            Some(t),
+            &format!("tid {tid}"),
+        ));
+        let mut region_stack: Vec<f64> = Vec::new();
+        let mut syscall_stack: Vec<(&'static str, f64)> = Vec::new();
+        for ev in evs.iter() {
+            let ts = us(ev.ts);
+            match ev.data {
+                EventData::RegionEnter { .. } => region_stack.push(ts),
+                EventData::RegionExit { region, .. } => {
+                    let start = region_stack.pop().unwrap_or(ts);
+                    let name = region_names
+                        .get(&region)
+                        .cloned()
+                        .unwrap_or_else(|| format!("region #{region}"));
+                    events.push(complete(
+                        &name,
+                        "region",
+                        PID_THREADS,
+                        t,
+                        start,
+                        (ts - start).max(0.0),
+                    ));
+                }
+                EventData::SyscallEnter { name } => syscall_stack.push((name, ts)),
+                EventData::SyscallExit { name } => {
+                    let (name, start) = syscall_stack.pop().unwrap_or((name, ts));
+                    events.push(complete(
+                        &format!("sys_{name}"),
+                        "syscall",
+                        PID_THREADS,
+                        t,
+                        start,
+                        (ts - start).max(0.0),
+                    ));
+                }
+                EventData::Pmi { slot } => {
+                    events.push(instant(
+                        &format!("pmi slot{slot}"),
+                        "irq",
+                        PID_THREADS,
+                        t,
+                        ts,
+                    ));
+                }
+                EventData::Migration { from, to } => {
+                    events.push(
+                        instant("migration", "sched", PID_THREADS, t, ts).set(
+                            "args",
+                            Json::object()
+                                .set("from", u64::from(from))
+                                .set("to", u64::from(to)),
+                        ),
+                    );
+                }
+                EventData::Injection { pc, action } => {
+                    events.push(
+                        instant(&format!("inject {action}"), "inject", PID_THREADS, t, ts)
+                            .set("args", Json::object().set("pc", u64::from(pc))),
+                    );
+                }
+                EventData::Spill { .. } => {
+                    events.push(instant("spill", "pmu", PID_THREADS, t, ts));
+                }
+                EventData::OracleCheck { pc, ok } if !ok => {
+                    events.push(
+                        instant("divergence", "oracle", PID_THREADS, t, ts)
+                            .set("args", Json::object().set("pc", u64::from(pc))),
+                    );
+                }
+                EventData::Rdpmc {
+                    slot,
+                    value,
+                    in_range: true,
+                    ..
+                } => {
+                    events.push(
+                        Json::object()
+                            .set("name", format!("tid {tid} ctr{slot}"))
+                            .set("cat", "pmu")
+                            .set("ph", "C")
+                            .set("pid", PID_THREADS)
+                            .set("tid", t)
+                            .set("ts", ts)
+                            .set("args", Json::object().set("value", value)),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Core occupancy tracks: B/E spans named after the installed thread.
+    for (core, ring) in rec.rings()[..cores].iter().enumerate() {
+        let c = core as u64;
+        events.push(name_meta(
+            "thread_name",
+            PID_CORES,
+            Some(c),
+            &format!("core {core}"),
+        ));
+        for ev in ring.iter() {
+            let ts = us(ev.ts);
+            match ev.data {
+                EventData::SwitchIn => {
+                    let name = match ev.tid {
+                        Some(tid) => format!("tid {tid}"),
+                        None => "?".to_string(),
+                    };
+                    events.push(
+                        Json::object()
+                            .set("name", name)
+                            .set("cat", "sched")
+                            .set("ph", "B")
+                            .set("pid", PID_CORES)
+                            .set("tid", c)
+                            .set("ts", ts),
+                    );
+                }
+                EventData::SwitchOut { .. } => {
+                    events.push(
+                        Json::object()
+                            .set("ph", "E")
+                            .set("pid", PID_CORES)
+                            .set("tid", c)
+                            .set("ts", ts),
+                    );
+                }
+                EventData::SchedPick => {
+                    events.push(instant("sched_pick", "sched", PID_CORES, c, ts));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Host track: lifecycle/telemetry instants (tid 0) and bench spans
+    // (tid 1, its own wall-clock time base).
+    events.push(name_meta("thread_name", PID_HOST, Some(0), "session"));
+    for ev in rec.host_ring().iter() {
+        events.push(instant(ev.data.kind(), "host", PID_HOST, 0, us(ev.ts)));
+    }
+    if !host_spans.is_empty() {
+        events.push(name_meta("thread_name", PID_HOST, Some(1), "bench"));
+        for span in host_spans {
+            let mut args = Json::object();
+            for (k, v) in &span.args {
+                args = args.set(k, *v);
+            }
+            events.push(
+                complete(&span.name, "bench", PID_HOST, 1, span.start_us, span.dur_us)
+                    .set("args", args),
+            );
+        }
+    }
+
+    Json::object()
+        .set("displayTimeUnit", "ms")
+        .set("traceEvents", Json::Array(events))
+}
+
+/// Summary of a validated trace.
+#[derive(Debug, Default, Clone)]
+pub struct CheckReport {
+    /// Event records validated (header excluded).
+    pub events: u64,
+    /// Cores the header declared.
+    pub cores: u64,
+    /// Context switch-ins seen.
+    pub switch_ins: u64,
+    /// Context switch-outs seen.
+    pub switch_outs: u64,
+    /// Syscall entries seen.
+    pub syscall_enters: u64,
+    /// Syscall exits seen.
+    pub syscall_exits: u64,
+    /// PMIs seen.
+    pub pmis: u64,
+    /// Migrations seen.
+    pub migrations: u64,
+    /// Injections seen.
+    pub injections: u64,
+    /// Region exits seen.
+    pub region_exits: u64,
+    /// Distinct threads observed.
+    pub threads: u64,
+}
+
+const KNOWN_KINDS: [&str; 21] = [
+    "switch_in",
+    "switch_out",
+    "sched_pick",
+    "migration",
+    "pmi",
+    "spill",
+    "limit_open",
+    "limit_close",
+    "rdpmc",
+    "oracle_arm",
+    "oracle_check",
+    "syscall_enter",
+    "syscall_exit",
+    "injection",
+    "session_open",
+    "session_close",
+    "range_registered",
+    "region_enter",
+    "region_exit",
+    "ring_drain",
+    "snapshot_publish",
+];
+
+#[derive(Default)]
+struct CoreState {
+    last_ts: u64,
+    occupant: Option<u64>,
+}
+
+#[derive(Default)]
+struct TidState {
+    switch_ins: u64,
+    switch_outs: u64,
+    syscall_enters: u64,
+    syscall_exits: u64,
+    /// Open syscall depth, tracked per core stream (enter and exit of one
+    /// syscall always land on the same core).
+    in_syscall: bool,
+}
+
+/// Validates an NDJSON trace (see module docs for the invariant list).
+pub fn check(text: &str) -> Result<CheckReport, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or("empty trace")?;
+    let header = Json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("header") {
+        return Err("line 1: expected the header record".to_string());
+    }
+    if header.get("schema").and_then(Json::as_u64) != Some(SCHEMA) {
+        return Err(format!("line 1: unsupported schema (want {SCHEMA})"));
+    }
+    let hfield = |key: &str| -> Result<u64, String> {
+        header
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line 1: header missing numeric {key:?}"))
+    };
+    let cores = hfield("cores")?;
+    let recorded = hfield("recorded")?;
+    let retained = hfield("retained")?;
+    let evicted = hfield("evicted")?;
+    if evicted > 0 || recorded != retained {
+        return Err(format!(
+            "trace truncated: {evicted} of {recorded} events evicted from full rings \
+             (re-run with a larger --buf-slots)"
+        ));
+    }
+
+    let mut report = CheckReport {
+        cores,
+        ..CheckReport::default()
+    };
+    let mut core_states: Vec<CoreState> = (0..cores).map(|_| CoreState::default()).collect();
+    let mut tids: BTreeMap<u64, TidState> = BTreeMap::new();
+
+    for (lineno, line) in lines {
+        let n = lineno + 1;
+        let doc = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let kind = doc
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing \"ev\""))?;
+        if !KNOWN_KINDS.contains(&kind) {
+            return Err(format!("line {n}: unknown event kind {kind:?}"));
+        }
+        if doc.get("ts").and_then(Json::as_u64).is_none() {
+            return Err(format!("line {n}: missing numeric \"ts\""));
+        }
+        let ts = doc.get("ts").and_then(Json::as_u64).unwrap();
+        let core = match doc.get("core") {
+            Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&c| c < cores)
+                    .ok_or_else(|| format!("line {n}: core out of range"))?,
+            ),
+            None => return Err(format!("line {n}: missing \"core\"")),
+        };
+        let tid = doc.get("tid").and_then(Json::as_u64);
+        report.events += 1;
+
+        let Some(core) = core else {
+            continue; // Host events carry no per-core ordering claims.
+        };
+        let cs = &mut core_states[core as usize];
+        if ts < cs.last_ts {
+            return Err(format!(
+                "line {n}: core {core} clock went backwards ({} -> {ts})",
+                cs.last_ts
+            ));
+        }
+        cs.last_ts = ts;
+
+        match kind {
+            "switch_in" => {
+                let tid = tid.ok_or_else(|| format!("line {n}: switch_in without tid"))?;
+                if let Some(prev) = cs.occupant {
+                    return Err(format!(
+                        "line {n}: switch_in of tid {tid} on core {core} still occupied by tid {prev}"
+                    ));
+                }
+                cs.occupant = Some(tid);
+                tids.entry(tid).or_default().switch_ins += 1;
+                report.switch_ins += 1;
+            }
+            "switch_out" => {
+                let tid = tid.ok_or_else(|| format!("line {n}: switch_out without tid"))?;
+                if cs.occupant != Some(tid) {
+                    return Err(format!(
+                        "line {n}: switch_out of tid {tid} on core {core} but occupant is {:?}",
+                        cs.occupant
+                    ));
+                }
+                cs.occupant = None;
+                tids.entry(tid).or_default().switch_outs += 1;
+                report.switch_outs += 1;
+            }
+            "syscall_enter" => {
+                let tid = tid.ok_or_else(|| format!("line {n}: syscall_enter without tid"))?;
+                let t = tids.entry(tid).or_default();
+                if t.in_syscall {
+                    return Err(format!("line {n}: nested syscall_enter for tid {tid}"));
+                }
+                t.in_syscall = true;
+                t.syscall_enters += 1;
+                report.syscall_enters += 1;
+            }
+            "syscall_exit" => {
+                let tid = tid.ok_or_else(|| format!("line {n}: syscall_exit without tid"))?;
+                let t = tids.entry(tid).or_default();
+                if !t.in_syscall {
+                    return Err(format!(
+                        "line {n}: syscall_exit without matching enter for tid {tid}"
+                    ));
+                }
+                t.in_syscall = false;
+                t.syscall_exits += 1;
+                report.syscall_exits += 1;
+            }
+            "pmi" => report.pmis += 1,
+            "migration" => report.migrations += 1,
+            "injection" => report.injections += 1,
+            "region_exit" => report.region_exits += 1,
+            _ => {}
+        }
+    }
+
+    for (&tid, t) in &tids {
+        if !(t.switch_outs <= t.switch_ins && t.switch_ins <= t.switch_outs + 1) {
+            return Err(format!(
+                "tid {tid}: {} switch-ins vs {} switch-outs (must differ by at most one)",
+                t.switch_ins, t.switch_outs
+            ));
+        }
+        if t.syscall_enters != t.syscall_exits {
+            return Err(format!(
+                "tid {tid}: {} syscall enters vs {} exits",
+                t.syscall_enters, t.syscall_exits
+            ));
+        }
+    }
+    report.threads = tids.len() as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FlightConfig;
+
+    fn small_recorder() -> FlightRecorder {
+        let mut r = FlightRecorder::new(
+            2,
+            FlightConfig {
+                buf_slots: 64,
+                categories: crate::Categories::ALL,
+            },
+        );
+        r.record(0, 10, Some(1), EventData::SwitchIn);
+        r.record(0, 20, Some(1), EventData::SyscallEnter { name: "gettid" });
+        r.record(0, 30, Some(1), EventData::SyscallExit { name: "gettid" });
+        r.record(0, 35, Some(1), EventData::RegionEnter { pc: 100 });
+        r.record(
+            0,
+            40,
+            Some(1),
+            EventData::Rdpmc {
+                slot: 0,
+                pc: 104,
+                value: 17,
+                in_range: true,
+            },
+        );
+        r.record(0, 45, Some(1), EventData::RegionExit { region: 3, pc: 110 });
+        r.record(0, 50, Some(1), EventData::Pmi { slot: 0 });
+        r.record(0, 60, Some(1), EventData::SwitchOut { state: "ready" });
+        r.record(1, 5, None, EventData::SchedPick);
+        r.record(1, 7, Some(1), EventData::Migration { from: 0, to: 1 });
+        r.record(1, 70, Some(1), EventData::SwitchIn);
+        r.record(1, 90, Some(1), EventData::SwitchOut { state: "exited" });
+        r.record_host(
+            95,
+            None,
+            EventData::SessionClose {
+                dropped: 0,
+                rejected: 0,
+                unfixed: 0,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn ndjson_round_trips_through_check() {
+        let text = ndjson(&small_recorder(), 3_000_000_000);
+        let report = check(&text).unwrap();
+        assert_eq!(report.cores, 2);
+        assert_eq!(report.switch_ins, 2);
+        assert_eq!(report.switch_outs, 2);
+        assert_eq!(report.syscall_enters, 1);
+        assert_eq!(report.syscall_exits, 1);
+        assert_eq!(report.pmis, 1);
+        assert_eq!(report.migrations, 1);
+        assert_eq!(report.region_exits, 1);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.events, 13);
+    }
+
+    #[test]
+    fn check_rejects_unbalanced_switches() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(0, 1, Some(4), EventData::SwitchIn);
+        r.record(0, 2, Some(4), EventData::SwitchOut { state: "ready" });
+        r.record(0, 3, Some(5), EventData::SwitchOut { state: "ready" });
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("switch_out"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_clock_regression() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(0, 10, Some(1), EventData::SwitchIn);
+        r.record(0, 5, Some(1), EventData::SwitchOut { state: "ready" });
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_truncated_traces() {
+        let mut r = FlightRecorder::new(
+            1,
+            FlightConfig {
+                buf_slots: 2,
+                categories: crate::Categories::ALL,
+            },
+        );
+        for i in 0..5 {
+            r.record(0, i, None, EventData::SchedPick);
+        }
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_unmatched_syscalls() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(0, 1, Some(2), EventData::SyscallEnter { name: "yield" });
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("syscall"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_pairs_spans() {
+        let names = HashMap::from([(3u64, "mysql.query".to_string())]);
+        let spans = vec![HostSpan {
+            name: "e2".to_string(),
+            start_us: 0.0,
+            dur_us: 1500.0,
+            args: vec![("overhead_pct".to_string(), 3.5)],
+        }];
+        let doc = chrome_trace(&small_recorder(), 1_000_000, &names, &spans);
+        // Round-trip through the hand-rolled parser (the CI smoke check).
+        let text = doc.pretty();
+        let back = Json::parse(&text).unwrap();
+        let evs = back
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let has = |pred: &dyn Fn(&Json) -> bool| evs.iter().any(pred);
+        assert!(has(&|e| e.get("name").and_then(Json::as_str)
+            == Some("mysql.query")
+            && e.get("ph").and_then(Json::as_str) == Some("X")));
+        assert!(has(&|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+        assert!(has(&|e| e.get("name").and_then(Json::as_str)
+            == Some("migration")
+            && e.get("ph").and_then(Json::as_str) == Some("i")));
+        assert!(has(&|e| e.get("name").and_then(Json::as_str) == Some("e2")
+            && e.get("pid").and_then(Json::as_u64) == Some(3)));
+        assert!(has(&|e| e.get("ph").and_then(Json::as_str) == Some("B")));
+        assert!(has(
+            &|e| e.get("name").and_then(Json::as_str) == Some("sys_gettid")
+        ));
+    }
+}

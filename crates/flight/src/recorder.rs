@@ -1,0 +1,198 @@
+//! The recorder itself: per-core rings plus one host ring, a category
+//! filter, and the side tables emission sites consult (region marks,
+//! restart ranges).
+
+use crate::event::{Categories, EventData, FlightEvent};
+use crate::ring::Ring;
+use std::collections::HashMap;
+
+/// Recorder knobs (both have CLI flags on `limit-repro trace`).
+#[derive(Debug, Clone, Copy)]
+pub struct FlightConfig {
+    /// Capacity of each per-core ring, in events.
+    pub buf_slots: usize,
+    /// Which categories to record.
+    pub categories: Categories,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            buf_slots: 1 << 16,
+            categories: Categories::ALL,
+        }
+    }
+}
+
+/// What an instrumented-region marker at a pc means: the start of an enter
+/// sequence, or the start of an exit sequence logging `region`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionMark {
+    /// Enter-sequence start.
+    Enter,
+    /// Exit-sequence start for the given region id.
+    Exit(u64),
+}
+
+/// The machine-wide flight recorder: one ring per simulated core plus a
+/// host ring for events with no producing core (harness lifecycle,
+/// telemetry, bench spans' markers).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Rings `0..cores` are per-core; the last ring is the host's.
+    rings: Vec<Ring<FlightEvent>>,
+    categories: Categories,
+    /// pc → region marker, installed by the harness from assembly metadata.
+    marks: HashMap<u32, RegionMark>,
+    /// Registered restart ranges, sorted by start (for `rdpmc` in-range
+    /// classification).
+    ranges: Vec<(u32, u32)>,
+}
+
+impl FlightRecorder {
+    /// A recorder for `cores` cores.
+    pub fn new(cores: usize, cfg: FlightConfig) -> Self {
+        FlightRecorder {
+            rings: (0..=cores).map(|_| Ring::new(cfg.buf_slots)).collect(),
+            categories: cfg.categories,
+            marks: HashMap::new(),
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Simulated cores covered (one ring each, host ring excluded).
+    pub fn num_cores(&self) -> usize {
+        self.rings.len() - 1
+    }
+
+    /// Whether `data`'s category is selected. Emission sites that must
+    /// compute a payload may pre-check with this; `record` checks again.
+    #[inline]
+    pub fn wants(&self, cat: Categories) -> bool {
+        self.categories.contains(cat)
+    }
+
+    /// Records one event on `core`'s ring (filtered by category).
+    #[inline]
+    pub fn record(&mut self, core: usize, ts: u64, tid: Option<u32>, data: EventData) {
+        if !self.categories.contains(data.category()) {
+            return;
+        }
+        debug_assert!(core < self.rings.len() - 1, "core {core} out of range");
+        self.rings[core].push(FlightEvent { ts, tid, data });
+    }
+
+    /// Records one event on the host ring (events with no producing core;
+    /// `ts` is whatever clock the caller finds meaningful, typically the
+    /// machine's global clock).
+    pub fn record_host(&mut self, ts: u64, tid: Option<u32>, data: EventData) {
+        if !self.categories.contains(data.category()) {
+            return;
+        }
+        let host = self.rings.len() - 1;
+        self.rings[host].push(FlightEvent { ts, tid, data });
+    }
+
+    /// Installs the region markers (pc → meaning) the CPU consults at
+    /// instruction fetch.
+    pub fn set_marks(&mut self, marks: HashMap<u32, RegionMark>) {
+        self.marks = marks;
+    }
+
+    /// The marker at `pc`, if any.
+    #[inline]
+    pub fn mark_at(&self, pc: u32) -> Option<RegionMark> {
+        if self.marks.is_empty() {
+            return None;
+        }
+        self.marks.get(&pc).copied()
+    }
+
+    /// Installs the registered restart ranges (sorted internally).
+    pub fn set_limit_ranges(&mut self, ranges: &[(u32, u32)]) {
+        self.ranges = ranges.to_vec();
+        self.ranges.sort_unstable();
+    }
+
+    /// Whether `pc` falls inside a registered restart range.
+    pub fn in_limit_range(&self, pc: u32) -> bool {
+        let pos = self.ranges.partition_point(|&(s, _)| s <= pc);
+        matches!(pos.checked_sub(1).map(|i| self.ranges[i]), Some((_, e)) if pc < e)
+    }
+
+    /// Per-core rings followed by the host ring.
+    pub fn rings(&self) -> &[Ring<FlightEvent>] {
+        &self.rings
+    }
+
+    /// The host ring (events with no producing core).
+    pub fn host_ring(&self) -> &Ring<FlightEvent> {
+        self.rings.last().expect("always at least the host ring")
+    }
+
+    /// Events ever recorded across all rings.
+    pub fn total_recorded(&self) -> u64 {
+        self.rings.iter().map(Ring::total_recorded).sum()
+    }
+
+    /// Events currently retained across all rings.
+    pub fn retained(&self) -> u64 {
+        self.rings.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Events lost to ring eviction.
+    pub fn evicted(&self) -> u64 {
+        self.rings.iter().map(Ring::evicted).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_filter_drops_at_record_time() {
+        let mut r = FlightRecorder::new(
+            2,
+            FlightConfig {
+                buf_slots: 8,
+                categories: Categories::SCHED,
+            },
+        );
+        r.record(0, 10, Some(1), EventData::SwitchIn);
+        r.record(0, 11, Some(1), EventData::Pmi { slot: 0 });
+        r.record_host(12, None, EventData::SessionOpen { threads: 1 });
+        assert_eq!(r.total_recorded(), 1);
+        assert_eq!(r.rings()[0].last().unwrap().data, EventData::SwitchIn);
+        assert!(r.wants(Categories::SCHED));
+        assert!(!r.wants(Categories::PMU));
+    }
+
+    #[test]
+    fn host_ring_is_separate_from_core_rings() {
+        let mut r = FlightRecorder::new(2, FlightConfig::default());
+        r.record(1, 5, None, EventData::SchedPick);
+        r.record_host(9, None, EventData::SnapshotPublish { seq: 1 });
+        assert_eq!(r.num_cores(), 2);
+        assert_eq!(r.rings().len(), 3);
+        assert_eq!(r.rings()[1].len(), 1);
+        assert_eq!(r.host_ring().len(), 1);
+    }
+
+    #[test]
+    fn marks_and_ranges_answer_lookups() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.set_marks(HashMap::from([
+            (4, RegionMark::Enter),
+            (9, RegionMark::Exit(3)),
+        ]));
+        assert_eq!(r.mark_at(4), Some(RegionMark::Enter));
+        assert_eq!(r.mark_at(9), Some(RegionMark::Exit(3)));
+        assert_eq!(r.mark_at(5), None);
+        r.set_limit_ranges(&[(20, 23), (10, 13)]);
+        assert!(r.in_limit_range(10));
+        assert!(r.in_limit_range(22));
+        assert!(!r.in_limit_range(13));
+        assert!(!r.in_limit_range(9));
+    }
+}

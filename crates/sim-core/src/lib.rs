@@ -17,6 +17,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;

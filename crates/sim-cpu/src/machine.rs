@@ -15,6 +15,7 @@ use crate::isa::Instr;
 use crate::oracle::Oracle;
 use crate::pmu::PmuConfig;
 use crate::prog::Program;
+use flight::{EventData, FlightConfig, FlightRecorder, RegionMark};
 use serde::{Deserialize, Serialize};
 use sim_core::{CoreId, Freq, SimError, SimResult};
 use sim_mem::{HierarchyConfig, MemAccess, MemorySystem};
@@ -74,6 +75,10 @@ pub struct Machine {
     /// Differential oracle for the torture harness; off unless enabled via
     /// [`Machine::enable_oracle`].
     oracle: Option<Oracle>,
+    /// Machine-wide flight recorder; off unless enabled via
+    /// [`Machine::enable_flight`]. Boxed so the disabled case costs one
+    /// cold null check per emission site.
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl Machine {
@@ -92,6 +97,7 @@ impl Machine {
             prog,
             freq: config.freq,
             oracle: None,
+            flight: None,
         })
     }
 
@@ -113,6 +119,24 @@ impl Machine {
     /// Mutable oracle access (the kernel reports counter attach/detach).
     pub fn oracle_mut(&mut self) -> Option<&mut Oracle> {
         self.oracle.as_mut()
+    }
+
+    /// Enables the flight recorder: one bounded event ring per core plus a
+    /// host ring. Every emission site in the machine and the layers above
+    /// guards on the option, so the cost is zero when off.
+    pub fn enable_flight(&mut self, cfg: FlightConfig) {
+        self.flight = Some(Box::new(FlightRecorder::new(self.cores.len(), cfg)));
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_deref()
+    }
+
+    /// Mutable flight-recorder access (the kernel and harness emit into
+    /// it and install marks/ranges).
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_deref_mut()
     }
 
     /// The core clock frequency.
@@ -422,6 +446,12 @@ impl Machine {
             self.oracle_observe(core_idx, pc, instr);
         }
 
+        // Flight-recorder taps (no-ops unless enabled): region markers at
+        // the fetched pc and user-mode counter reads.
+        if self.flight.is_some() && trap.is_none() && self.cores[core_idx].mode == Mode::User {
+            self.flight_observe(core_idx, pc, instr);
+        }
+
         self.cores[core_idx].ctx.pc = next_pc;
         let step = Step {
             cycles,
@@ -433,15 +463,24 @@ impl Machine {
     }
 
     /// Feeds one retired user-mode instruction to the oracle (see
-    /// [`crate::oracle`]). Called with the pre-advance `pc`.
+    /// [`crate::oracle`]). Called with the pre-advance `pc`. Oracle arms
+    /// and resolutions are mirrored into the flight recorder when both are
+    /// enabled.
     fn oracle_observe(&mut self, core_idx: usize, pc: u32, instr: Instr) {
         let Some(tid) = self.cores[core_idx].running else {
             return;
         };
         match instr {
             Instr::Rdpmc(_, idx) | Instr::RdpmcClear(_, idx) => {
-                if let Some(o) = self.oracle.as_mut() {
-                    o.observe_read(tid, idx, pc);
+                let armed = match self.oracle.as_mut() {
+                    Some(o) => o.observe_read(tid, idx, pc),
+                    None => false,
+                };
+                if armed {
+                    let clock = self.cores[core_idx].clock;
+                    if let Some(fl) = self.flight.as_deref_mut() {
+                        fl.record(core_idx, clock, Some(tid.0), EventData::OracleArm { pc });
+                    }
                 }
             }
             // The read sequence ends in `add dst, scratch`; any other ALU
@@ -449,11 +488,61 @@ impl Machine {
             Instr::Alu(_, rd, _) => {
                 let actual = self.cores[core_idx].ctx.get(rd);
                 let clock = self.cores[core_idx].clock;
-                if let Some(o) = self.oracle.as_mut() {
-                    o.complete(tid, pc, actual, clock);
+                let resolved = match self.oracle.as_mut() {
+                    Some(o) => o.complete(tid, pc, actual, clock),
+                    None => None,
+                };
+                if let Some(ok) = resolved {
+                    if let Some(fl) = self.flight.as_deref_mut() {
+                        fl.record(
+                            core_idx,
+                            clock,
+                            Some(tid.0),
+                            EventData::OracleCheck { pc, ok },
+                        );
+                    }
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Feeds one retired user-mode instruction to the flight recorder:
+    /// region enter/exit markers installed by the harness, and `rdpmc`
+    /// reads classified against the registered restart ranges. Called with
+    /// the pre-advance `pc`, after the instruction's effects applied.
+    fn flight_observe(&mut self, core_idx: usize, pc: u32, instr: Instr) {
+        let core = &self.cores[core_idx];
+        let clock = core.clock;
+        let tid = core.running.map(|t| t.0);
+        let read_value = match instr {
+            Instr::Rdpmc(rd, _) | Instr::RdpmcClear(rd, _) => Some(core.ctx.get(rd)),
+            _ => None,
+        };
+        let Some(fl) = self.flight.as_deref_mut() else {
+            return;
+        };
+        if let Some(mark) = fl.mark_at(pc) {
+            let data = match mark {
+                RegionMark::Enter => EventData::RegionEnter { pc },
+                RegionMark::Exit(region) => EventData::RegionExit { region, pc },
+            };
+            fl.record(core_idx, clock, tid, data);
+        }
+        if let (Instr::Rdpmc(_, idx) | Instr::RdpmcClear(_, idx), Some(value)) = (instr, read_value)
+        {
+            let in_range = fl.in_limit_range(pc);
+            fl.record(
+                core_idx,
+                clock,
+                tid,
+                EventData::Rdpmc {
+                    slot: idx,
+                    pc,
+                    value,
+                    in_range,
+                },
+            );
         }
     }
 
@@ -493,6 +582,19 @@ impl Machine {
                 .fetch_add_u64(spill.addr, spill.amount)
                 .expect("spill address must be aligned");
             self.cores[core_idx].clock += cost::SPILL;
+            let clock = self.cores[core_idx].clock;
+            let tid = self.cores[core_idx].running.map(|t| t.0);
+            if let Some(fl) = self.flight.as_deref_mut() {
+                fl.record(
+                    core_idx,
+                    clock,
+                    tid,
+                    EventData::Spill {
+                        addr: spill.addr,
+                        amount: spill.amount,
+                    },
+                );
+            }
         }
     }
 

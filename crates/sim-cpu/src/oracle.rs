@@ -120,13 +120,14 @@ impl Oracle {
     /// registered range and the slot is an open LiMiT counter, arm the
     /// check. A re-execution (restart fix-up rewound the sequence)
     /// overwrites the previous arm — only the sequence that *completes*
-    /// produces the architected value.
-    pub fn observe_read(&mut self, tid: ThreadId, slot: u8, pc: u32) {
+    /// produces the architected value. Returns whether a check was armed
+    /// (the flight recorder mirrors arms as events).
+    pub fn observe_read(&mut self, tid: ThreadId, slot: u8, pc: u32) -> bool {
         let Some(range) = self.containing_range(pc) else {
-            return;
+            return false;
         };
         let Some(&(event, baseline)) = self.opens.get(&(tid, slot)) else {
-            return;
+            return false;
         };
         let expected = self.ledger(tid, event) - baseline;
         self.pending.insert(
@@ -137,22 +138,23 @@ impl Oracle {
                 expected,
             },
         );
+        true
     }
 
     /// `tid` retired the instruction at `pc` leaving `actual` in the
     /// sequence's destination register. Resolves the pending check if `pc`
-    /// is the final instruction of the armed range.
-    pub fn complete(&mut self, tid: ThreadId, pc: u32, actual: u64, clock: u64) {
-        let Some(p) = self.pending.get(&tid) else {
-            return;
-        };
+    /// is the final instruction of the armed range; returns `Some(ok)`
+    /// when a check resolved (`false` means a divergence was recorded).
+    pub fn complete(&mut self, tid: ThreadId, pc: u32, actual: u64, clock: u64) -> Option<bool> {
+        let p = self.pending.get(&tid)?;
         if pc + 1 != p.range.1 {
-            return;
+            return None;
         }
         let p = *p;
         self.pending.remove(&tid);
         self.checks += 1;
-        if actual != p.expected {
+        let ok = actual == p.expected;
+        if !ok {
             self.divergences.push(Divergence {
                 tid,
                 range: p.range,
@@ -162,6 +164,7 @@ impl Oracle {
                 clock,
             });
         }
+        Some(ok)
     }
 
     /// All divergences caught so far, in detection order.

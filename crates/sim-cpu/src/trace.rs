@@ -4,11 +4,13 @@
 //! Off by default (no per-step cost beyond a branch); enabled per core by
 //! the host for debugging guest programs and for tests that assert
 //! execution order. The ring holds the *last N* instructions, so a fault
-//! can always be explained from the tail of the trace.
+//! can always be explained from the tail of the trace. Storage is the
+//! flight recorder's generic [`flight::Ring`], of which this module was
+//! the original special case.
 
 use crate::isa::Instr;
+use flight::Ring;
 use sim_core::ThreadId;
-use std::collections::VecDeque;
 use std::fmt;
 
 /// One traced instruction.
@@ -44,9 +46,7 @@ impl fmt::Display for TraceEntry {
 /// A bounded execution-trace ring.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    ring: VecDeque<TraceEntry>,
-    capacity: usize,
-    total: u64,
+    ring: Ring<TraceEntry>,
 }
 
 impl Trace {
@@ -54,19 +54,13 @@ impl Trace {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
         Trace {
-            ring: VecDeque::with_capacity(capacity),
-            capacity,
-            total: 0,
+            ring: Ring::new(capacity),
         }
     }
 
     /// Records one executed instruction.
     pub fn record(&mut self, entry: TraceEntry) {
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-        }
-        self.ring.push_back(entry);
-        self.total += 1;
+        self.ring.push(entry);
     }
 
     /// Instructions currently held (≤ capacity).
@@ -81,7 +75,7 @@ impl Trace {
 
     /// Lifetime instructions recorded (including those evicted).
     pub fn total_recorded(&self) -> u64 {
-        self.total
+        self.ring.total_recorded()
     }
 
     /// Iterates oldest-to-newest over the retained tail.
@@ -91,13 +85,13 @@ impl Trace {
 
     /// The most recent entry.
     pub fn last(&self) -> Option<&TraceEntry> {
-        self.ring.back()
+        self.ring.last()
     }
 
     /// Renders the retained tail, one line per instruction.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.ring {
+        for e in self.ring.iter() {
             out.push_str(&e.to_string());
             out.push('\n');
         }

@@ -1,0 +1,54 @@
+//! Property tests for the execution-trace ring (`sim_cpu::Trace`, built on
+//! `flight::Ring`): lifetime accounting is exact and eviction keeps exactly
+//! the last N entries in order, checked against a `VecDeque` reference
+//! model driven by the same randomized push sequence.
+
+use proptest::prelude::*;
+use sim_cpu::{Instr, Trace, TraceEntry};
+use std::collections::VecDeque;
+
+fn entry(seq: u64) -> TraceEntry {
+    TraceEntry {
+        clock: seq,
+        pc: (seq % 97) as u32,
+        tid: None,
+        instr: Instr::Nop,
+    }
+}
+
+proptest! {
+    /// `total_recorded` counts every push (monotone, eviction-blind) while
+    /// the retained tail matches a `VecDeque` capped to the same capacity.
+    #[test]
+    fn ring_matches_vecdeque_reference(
+        capacity in 1usize..64,
+        pushes in proptest::collection::vec(1u64..200, 0..8),
+    ) {
+        let mut trace = Trace::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut seq = 0u64;
+        let mut last_total = 0u64;
+        for burst in pushes {
+            for _ in 0..burst {
+                trace.record(entry(seq));
+                model.push_back(seq);
+                if model.len() > capacity {
+                    model.pop_front();
+                }
+                seq += 1;
+            }
+            // Lifetime count is exact and never decreases.
+            prop_assert_eq!(trace.total_recorded(), seq);
+            prop_assert!(trace.total_recorded() >= last_total);
+            last_total = trace.total_recorded();
+            // Retained tail is exactly the model: same length, same order,
+            // oldest-to-newest, holding the *last* min(seq, capacity) pushes.
+            prop_assert_eq!(trace.len(), model.len());
+            let got: Vec<u64> = trace.iter().map(|e| e.clock).collect();
+            let want: Vec<u64> = model.iter().copied().collect();
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(trace.last().map(|e| e.clock), model.back().copied());
+            prop_assert_eq!(trace.is_empty(), model.is_empty());
+        }
+    }
+}

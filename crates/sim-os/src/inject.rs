@@ -48,14 +48,21 @@ impl InjectAction {
     ];
 }
 
-impl fmt::Display for InjectAction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl InjectAction {
+    /// The action's stable lowercase name (trace output and rendering).
+    pub fn name(self) -> &'static str {
+        match self {
             InjectAction::Preempt => "preempt",
             InjectAction::Pmi => "pmi",
             InjectAction::Migrate => "migrate",
             InjectAction::Spill => "spill",
-        })
+        }
+    }
+}
+
+impl fmt::Display for InjectAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -13,6 +13,7 @@ use crate::perf::{PerfFd, PerfSubsystem, Sample};
 use crate::sched::Scheduler;
 use crate::syscall::{decode_event, validate_limit_slot, Sys, SYS_ERR};
 use crate::thread::{Thread, ThreadState, VCounter};
+use flight::EventData;
 use sim_core::{CoreId, SimError, SimResult, ThreadId};
 use sim_cpu::pmu::CounterCfg;
 use sim_cpu::{cost, Machine, Mode, Reg, Trap};
@@ -85,6 +86,35 @@ pub struct RunReport {
     pub futex: (u64, u64),
     /// Total cycles threads spent blocked on futexes.
     pub blocked_cycles: u64,
+    /// Structured teardown warnings (mirrored to stderr by the harness).
+    pub warnings: TeardownWarnings,
+}
+
+/// Conditions worth warning about at teardown, as data rather than only
+/// stderr lines. The kernel fills the fields it owns (range rejections,
+/// unfixed races); the harness fills the record-drop fields from guest
+/// memory after the run, since only it knows the buffer layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TeardownWarnings {
+    /// Instrumentation records dropped to full log/ring buffers.
+    pub dropped_records: u64,
+    /// The thread that dropped the most records, with its count.
+    pub worst_dropper: Option<(ThreadId, u64)>,
+    /// Region most represented in the worst dropper's landed records —
+    /// the best available proxy for what was lost.
+    pub busiest_region: Option<String>,
+    /// Restart-range registrations rejected for overlap; the affected
+    /// read sequences ran without the atomicity fix-up.
+    pub rejected_ranges: u64,
+    /// Torn reads observed while the restart fix-up was disabled.
+    pub unfixed_races: u64,
+}
+
+impl TeardownWarnings {
+    /// Whether any warning-worthy condition was observed.
+    pub fn any(&self) -> bool {
+        self.dropped_records > 0 || self.rejected_ranges > 0 || self.unfixed_races > 0
+    }
 }
 
 /// Builds the hardware counter configuration for a LiMiT virtual counter.
@@ -167,6 +197,24 @@ impl Kernel {
     /// The kernel configuration.
     pub fn config(&self) -> &KernelConfig {
         &self.cfg
+    }
+
+    /// Records a flight event on `core`'s ring at the core's current
+    /// clock, attributed to the installed thread. No-op when the flight
+    /// recorder is off.
+    fn flight_record(&mut self, core: CoreId, data: EventData) {
+        let tid = self.machine.cores[core.index()].running.map(|t| t.0);
+        self.flight_record_tid(core, tid, data);
+    }
+
+    /// [`Kernel::flight_record`] with explicit thread attribution — for
+    /// sites where the thread is not (or no longer) installed.
+    fn flight_record_tid(&mut self, core: CoreId, tid: Option<u32>, data: EventData) {
+        let i = core.index();
+        let clock = self.machine.cores[i].clock;
+        if let Some(fl) = self.machine.flight_mut() {
+            fl.record(i, clock, tid, data);
+        }
     }
 
     /// Spawns a thread at the named program entry with `args` in `r0..`.
@@ -367,6 +415,11 @@ impl Kernel {
             limit_rejected_ranges: self.limit.rejected_ranges,
             futex: self.futex.stats(),
             blocked_cycles: self.threads.iter().map(|t| t.stats.blocked_cycles).sum(),
+            warnings: TeardownWarnings {
+                rejected_ranges: self.limit.rejected_ranges,
+                unfixed_races: self.limit.unfixed_races,
+                ..TeardownWarnings::default()
+            },
         })
     }
 
@@ -386,6 +439,7 @@ impl Kernel {
             let core = CoreId::new(i as u32);
             if self.machine.cores[i].running.is_none() {
                 if let Some(tid) = self.sched.pick(core) {
+                    self.flight_record_tid(core, Some(tid.0), EventData::SchedPick);
                     self.switch_in(core, tid);
                 }
             }
@@ -448,10 +502,12 @@ impl Kernel {
         let clock = self.machine.cores[i].clock.max(t.ready_at);
         self.machine.cores[i].clock = clock;
 
+        let mut migrated_from = None;
         if let Some(last) = t.last_core {
             if last != core {
                 t.stats.migrations += 1;
                 self.sched.note_migration();
+                migrated_from = Some(last);
             }
         }
 
@@ -521,6 +577,18 @@ impl Kernel {
         self.machine.cores[i].mode = Mode::User;
 
         self.sched.start_slice(core, self.machine.cores[i].clock);
+
+        if let Some(from) = migrated_from {
+            self.flight_record_tid(
+                core,
+                Some(tid.0),
+                EventData::Migration {
+                    from: from.0,
+                    to: core.0,
+                },
+            );
+        }
+        self.flight_record_tid(core, Some(tid.0), EventData::SwitchIn);
     }
 
     /// Removes the running thread from `core`, folding counters and
@@ -582,6 +650,13 @@ impl Kernel {
             self.bump_seq(tid);
         }
 
+        let state_name = match next_state {
+            ThreadState::Ready => "ready",
+            ThreadState::Running(_) => "running",
+            ThreadState::Blocked { .. } => "blocked",
+            ThreadState::Sleeping { .. } => "sleeping",
+            ThreadState::Exited => "exited",
+        };
         let t = &mut self.threads[tid.index()];
         t.ctx = self.machine.cores[i].ctx.clone();
         t.state = next_state;
@@ -590,6 +665,11 @@ impl Kernel {
             .saturating_sub(self.install_clock[i]);
         self.machine.cores[i].running = None;
         self.machine.cores[i].mode = Mode::Kernel;
+        self.flight_record_tid(
+            core,
+            Some(tid.0),
+            EventData::SwitchOut { state: state_name },
+        );
         Ok(tid)
     }
 
@@ -607,6 +687,14 @@ impl Kernel {
     /// preemption / overflow / migration / spill would do to it.
     fn apply_injection(&mut self, core: CoreId, action: InjectAction) -> SimResult<()> {
         let i = core.index();
+        let pc = self.machine.cores[i].ctx.pc;
+        self.flight_record(
+            core,
+            EventData::Injection {
+                pc,
+                action: action.name(),
+            },
+        );
         match action {
             InjectAction::Preempt => {
                 self.preempt(core)?;
@@ -754,6 +842,7 @@ impl Kernel {
             self.machine.cores[i].mode = Mode::Kernel;
             self.machine.charge(core, self.cfg.pmi_cost, 400);
             self.machine.cores[i].mode = prev_mode;
+            self.flight_record(core, EventData::Pmi { slot });
 
             let Some(tid) = self.machine.cores[i].running else {
                 continue; // spurious: thread already gone
@@ -808,6 +897,12 @@ impl Kernel {
         self.machine.charge(core, cost::SYSCALL_ENTRY, 60);
 
         let call = Sys::decode(nr, &self.machine.cores[i].ctx);
+        let sys_name = call.as_ref().map_or("invalid", Sys::name);
+        self.flight_record_tid(
+            core,
+            Some(tid.0),
+            EventData::SyscallEnter { name: sys_name },
+        );
         match call {
             None => self.machine.cores[i].ctx.set(Reg::R0, SYS_ERR),
             Some(sys) => self.dispatch(core, tid, sys)?,
@@ -818,6 +913,9 @@ impl Kernel {
             self.machine.charge(core, cost::SYSCALL_EXIT, 60);
             self.machine.cores[i].mode = Mode::User;
         }
+        // Emitted even when the caller blocked or exited mid-syscall, so
+        // per-thread enter/exit stays balanced in the trace.
+        self.flight_record_tid(core, Some(tid.0), EventData::SyscallExit { name: sys_name });
         Ok(())
     }
 
@@ -899,14 +997,22 @@ impl Kernel {
                 set_r0(self, r);
             }
             Sys::LimitSetRestartRange { start, end } => {
-                if start < end && end <= self.machine.prog.len() as u64 {
-                    match self.limit.register_range(start as u32, end as u32) {
-                        RangeReg::Registered | RangeReg::Duplicate => set_r0(self, 0),
-                        RangeReg::Overlap | RangeReg::Empty => set_r0(self, SYS_ERR),
-                    }
-                } else {
-                    set_r0(self, SYS_ERR);
-                }
+                let ok = start < end
+                    && end <= self.machine.prog.len() as u64
+                    && matches!(
+                        self.limit.register_range(start as u32, end as u32),
+                        RangeReg::Registered | RangeReg::Duplicate
+                    );
+                set_r0(self, if ok { 0 } else { SYS_ERR });
+                self.flight_record_tid(
+                    core,
+                    Some(tid.0),
+                    EventData::RangeRegistered {
+                        start: start as u32,
+                        end: end as u32,
+                        ok,
+                    },
+                );
             }
             Sys::LogValue { value } => {
                 self.log.push(value);
@@ -1095,6 +1201,14 @@ impl Kernel {
         if let Some(o) = self.machine.oracle_mut() {
             o.note_open(tid, slot, event);
         }
+        self.flight_record_tid(
+            core,
+            Some(tid.0),
+            EventData::LimitOpen {
+                slot,
+                event: event.mnemonic(),
+            },
+        );
         0
     }
 
@@ -1130,6 +1244,11 @@ impl Kernel {
         if let Some(o) = self.machine.oracle_mut() {
             o.note_close(tid, slot as u8);
         }
+        self.flight_record_tid(
+            core,
+            Some(tid.0),
+            EventData::LimitClose { slot: slot as u8 },
+        );
         0
     }
 }

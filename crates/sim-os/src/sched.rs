@@ -193,10 +193,7 @@ impl Scheduler {
     /// (FIFO within a priority level).
     pub fn pick(&mut self, core: CoreId) -> Option<ThreadId> {
         let g = Self::best(&self.global);
-        let p = self
-            .pinned
-            .get(core.index())
-            .and_then(Self::best);
+        let p = self.pinned.get(core.index()).and_then(Self::best);
         // Priority wins; on a tie the earlier enqueue (smaller seq) does,
         // matching the old scan's front-of-queue-first order.
         let from_global = match (g, p) {

@@ -155,6 +155,29 @@ pub mod nr {
 }
 
 impl Sys {
+    /// The syscall's stable lowercase name (trace output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Sys::Exit => "exit",
+            Sys::Yield => "yield",
+            Sys::Nanosleep { .. } => "nanosleep",
+            Sys::FutexWait { .. } => "futex_wait",
+            Sys::FutexWake { .. } => "futex_wake",
+            Sys::Gettid => "gettid",
+            Sys::PerfOpen { .. } => "perf_open",
+            Sys::PerfRead { .. } => "perf_read",
+            Sys::PerfEnable { .. } => "perf_enable",
+            Sys::PerfDisable { .. } => "perf_disable",
+            Sys::PerfClose { .. } => "perf_close",
+            Sys::LimitOpen { .. } => "limit_open",
+            Sys::LimitClose { .. } => "limit_close",
+            Sys::LimitSetRestartRange { .. } => "limit_set_restart_range",
+            Sys::LogValue { .. } => "log_value",
+            Sys::LimitSetSeq { .. } => "limit_set_seq",
+            Sys::Spawn { .. } => "spawn",
+        }
+    }
+
     /// Decodes a syscall from its number and the caller's registers.
     /// Returns `None` for unknown numbers.
     pub fn decode(number: u64, ctx: &Context) -> Option<Sys> {

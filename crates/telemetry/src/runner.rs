@@ -56,8 +56,9 @@ where
     let report = {
         let regions = &session.regions;
         let hook = |m: &mut sim_cpu::Machine, now: u64| {
-            collector.drain(m)?;
+            let records = collector.drain(m)?;
             seq += 1;
+            flight_note_tick(m, now, records, seq);
             on_snapshot(&collector.snapshot(seq, now, regions));
             Ok(())
         };
@@ -68,11 +69,21 @@ where
     };
     // Final sweep: records appended after the last tick are still in the
     // rings.
-    collector.drain(&mut session.kernel.machine)?;
+    let records = collector.drain(&mut session.kernel.machine)?;
     seq += 1;
     let cycle = session.kernel.machine.global_clock();
+    flight_note_tick(&mut session.kernel.machine, cycle, records, seq);
     on_snapshot(&collector.snapshot(seq, cycle, &session.regions));
     Ok(report)
+}
+
+/// Mirrors one collector tick — the drain and the snapshot it publishes —
+/// onto the flight recorder's host ring.
+fn flight_note_tick(m: &mut sim_cpu::Machine, now: u64, records: u64, seq: u64) {
+    if let Some(fl) = m.flight_mut() {
+        fl.record_host(now, None, flight::EventData::RingDrain { records });
+        fl.record_host(now, None, flight::EventData::SnapshotPublish { seq });
+    }
 }
 
 #[cfg(test)]

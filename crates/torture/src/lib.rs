@@ -28,6 +28,7 @@
 //!   minimal injection list, and the disassembled read sequence, enough to
 //!   replay the failure from scratch.
 
+use flight::FlightConfig;
 use limit::harness::{Session, SessionBuilder};
 use limit::reader::{CounterReader, LimitReader};
 use sim_core::{DetRng, SimResult, ThreadId};
@@ -290,6 +291,66 @@ pub fn run_arm(cfg: &TortureConfig, fixup: bool) -> SimResult<ArmReport> {
     Ok(report)
 }
 
+/// A schedule re-run under the flight recorder, trace still attached.
+#[derive(Debug)]
+pub struct Replay {
+    /// The session after the traced run; its machine's flight recorder
+    /// holds the event rings for export.
+    pub session: Session,
+    /// The injections active during the traced run (the minimal failing
+    /// set when the schedule diverged, the full schedule otherwise).
+    pub injections: Vec<Injection>,
+    /// Divergences the oracle recorded during the traced run.
+    pub divergences: Vec<Divergence>,
+    /// Oracle checks performed during the traced run.
+    pub checks: u64,
+}
+
+/// Regenerates schedule `index` from the config seed, shrinks it to a
+/// locally-minimal failing set when it diverges, then re-runs that set
+/// with the flight recorder on — so an E14 finding renders as a timeline
+/// with the injections visible as instants on the failing thread's track.
+pub fn replay(
+    cfg: &TortureConfig,
+    fixup: bool,
+    index: u64,
+    flight_cfg: FlightConfig,
+) -> SimResult<Replay> {
+    let ranges = guest_ranges(cfg)?;
+    let schedule = schedule_for(cfg, &ranges, index);
+    let outcome = run_with_injections(cfg, fixup, &schedule)?;
+    let injections = match outcome.divergences.first() {
+        None => schedule,
+        Some(&divergence) => {
+            let failing = FailingSchedule {
+                index,
+                injections: schedule,
+                divergence,
+            };
+            shrink(cfg, fixup, &failing)?
+        }
+    };
+
+    let mut s = build_session(cfg, fixup)?;
+    let oracle_ranges = s.kernel.limit().ranges().to_vec();
+    s.kernel.machine.enable_oracle(&oracle_ranges);
+    s.enable_flight(flight_cfg);
+    s.kernel.set_injector(&injections);
+    for _ in 0..cfg.threads {
+        s.spawn_instrumented("main", &[])?;
+    }
+    s.run()?;
+    let o = s.kernel.machine.oracle().expect("enabled above");
+    let checks = o.checks;
+    let divergences = o.divergences().to_vec();
+    Ok(Replay {
+        session: s,
+        injections,
+        divergences,
+        checks,
+    })
+}
+
 /// Minimizes a failing schedule by delta debugging: repeatedly re-run with
 /// one injection removed, keep any subset that still diverges, until no
 /// single removal preserves the failure. The result is a locally-minimal
@@ -462,6 +523,32 @@ mod tests {
         assert!(repro.contains("seed 7"));
         assert!(repro.contains("read sequence:"));
         assert!(repro.contains("rdpmc"));
+    }
+
+    #[test]
+    fn replay_traces_the_minimal_failing_schedule() {
+        use flight::EventData;
+
+        let cfg = small();
+        let report = run_arm(&cfg, false).unwrap();
+        let failing = report.first_failure.expect("off arm must fail");
+        let r = replay(&cfg, false, failing.index, FlightConfig::default()).unwrap();
+        // The traced run reproduces the divergence with the minimal set.
+        assert!(!r.divergences.is_empty());
+        assert!(r.injections.len() <= failing.injections.len());
+        let fl = r.session.kernel.machine.flight().expect("tracing on");
+        let all: Vec<_> = fl.rings().iter().flat_map(|ring| ring.iter()).collect();
+        // Every active injection fired as a visible instant, and the wrong
+        // read shows as a failed oracle check on the same thread.
+        let fired = all
+            .iter()
+            .filter(|e| matches!(e.data, EventData::Injection { .. }))
+            .count();
+        assert!(fired >= 1 && fired <= r.injections.len());
+        assert!(all.iter().any(|e| {
+            matches!(e.data, EventData::OracleCheck { ok: false, .. })
+                && e.tid == Some(r.divergences[0].tid.0)
+        }));
     }
 
     #[test]

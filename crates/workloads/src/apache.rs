@@ -225,14 +225,16 @@ pub struct ApacheRun {
     pub report: RunReport,
 }
 
-/// Builds, runs, and returns the Apache workload under the given reader.
-pub fn run(
+/// Builds the Apache workload — all workers spawned — without running
+/// it, so the caller can attach a flight recorder or drive the kernel
+/// itself (see [`crate::mysqld::build`]).
+pub fn build(
     cfg: &ApacheConfig,
     reader: &dyn CounterReader,
     cores: usize,
     events: &[EventKind],
     kernel_cfg: KernelConfig,
-) -> SimResult<ApacheRun> {
+) -> SimResult<(Session, ApacheImage)> {
     let mut layout = MemLayout::default();
     let mut regions = Regions::new();
     let mut asm = Asm::new();
@@ -248,6 +250,18 @@ pub fn run(
         let s = seed.next_u64();
         session.spawn_instrumented(image.entry, &[s])?;
     }
+    Ok((session, image))
+}
+
+/// Builds, runs, and returns the Apache workload under the given reader.
+pub fn run(
+    cfg: &ApacheConfig,
+    reader: &dyn CounterReader,
+    cores: usize,
+    events: &[EventKind],
+    kernel_cfg: KernelConfig,
+) -> SimResult<ApacheRun> {
+    let (mut session, image) = build(cfg, reader, cores, events, kernel_cfg)?;
     let report = session.run()?;
     Ok(ApacheRun {
         session,

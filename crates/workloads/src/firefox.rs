@@ -291,14 +291,16 @@ pub struct FirefoxRun {
     pub report: RunReport,
 }
 
-/// Builds, runs, and returns the Firefox workload under the given reader.
-pub fn run(
+/// Builds the Firefox workload — all threads spawned — without running
+/// it, so the caller can attach a flight recorder or drive the kernel
+/// itself (see [`crate::mysqld::build`]).
+pub fn build(
     cfg: &FirefoxConfig,
     reader: &dyn CounterReader,
     cores: usize,
     events: &[EventKind],
     kernel_cfg: KernelConfig,
-) -> SimResult<FirefoxRun> {
+) -> SimResult<(Session, FirefoxImage)> {
     let mut layout = MemLayout::default();
     let mut regions = Regions::new();
     let mut asm = Asm::new();
@@ -313,6 +315,18 @@ pub fn run(
     for h in 0..cfg.helpers {
         session.spawn_instrumented(image.entry_helper, &[h as u64])?;
     }
+    Ok((session, image))
+}
+
+/// Builds, runs, and returns the Firefox workload under the given reader.
+pub fn run(
+    cfg: &FirefoxConfig,
+    reader: &dyn CounterReader,
+    cores: usize,
+    events: &[EventKind],
+    kernel_cfg: KernelConfig,
+) -> SimResult<FirefoxRun> {
+    let (mut session, image) = build(cfg, reader, cores, events, kernel_cfg)?;
     let report = session.run()?;
     Ok(FirefoxRun {
         session,

@@ -24,6 +24,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 mod monitor;
+mod trace;
 
 const EXPERIMENTS: [(&str, &str); 15] = [
     ("e1", "read-cost table (the headline)"),
@@ -134,14 +135,11 @@ fn run_one(name: &str) -> Result<String, String> {
             }
         }
         "e14" => {
+            // Per-arm wall time and schedules/sec land in the span registry
+            // (bench::spans), not on stderr; `run` folds them into
+            // run-summary.json's `timings` object.
             let rows = bench::e14::run(300).map_err(fail)?;
             let _ = writeln!(w, "{}", bench::e14::table(&rows));
-            for r in &rows {
-                eprintln!(
-                    "[timing] e14/{:<9} {:>8.0} schedules/sec",
-                    r.arm, r.schedules_per_sec
-                );
-            }
             if let Some(repro) = rows
                 .iter()
                 .find(|r| !r.fixup)
@@ -174,11 +172,11 @@ struct ExperimentRun {
 fn run_experiments(names: Vec<&'static str>, jobs: usize, out_dir: &str) -> ExitCode {
     let started = Instant::now();
     let runs: Vec<ExperimentRun> = bench::parmap_with(jobs, names, |name| {
-        let t0 = Instant::now();
+        let span = bench::spans::start(format!("exp/{name}"));
         let result = run_one(name);
         ExperimentRun {
             name,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms: span.finish(),
             result,
         }
     });
@@ -193,15 +191,17 @@ fn run_experiments(names: Vec<&'static str>, jobs: usize, out_dir: &str) -> Exit
                 eprintln!("error: {} failed: {e}", run.name);
             }
         }
-        eprintln!("[timing] {:<8} {:>10.1} ms", run.name, run.wall_ms);
     }
+    // Per-experiment wall times live in run-summary.json's `timings`
+    // object now; stderr keeps only the one-line total.
     eprintln!(
         "[timing] total    {total_ms:>10.1} ms ({} experiments, {jobs} job{})",
         runs.len(),
         if jobs == 1 { "" } else { "s" }
     );
 
-    if let Err(e) = write_result_files(&runs, jobs, total_ms, out_dir) {
+    let timings = bench::spans::drain();
+    if let Err(e) = write_result_files(&runs, jobs, total_ms, &timings, out_dir) {
         eprintln!("warning: could not write {out_dir}/*.json: {e}");
     }
 
@@ -213,11 +213,13 @@ fn run_experiments(names: Vec<&'static str>, jobs: usize, out_dir: &str) -> Exit
 }
 
 /// Writes one `<out_dir>/<name>.json` per successful experiment and a
-/// `<out_dir>/run-summary.json` roll-up with wall times.
+/// `<out_dir>/run-summary.json` roll-up with wall times and the drained
+/// self-profiling spans (the former `[timing]` stderr lines).
 fn write_result_files(
     runs: &[ExperimentRun],
     jobs: usize,
     total_ms: f64,
+    timings: &[bench::spans::SpanRecord],
     out_dir: &str,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(out_dir)?;
@@ -244,6 +246,24 @@ fn write_result_files(
                             .set("name", run.name)
                             .set("wall_ms", run.wall_ms)
                             .set("ok", run.result.is_ok())
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "timings",
+            Json::Array(
+                timings
+                    .iter()
+                    .map(|s| {
+                        let mut o = Json::object()
+                            .set("name", s.name.as_str())
+                            .set("start_ms", s.start_ms)
+                            .set("wall_ms", s.wall_ms);
+                        for (key, value) in &s.meta {
+                            o = o.set(key.as_str(), *value);
+                        }
+                        o
                     })
                     .collect(),
             ),
@@ -373,7 +393,12 @@ fn torture_cmd(args: &[String]) -> Result<ExitCode, String> {
 
     let mut cfg = TortureConfig::default();
     let mut fixup = "both".to_string();
-    for (key, value) in parse_flags(args, &["schedules", "seed", "fixup", "spill"])? {
+    let mut replay: Option<(u64, u64)> = None;
+    let mut out_dir = "results".to_string();
+    for (key, value) in parse_flags(
+        args,
+        &["schedules", "seed", "fixup", "spill", "replay", "out-dir"],
+    )? {
         match key {
             "schedules" => cfg.schedules = parse_num(key, value)?,
             "seed" => cfg.seed = parse_num(key, value)?,
@@ -382,11 +407,16 @@ fn torture_cmd(args: &[String]) -> Result<ExitCode, String> {
                 other => return Err(format!("invalid --fixup value {other:?} (on|off|both)")),
             },
             "spill" => cfg.spill = parse_num(key, value)?,
+            "replay" => replay = Some(trace::parse_replay_spec(value)?),
+            "out-dir" => out_dir = value.to_string(),
             _ => unreachable!(),
         }
     }
 
     let fail = |e: sim_core::SimError| e.to_string();
+    if let Some((seed, index)) = replay {
+        return torture_replay(cfg, &fixup, seed, index, &out_dir);
+    }
     let arms: &[bool] = match fixup.as_str() {
         "on" => &[true],
         "off" => &[false],
@@ -395,9 +425,11 @@ fn torture_cmd(args: &[String]) -> Result<ExitCode, String> {
     let mut ok = true;
     for &arm_fixup in arms {
         let label = if arm_fixup { "fixup-on" } else { "fixup-off" };
-        let t0 = Instant::now();
+        let span = bench::spans::start(format!("torture/{label}"));
         let report = run_arm(&cfg, arm_fixup).map_err(fail)?;
-        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let secs = (span.elapsed_ms() / 1e3).max(1e-9);
+        let rate = report.schedules as f64 / secs;
+        span.meta("schedules_per_sec", rate).finish();
         println!(
             "{label}: {} schedules, {} reads checked, {} injections fired, \
              {} divergent schedules ({} wrong reads)",
@@ -407,10 +439,7 @@ fn torture_cmd(args: &[String]) -> Result<ExitCode, String> {
             report.divergent_schedules,
             report.divergences
         );
-        eprintln!(
-            "[timing] torture/{label:<9} {:>8.0} schedules/sec",
-            report.schedules as f64 / secs
-        );
+        eprintln!("[span] torture/{label:<9} {rate:>8.0} schedules/sec");
         if arm_fixup {
             if report.divergences > 0 {
                 ok = false;
@@ -441,6 +470,48 @@ fn torture_cmd(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// `limit-repro torture --replay SEED,INDEX`: regenerate one schedule from
+/// the torture harness, shrink it to a locally-minimal failing injection
+/// set if it diverges, re-run that set under the flight recorder, and
+/// export the trace — the injections and any divergence render as instants
+/// on the failing thread's timeline.
+fn torture_replay(
+    mut cfg: torture::TortureConfig,
+    fixup: &str,
+    seed: u64,
+    index: u64,
+    out_dir: &str,
+) -> Result<ExitCode, String> {
+    let fail = |e: sim_core::SimError| e.to_string();
+    cfg.seed = seed;
+    // Replays chase failures, which live in the fixup-off arm unless the
+    // caller explicitly pins --fixup on.
+    let arm_fixup = fixup == "on";
+    let span = bench::spans::start(format!("torture/replay-{seed},{index}"));
+    let r =
+        torture::replay(&cfg, arm_fixup, index, flight::FlightConfig::default()).map_err(fail)?;
+    span.finish();
+    println!(
+        "replayed schedule {index} (seed {seed}, fixup {}): {} injections, \
+         {} oracle checks, {} divergences",
+        if arm_fixup { "on" } else { "off" },
+        r.injections.len(),
+        r.checks,
+        r.divergences.len()
+    );
+    for inj in &r.injections {
+        println!("  {inj}");
+    }
+    for d in &r.divergences {
+        println!(
+            "  {}: read of {:?} in range [{}, {}) returned {} (expected {}) at cycle {}",
+            d.tid, d.event, d.range.0, d.range.1, d.actual, d.expected, d.clock
+        );
+    }
+    trace::export_session(&r.session, &format!("trace-replay-{seed}-{index}"), out_dir)?;
+    Ok(ExitCode::SUCCESS)
+}
+
 fn usage() {
     eprintln!(
         "usage: limit-repro <command>
@@ -452,7 +523,11 @@ fn usage() {
                                                         live telemetry stream
   check-telemetry <file>                                validate NDJSON output
   torture [--schedules N] [--seed S] [--fixup on|off|both] [--spill true|false]
-                                                        virtualization torture sweep"
+          [--replay SEED,INDEX] [--out-dir DIR]         virtualization torture sweep
+                                                        (--replay: trace one shrunk schedule)
+  trace <workload> [--out-dir DIR] [--buf-slots N] [--categories LIST]
+                                                        flight-record a workload run
+  check-trace <file>                                    validate an NDJSON flight trace"
     );
 }
 
@@ -609,6 +684,56 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("trace") => {
+            let Some(which) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            let mut opts = trace::TraceOptions::default();
+            let flags = match parse_flags(&args[2..], &["out-dir", "buf-slots", "categories"]) {
+                Ok(flags) => flags,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, value) in flags {
+                let parsed: Result<(), String> = (|| {
+                    match key {
+                        "out-dir" => opts.out_dir = value.to_string(),
+                        "buf-slots" => opts.buf_slots = parse_num(key, value)?,
+                        "categories" => opts.categories = flight::Categories::parse(value)?,
+                        _ => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = parsed {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match trace::run(which, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check-trace") => {
+            let Some(path) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            match trace::check(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("check-telemetry") => {
             let Some(path) = args.get(1) else {
                 usage();

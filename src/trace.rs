@@ -1,0 +1,296 @@
+//! `limit-repro trace <workload>`: run a synthetic application with the
+//! machine-wide flight recorder attached, then export the timeline twice —
+//! compact NDJSON (validated by `check-trace`) and Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`). The host side of the run
+//! (build and execute phases) rides along as bench self-profiling spans on
+//! the Chrome export's host track.
+
+use bench::spans;
+use flight::{Categories, FlightConfig, HostSpan};
+use limit::harness::Session;
+use limit::LimitReader;
+use sim_cpu::EventKind;
+use sim_os::KernelConfig;
+use workloads::{apache, firefox, memcached, mysqld};
+
+/// Counters attached to every traced run (mirrors `monitor`).
+const EVENTS: [EventKind; 3] = [
+    EventKind::Cycles,
+    EventKind::Instructions,
+    EventKind::LlcMisses,
+];
+
+/// Knobs of a traced run (all have CLI flags).
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Directory receiving `trace-<workload>.ndjson` / `.json`.
+    pub out_dir: String,
+    /// Per-core ring capacity in events (power of two). The default is
+    /// sized so a full default-config workload run retains every event —
+    /// `check` rejects truncated traces.
+    pub buf_slots: u64,
+    /// Event categories to record.
+    pub categories: Categories,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            out_dir: "results".to_string(),
+            buf_slots: 1 << 20,
+            categories: Categories::ALL,
+        }
+    }
+}
+
+fn build_session(workload: &str) -> Result<Session, String> {
+    let fail = |e: sim_core::SimError| e.to_string();
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let kcfg = KernelConfig::default();
+    match workload {
+        "mysqld" => {
+            let (s, _) = mysqld::build(&mysqld::MysqlConfig::default(), &reader, 8, &EVENTS, kcfg)
+                .map_err(fail)?;
+            Ok(s)
+        }
+        "firefox" => {
+            let (s, _) = firefox::build(
+                &firefox::FirefoxConfig::default(),
+                &reader,
+                4,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            Ok(s)
+        }
+        "apache" => {
+            let (s, _) = apache::build(&apache::ApacheConfig::default(), &reader, 8, &EVENTS, kcfg)
+                .map_err(fail)?;
+            Ok(s)
+        }
+        "memcached" => {
+            let (s, _) = memcached::build(
+                &memcached::MemcachedConfig::default(),
+                &reader,
+                8,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            Ok(s)
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (mysqld|firefox|apache|memcached)"
+        )),
+    }
+}
+
+/// Converts drained bench spans into Chrome host-track spans.
+pub fn host_spans(drained: &[spans::SpanRecord]) -> Vec<HostSpan> {
+    drained
+        .iter()
+        .map(|s| HostSpan {
+            name: s.name.clone(),
+            start_us: s.start_ms * 1e3,
+            dur_us: s.wall_ms * 1e3,
+            args: s.meta.clone(),
+        })
+        .collect()
+}
+
+/// Exports the session's flight recorder to `<out_dir>/<stem>.ndjson` and
+/// `<out_dir>/<stem>.json`, validates the NDJSON, and prints where
+/// everything went. Shared by `trace` and `torture --replay`.
+pub fn export_session(session: &Session, stem: &str, out_dir: &str) -> Result<(), String> {
+    let rec = session
+        .kernel
+        .machine
+        .flight()
+        .ok_or("internal error: flight recorder not attached")?;
+    let freq_hz = (session.freq().ghz() * 1e9) as u64;
+
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let ndjson_path = format!("{out_dir}/{stem}.ndjson");
+    let text = flight::ndjson(rec, freq_hz);
+    std::fs::write(&ndjson_path, &text).map_err(|e| format!("cannot write {ndjson_path}: {e}"))?;
+
+    let chrome_path = format!("{out_dir}/{stem}.json");
+    let doc = flight::chrome_trace(
+        rec,
+        freq_hz,
+        &session.region_names(),
+        &host_spans(&spans::drain()),
+    );
+    std::fs::write(&chrome_path, doc.pretty())
+        .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+
+    let report = flight::check(&text).map_err(|e| format!("{ndjson_path}: {e}"))?;
+    println!(
+        "trace valid: {} events across {} cores, {} threads ({} switches, {} syscalls, \
+         {} PMIs, {} migrations, {} injections, {} region exits)",
+        report.events,
+        report.cores,
+        report.threads,
+        report.switch_ins,
+        report.syscall_enters,
+        report.pmis,
+        report.migrations,
+        report.injections,
+        report.region_exits
+    );
+    println!("wrote {ndjson_path}");
+    println!("wrote {chrome_path} (load in Perfetto or chrome://tracing)");
+    Ok(())
+}
+
+/// Runs the trace command end to end.
+pub fn run(workload: &str, opts: &TraceOptions) -> Result<(), String> {
+    if !opts.buf_slots.is_power_of_two() {
+        return Err(format!(
+            "--buf-slots must be a power of two, got {}",
+            opts.buf_slots
+        ));
+    }
+    let build_span = spans::start(format!("trace/build-{workload}"));
+    let mut session = build_session(workload)?;
+    build_span.finish();
+
+    session.enable_flight(FlightConfig {
+        buf_slots: opts.buf_slots as usize,
+        categories: opts.categories,
+    });
+    let run_span = spans::start(format!("trace/run-{workload}"));
+    let report = session.run().map_err(|e| e.to_string())?;
+    run_span.finish();
+
+    println!(
+        "traced {workload}: {} guest cycles, {} context switches, {} syscalls",
+        report.total_cycles, report.context_switches, report.syscalls
+    );
+    if report.warnings.any() {
+        println!(
+            "warnings: {} dropped records, {} rejected ranges, {} unfixed races",
+            report.warnings.dropped_records,
+            report.warnings.rejected_ranges,
+            report.warnings.unfixed_races
+        );
+    }
+    export_session(&session, &format!("trace-{workload}"), &opts.out_dir)
+}
+
+/// `limit-repro check-trace <file>`: validates a flight trace. NDJSON
+/// files get the full conservation check; Chrome trace-event files (one
+/// JSON document with `traceEvents`) get a parser round-trip plus shape
+/// checks, so CI can smoke both exports with the same subcommand.
+pub fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // A Chrome export parses as a single document (NDJSON has trailing
+    // lines and fails here), so try that shape first.
+    if let Ok(doc) = bench::json::Json::parse(&text) {
+        if doc.get("traceEvents").is_some() {
+            return check_chrome(path, &doc);
+        }
+    }
+    let r = flight::check(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ok — {} events, {} cores, {} threads; \
+         {}={} switch in/out, {}={} syscall enter/exit, \
+         {} pmis, {} migrations, {} injections, {} region exits",
+        r.events,
+        r.cores,
+        r.threads,
+        r.switch_ins,
+        r.switch_outs,
+        r.syscall_enters,
+        r.syscall_exits,
+        r.pmis,
+        r.migrations,
+        r.injections,
+        r.region_exits
+    );
+    Ok(())
+}
+
+/// Validates a parsed Chrome trace-event document: non-empty, every event
+/// carries `ph` and `pid`, durations and begin/end markers are paired per
+/// track, and all three synthetic processes are present.
+fn check_chrome(path: &str, doc: &bench::json::Json) -> Result<(), String> {
+    use bench::json::Json;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: traceEvents is not an array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: empty traceEvents"));
+    }
+    let mut pids = std::collections::BTreeSet::new();
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    let mut counters = 0u64;
+    let mut depth: std::collections::HashMap<(u64, u64), i64> = std::collections::HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: event {i} missing \"ph\""))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}: event {i} missing \"pid\""))?;
+        pids.insert(pid);
+        let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        match ph {
+            "X" => {
+                if ev.get("dur").is_none() {
+                    return Err(format!("{path}: event {i} (ph X) missing \"dur\""));
+                }
+                spans += 1;
+            }
+            "i" => instants += 1,
+            "C" => counters += 1,
+            "B" => *depth.entry((pid, tid)).or_default() += 1,
+            "E" => {
+                let d = depth.entry((pid, tid)).or_default();
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!(
+                        "{path}: unmatched ph E on pid {pid} tid {tid} (event {i})"
+                    ));
+                }
+            }
+            "M" => {}
+            other => return Err(format!("{path}: event {i} has unknown ph {other:?}")),
+        }
+    }
+    if let Some(((pid, tid), d)) = depth.iter().find(|(_, &d)| d != 0) {
+        return Err(format!(
+            "{path}: {d} unterminated B span(s) on pid {pid} tid {tid}"
+        ));
+    }
+    for want in [1u64, 2, 3] {
+        if !pids.contains(&want) {
+            return Err(format!("{path}: missing process track pid {want}"));
+        }
+    }
+    println!(
+        "{path}: ok — chrome trace round-trips: {} events ({spans} spans, \
+         {instants} instants, {counters} counter samples) across pids {:?}",
+        events.len(),
+        pids
+    );
+    Ok(())
+}
+
+/// Parses a `--replay seed,index` value.
+pub fn parse_replay_spec(value: &str) -> Result<(u64, u64), String> {
+    let (seed, index) = value
+        .split_once(',')
+        .ok_or_else(|| format!("invalid --replay value {value:?} (want SEED,INDEX)"))?;
+    let parse = |what: &str, s: &str| {
+        s.trim()
+            .parse::<u64>()
+            .map_err(|_| format!("invalid --replay {what} {s:?}"))
+    };
+    Ok((parse("seed", seed)?, parse("index", index)?))
+}
