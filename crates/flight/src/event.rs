@@ -98,6 +98,12 @@ pub enum EventData {
         /// Decoded syscall name.
         name: &'static str,
     },
+    /// A guest thread faulted; the run is about to abort. Recorded so the
+    /// exported timeline shows where execution stopped.
+    Fault {
+        /// Faulting instruction address.
+        pc: u32,
+    },
     /// The torture injector forced a disturbance.
     Injection {
         /// Instruction boundary it landed on.
@@ -169,6 +175,7 @@ impl EventData {
             EventData::OracleCheck { .. } => "oracle_check",
             EventData::SyscallEnter { .. } => "syscall_enter",
             EventData::SyscallExit { .. } => "syscall_exit",
+            EventData::Fault { .. } => "fault",
             EventData::Injection { .. } => "injection",
             EventData::SessionOpen { .. } => "session_open",
             EventData::SessionClose { .. } => "session_close",
@@ -187,7 +194,7 @@ impl EventData {
             | EventData::SwitchOut { .. }
             | EventData::SchedPick
             | EventData::Migration { .. } => Categories::SCHED,
-            EventData::Pmi { .. } => Categories::IRQ,
+            EventData::Pmi { .. } | EventData::Fault { .. } => Categories::IRQ,
             EventData::Spill { .. }
             | EventData::LimitOpen { .. }
             | EventData::LimitClose { .. }

@@ -77,6 +77,7 @@ fn event_json(core: Option<usize>, ev: &FlightEvent) -> Json {
         EventData::OracleArm { pc } => j.set("pc", u64::from(pc)),
         EventData::OracleCheck { pc, ok } => j.set("pc", u64::from(pc)).set("ok", ok),
         EventData::SyscallEnter { name } | EventData::SyscallExit { name } => j.set("name", name),
+        EventData::Fault { pc } => j.set("pc", u64::from(pc)),
         EventData::Injection { pc, action } => j.set("pc", u64::from(pc)).set("action", action),
         EventData::SessionOpen { threads } => j.set("threads", u64::from(threads)),
         EventData::SessionClose {
@@ -258,6 +259,12 @@ pub fn chrome_trace(
                 EventData::Spill { .. } => {
                     events.push(instant("spill", "pmu", PID_THREADS, t, ts));
                 }
+                EventData::Fault { pc } => {
+                    events.push(
+                        instant("fault", "irq", PID_THREADS, t, ts)
+                            .set("args", Json::object().set("pc", u64::from(pc))),
+                    );
+                }
                 EventData::OracleCheck { pc, ok } if !ok => {
                     events.push(
                         instant("divergence", "oracle", PID_THREADS, t, ts)
@@ -382,12 +389,13 @@ pub struct CheckReport {
     pub threads: u64,
 }
 
-const KNOWN_KINDS: [&str; 21] = [
+const KNOWN_KINDS: [&str; 22] = [
     "switch_in",
     "switch_out",
     "sched_pick",
     "migration",
     "pmi",
+    "fault",
     "spill",
     "limit_open",
     "limit_close",

@@ -16,6 +16,7 @@
 
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod rng;
@@ -24,6 +25,7 @@ pub mod time;
 
 pub use config::SimConfig;
 pub use error::{SimError, SimResult};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{CoreId, CounterId, LockId, ThreadId};
 pub use rng::DetRng;
 pub use stats::{Histogram, Summary};

@@ -86,6 +86,38 @@ impl Default for BranchPredictor {
     }
 }
 
+/// Batched PMU accrual for the block-stepped fast path (see
+/// [`crate::machine::Machine::run_until`]).
+///
+/// While `active`, [`crate::machine::Machine`] diverts event deliveries
+/// into `counts` instead of the PMU and flushes them in batch — at counter
+/// reads, tag changes, and every fast-path exit — so the PMU observes the
+/// same totals as per-instruction delivery. The executor's headroom guard
+/// guarantees no *armed* counter (PMI or spill on overflow) can wrap while
+/// counts sit in the batch, which is what makes deferred delivery exact.
+#[derive(Debug, Clone)]
+pub struct BatchAccrual {
+    /// Whether event deliveries are currently diverted into the batch.
+    pub active: bool,
+    /// Pending per-event counts awaiting delivery to the PMU.
+    pub counts: [u64; EventKind::COUNT],
+    /// Sum of all pending counts (cheap guard arithmetic).
+    pub total: u64,
+    /// Cached [`crate::pmu::Pmu::armed_headroom`] as of the last flush.
+    pub headroom: u64,
+}
+
+impl Default for BatchAccrual {
+    fn default() -> Self {
+        BatchAccrual {
+            active: false,
+            counts: [0; EventKind::COUNT],
+            total: 0,
+            headroom: u64::MAX,
+        }
+    }
+}
+
 /// One simulated core.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -110,6 +142,13 @@ pub struct Core {
     /// ([`crate::oracle`]); `None` unless the machine's oracle is enabled.
     /// Flushed into the per-thread ledger after every step.
     pub oracle_scratch: Option<Box<[u64; EventKind::COUNT]>>,
+    /// Batched PMU accrual state for the block-stepped fast path. Inactive
+    /// (and empty) whenever control is outside `Machine::run_until`.
+    pub batch: BatchAccrual,
+    /// Lifetime guest instructions retired by this core (the numerator of
+    /// the interpreter-throughput benchmark; kernel `charge` bookkeeping
+    /// is excluded — only decoded-and-executed instructions count).
+    pub retired: u64,
 }
 
 impl Core {
@@ -125,7 +164,40 @@ impl Core {
             predictor: BranchPredictor::new(),
             trace: None,
             oracle_scratch: None,
+            batch: BatchAccrual::default(),
+            retired: 0,
         })
+    }
+
+    /// Delivers all batched event counts to the PMU at the core's current
+    /// mode and tag. Contents move; `active` and `headroom` are untouched.
+    fn deliver_batch(&mut self) {
+        if self.batch.total > 0 {
+            let tag = self.ctx.tag;
+            for (i, v) in self.batch.counts.iter_mut().enumerate() {
+                if *v > 0 {
+                    self.pmu.count(EventKind::ALL[i], *v, self.mode, tag);
+                    *v = 0;
+                }
+            }
+            self.batch.total = 0;
+        }
+    }
+
+    /// Delivers all batched event counts and refreshes the cached armed
+    /// headroom (for flushes after which batching continues). The batch
+    /// stays in whatever `active` state it was in; only its contents move.
+    pub fn flush_batch(&mut self) {
+        self.deliver_batch();
+        self.batch.headroom = self.pmu.armed_headroom();
+    }
+
+    /// Delivers all batched event counts and deactivates batching, without
+    /// the headroom recompute (no batching follows until reactivation,
+    /// which refreshes it).
+    pub fn settle_batch(&mut self) {
+        self.deliver_batch();
+        self.batch.active = false;
     }
 
     /// Whether the core has a thread installed.

@@ -8,16 +8,28 @@
 //! workspace is generated, and the allocator hands out aligned addresses, so
 //! misalignment is always a bug and is reported as a fault.
 
-use sim_core::{SimError, SimResult};
-use std::collections::HashMap;
+use sim_core::{FxHashMap, SimError, SimResult};
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
+/// Page numbers below this are held in a direct-indexed table (covers the
+/// first 256 MiB of guest address space, where the bump allocator places
+/// everything); stray far addresses fall back to a hash map so the full
+/// 64-bit space stays addressable.
+const DIRECT_PAGES: u64 = 1 << 16;
+
 /// Sparse guest memory.
+///
+/// The value store sits on the interpreter's hottest path (every guest
+/// load and store), so lookup is a direct array index for the low address
+/// range rather than a hash: `pages[page]` is `None` until first written.
 #[derive(Debug, Default)]
 pub struct GuestMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Direct-indexed table for pages below [`DIRECT_PAGES`].
+    pages: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
+    /// Overflow for far pages (rare: wild pointers, stress tests).
+    far: FxHashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl GuestMem {
@@ -27,22 +39,42 @@ impl GuestMem {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_BITS)
+        let page = addr >> PAGE_BITS;
+        if page < DIRECT_PAGES {
+            let idx = page as usize;
+            if idx >= self.pages.len() {
+                self.pages.resize_with(idx + 1, || None);
+            }
+            return self.pages[idx].get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        }
+        self.far
+            .entry(page)
             .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
+    #[inline]
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        let page = addr >> PAGE_BITS;
+        if page < DIRECT_PAGES {
+            self.pages.get(page as usize)?.as_deref()
+        } else {
+            self.far.get(&page).map(|p| &**p)
+        }
+    }
+
     /// Reads an aligned 64-bit word. Unmapped memory reads as zero.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> SimResult<u64> {
         check_aligned(addr)?;
         let off = (addr as usize) & (PAGE_SIZE - 1);
-        Ok(match self.pages.get(&(addr >> PAGE_BITS)) {
+        Ok(match self.page(addr) {
             Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8-byte slice")),
             None => 0,
         })
     }
 
     /// Writes an aligned 64-bit word.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) -> SimResult<()> {
         check_aligned(addr)?;
         let off = (addr as usize) & (PAGE_SIZE - 1);
@@ -72,14 +104,14 @@ impl GuestMem {
             .map(|i| {
                 let a = addr + i as u64;
                 let off = (a as usize) & (PAGE_SIZE - 1);
-                self.pages.get(&(a >> PAGE_BITS)).map_or(0, |p| p[off])
+                self.page(a).map_or(0, |p| p[off])
             })
             .collect()
     }
 
     /// Number of materialized pages (for memory-footprint assertions).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.iter().filter(|p| p.is_some()).count() + self.far.len()
     }
 }
 

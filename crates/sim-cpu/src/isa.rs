@@ -130,6 +130,46 @@ pub enum Instr {
     Halt,
 }
 
+impl Instr {
+    /// Whether this instruction is *core-local*: it touches only the
+    /// executing core's registers, predictor, shadow stack, clock, and
+    /// batched PMU accrual — never guest memory, the cache hierarchy, the
+    /// PMU's architected counters, or the kernel. Core-local instructions
+    /// commute with every other core's execution, so the block-stepped
+    /// executor may run them *ahead* of the cross-core arbitration minimum
+    /// without perturbing the memory-system event stream or the order of
+    /// kernel-visible events (see `Machine::run_until`). Returns an upper
+    /// bound on the instruction's cycle cost (needed to guarantee the step
+    /// cannot cross a sleeper wake-up boundary), or `None` for
+    /// order-sensitive instructions.
+    pub fn run_ahead_bound(&self) -> Option<u64> {
+        use crate::cost;
+        match *self {
+            Instr::Imm(..) | Instr::Mov(..) | Instr::Alu(..) | Instr::AluImm(..) | Instr::Nop => {
+                Some(cost::ALU)
+            }
+            Instr::Burst(n) => Some(n.max(1) as u64),
+            Instr::Br(..) => Some(cost::BRANCH + cost::BRANCH_MISS_PENALTY),
+            Instr::Jmp(..) => Some(cost::BRANCH),
+            Instr::Call(..) | Instr::Ret => Some(cost::CALL),
+            Instr::Rdtsc(..) => Some(cost::RDTSC),
+            // Memory operations drive the shared cache/coherence model;
+            // syscalls and halts enter the kernel; counter reads and tag
+            // changes observe/flush architected PMU state. All must execute
+            // in exact (clock, core-id) arbitration order.
+            Instr::Load(..)
+            | Instr::Store(..)
+            | Instr::Xchg(..)
+            | Instr::FetchAdd(..)
+            | Instr::Rdpmc(..)
+            | Instr::RdpmcClear(..)
+            | Instr::SetTag(..)
+            | Instr::Syscall(..)
+            | Instr::Halt => None,
+        }
+    }
+}
+
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -20,6 +20,7 @@
 //! tag-filtered counting), all off by default.
 
 pub mod asm;
+pub mod block;
 pub mod core;
 pub mod cost;
 pub mod events;
@@ -35,10 +36,11 @@ pub mod verify;
 
 pub use crate::core::{Core, Mode, Step, Trap};
 pub use asm::Asm;
+pub use block::{Block, BlockMap};
 pub use events::EventKind;
 pub use gmem::{GuestMem, MemLayout};
 pub use isa::{AluOp, Cond, Instr};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, RunExit, RunLimits};
 pub use oracle::{Divergence, Oracle};
 pub use pmu::{CounterCfg, Pmu, PmuConfig};
 pub use prog::{Label, Program};

@@ -60,6 +60,51 @@ impl MachineConfig {
     }
 }
 
+/// Per-run bounds and boundary tables the kernel hands to
+/// [`Machine::run_until`] — the kernel telling the machine how far it may
+/// run before the next kernel-visible poll point.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits<'a> {
+    /// Per-core clock thresholds (indexed by core number): the earliest of
+    /// the core's slice expiry, the next periodic-hook fire time, and the
+    /// machine-wide cycle budget. A core hands control back *before*
+    /// executing an instruction at or past its threshold.
+    pub stop_at: &'a [u64],
+    /// Earliest wake-up time of any sleeping thread: the run stops once the
+    /// running core's clock reaches it, so the kernel can wake the sleeper.
+    pub wake_at: u64,
+    /// Per-pc injection-arming table when an injector is attached: an armed
+    /// pc is an execution boundary the kernel single-steps across.
+    pub armed_pcs: Option<&'a [bool]>,
+    /// Per-pc registered-LiMiT-range table (from
+    /// [`crate::block::BlockMap`]): in-range pcs execute with direct
+    /// per-instruction accrual.
+    pub in_limit: &'a [bool],
+}
+
+/// Why [`Machine::run_until`] handed control back to the kernel. Apart from
+/// [`RunExit::Trap`], the variants are advisory — the kernel re-runs its
+/// full poll sequence either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// A core reached its `stop_at` threshold (slice expiry, periodic hook,
+    /// or cycle budget — the kernel re-derives which).
+    StopClock(CoreId),
+    /// A sleeping thread's wake-up time was reached.
+    Wake(CoreId),
+    /// A PMI is pending on the core.
+    Pmi(CoreId),
+    /// The next instruction's pc is an armed injection point.
+    Boundary(CoreId),
+    /// A self-virtualizing spill was journaled; the kernel must consult the
+    /// journal before the next instruction runs.
+    SpillJournal(CoreId),
+    /// The instruction trapped (syscall, halt, or fault).
+    Trap(CoreId, Step),
+    /// No core has a thread installed.
+    Idle,
+}
+
 /// The machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -150,6 +195,15 @@ impl Machine {
     }
 
     fn count(core: &mut Core, event: EventKind, n: u64) {
+        // Block-stepped fast path: defer delivery into the per-core batch.
+        // [`Machine::run_until`] flushes at counter reads, tag changes, and
+        // before any armed counter could wrap, so the PMU observes the same
+        // totals at every architecturally visible point.
+        if core.batch.active {
+            core.batch.counts[event.index()] += n;
+            core.batch.total += n;
+            return;
+        }
         let tag = core.ctx.tag;
         core.pmu.count(event, n, core.mode, tag);
         // Shadow-ledger tap: user-mode events also land in the oracle
@@ -206,12 +260,6 @@ impl Machine {
     /// Returns the step outcome; the caller (the kernel) is responsible for
     /// handling traps and checking for pending PMIs afterwards.
     pub fn step(&mut self, core_id: CoreId) -> SimResult<Step> {
-        let fault = |msg: String| Step {
-            cycles: 1,
-            instrs: 0,
-            trap: Some(Trap::Fault(msg)),
-        };
-
         // Split borrows: core is taken by index, memory systems separately.
         let core_idx = core_id.index();
         if core_idx >= self.cores.len() {
@@ -220,12 +268,31 @@ impl Machine {
         if self.cores[core_idx].running.is_none() {
             return Err(SimError::Program(format!("{core_id} is idle")));
         }
+        self.step_impl::<false>(core_id)
+    }
+
+    /// [`Machine::step`]'s body, monomorphized over the block-stepped fast
+    /// path. With `FAST`, the per-instruction observer taps (trace ring,
+    /// differential oracle, flight recorder) compile out entirely — the
+    /// caller ([`Machine::run_until`]) has verified all three are disabled —
+    /// and the caller guarantees the core exists and has a thread installed.
+    fn step_impl<const FAST: bool>(&mut self, core_id: CoreId) -> SimResult<Step> {
+        let fault = |msg: String| Step {
+            cycles: 1,
+            instrs: 0,
+            trap: Some(Trap::Fault(msg)),
+        };
+        let core_idx = core_id.index();
 
         let pc = self.cores[core_idx].ctx.pc;
         let Some(&instr) = self.prog.fetch(pc) else {
-            let step = fault(format!("pc {pc} out of program bounds"));
-            self.finish_step(core_idx, &step);
-            return Ok(step);
+            // A faulting fetch never issues an instruction: no cycle charge,
+            // no PMU events — there is nothing architectural to count.
+            return Ok(Step {
+                cycles: 0,
+                instrs: 0,
+                trap: Some(Trap::Fault(format!("pc {pc} out of program bounds"))),
+            });
         };
 
         let cycles: u64;
@@ -233,7 +300,7 @@ impl Machine {
         let mut trap: Option<Trap> = None;
         let mut next_pc = pc + 1;
 
-        {
+        if !FAST {
             let core = &mut self.cores[core_idx];
             let (clock, tid) = (core.clock, core.running);
             if let Some(trace) = &mut core.trace {
@@ -290,7 +357,7 @@ impl Machine {
                     }
                     Err(e) => {
                         let step = fault(e.message().to_string());
-                        self.finish_step(core_idx, &step);
+                        self.finish_step::<FAST>(core_idx, &step);
                         return Ok(step);
                     }
                 }
@@ -310,7 +377,7 @@ impl Machine {
                     }
                     Err(e) => {
                         let step = fault(e.message().to_string());
-                        self.finish_step(core_idx, &step);
+                        self.finish_step::<FAST>(core_idx, &step);
                         return Ok(step);
                     }
                 }
@@ -323,7 +390,7 @@ impl Machine {
                     Ok(v) => v,
                     Err(e) => {
                         let step = fault(e.message().to_string());
-                        self.finish_step(core_idx, &step);
+                        self.finish_step::<FAST>(core_idx, &step);
                         return Ok(step);
                     }
                 };
@@ -367,7 +434,7 @@ impl Machine {
                 let core = &mut self.cores[core_idx];
                 if core.ctx.call_stack.len() >= MAX_CALL_DEPTH {
                     let step = fault("call stack overflow".into());
-                    self.finish_step(core_idx, &step);
+                    self.finish_step::<FAST>(core_idx, &step);
                     return Ok(step);
                 }
                 core.ctx.call_stack.push(next_pc);
@@ -379,7 +446,7 @@ impl Machine {
                     Some(ra) => next_pc = ra,
                     None => {
                         let step = fault("ret with empty call stack".into());
-                        self.finish_step(core_idx, &step);
+                        self.finish_step::<FAST>(core_idx, &step);
                         return Ok(step);
                     }
                 }
@@ -389,13 +456,19 @@ impl Machine {
                 let core = &mut self.cores[core_idx];
                 if core.mode == Mode::User && !core.pmu.user_rdpmc() {
                     let step = fault("rdpmc: userspace counter access disabled".into());
-                    self.finish_step(core_idx, &step);
+                    self.finish_step::<FAST>(core_idx, &step);
                     return Ok(step);
                 }
                 if destructive && !core.pmu.config().ext_destructive_read {
                     let step = fault("rdpmc.clr: destructive-read extension disabled".into());
-                    self.finish_step(core_idx, &step);
+                    self.finish_step::<FAST>(core_idx, &step);
                     return Ok(step);
+                }
+                // Deferred counts must be delivered before the counter is
+                // read; the read itself still precedes this instruction's
+                // own cycle/instruction accrual, as in per-instruction mode.
+                if core.batch.active {
+                    core.flush_batch();
                 }
                 let value = if destructive {
                     core.pmu.read_clear(idx)
@@ -409,7 +482,7 @@ impl Machine {
                     }
                     Err(e) => {
                         let step = fault(e.message().to_string());
-                        self.finish_step(core_idx, &step);
+                        self.finish_step::<FAST>(core_idx, &step);
                         return Ok(step);
                     }
                 }
@@ -423,6 +496,11 @@ impl Machine {
                 cycles = cost::SETTAG;
                 let core = &mut self.cores[core_idx];
                 if core.pmu.config().ext_tag_filter {
+                    // Counts accrued under the old tag must be delivered
+                    // before the tag changes.
+                    if core.batch.active {
+                        core.flush_batch();
+                    }
                     core.ctx.tag = core.ctx.get(rs);
                 }
             }
@@ -442,13 +520,21 @@ impl Machine {
         // Oracle taps (no-ops unless enabled): an in-range `rdpmc` arms an
         // expected value from the shadow ledger; the range's final
         // instruction resolves the check against the architected result.
-        if self.oracle.is_some() && trap.is_none() && self.cores[core_idx].mode == Mode::User {
+        if !FAST
+            && self.oracle.is_some()
+            && trap.is_none()
+            && self.cores[core_idx].mode == Mode::User
+        {
             self.oracle_observe(core_idx, pc, instr);
         }
 
         // Flight-recorder taps (no-ops unless enabled): region markers at
         // the fetched pc and user-mode counter reads.
-        if self.flight.is_some() && trap.is_none() && self.cores[core_idx].mode == Mode::User {
+        if !FAST
+            && self.flight.is_some()
+            && trap.is_none()
+            && self.cores[core_idx].mode == Mode::User
+        {
             self.flight_observe(core_idx, pc, instr);
         }
 
@@ -458,7 +544,7 @@ impl Machine {
             instrs,
             trap,
         };
-        self.finish_step(core_idx, &step);
+        self.finish_step::<FAST>(core_idx, &step);
         Ok(step)
     }
 
@@ -548,15 +634,20 @@ impl Machine {
 
     /// Applies clock advance, cycle/instruction counting, and pending
     /// hardware spills for a completed step.
-    fn finish_step(&mut self, core_idx: usize, step: &Step) {
+    fn finish_step<const FAST: bool>(&mut self, core_idx: usize, step: &Step) {
         {
             let core = &mut self.cores[core_idx];
             core.clock += step.cycles;
+            core.retired += step.instrs;
             Self::count(core, EventKind::Cycles, step.cycles);
             Self::count(core, EventKind::Instructions, step.instrs);
         }
         // Flush this step's oracle scratch into the installed thread's
-        // shadow ledger.
+        // shadow ledger (compiled out on the fast path: the oracle is off).
+        if FAST {
+            self.apply_spills(core_idx);
+            return;
+        }
         if let Some(oracle) = &mut self.oracle {
             let core = &mut self.cores[core_idx];
             if let Some(scratch) = &mut core.oracle_scratch {
@@ -574,6 +665,13 @@ impl Machine {
         }
         // Hardware enhancement 2: self-virtualizing counters spill to guest
         // memory without kernel involvement.
+        self.apply_spills(core_idx);
+    }
+
+    /// Applies any pending self-virtualizing spills on `core_idx`: each
+    /// spilled modulus lands in its guest-memory accumulator and the spill
+    /// microcode cost lands on the clock.
+    fn apply_spills(&mut self, core_idx: usize) {
         let spills = self.cores[core_idx].pmu.take_spills();
         for spill in spills {
             // Spill addresses are validated (aligned) at configuration time
@@ -594,6 +692,201 @@ impl Machine {
                         amount: spill.amount,
                     },
                 );
+            }
+        }
+    }
+
+    /// Lifetime guest instructions retired across all cores (the numerator
+    /// of the interpreter-throughput benchmark).
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+
+    /// Block-stepped execution: runs guest instructions — preserving the
+    /// exact per-instruction (clock, core-id) arbitration order of the
+    /// single-step loop — until a kernel-visible event occurs, batching PMU
+    /// accrual in between. The kernel supplies the poll-point thresholds in
+    /// `limits`; any exit returns control so the kernel can re-run its full
+    /// legacy decision sequence.
+    ///
+    /// Exactness argument: within `run_until` the kernel never touches core
+    /// or PMU state, so deferring event delivery is observable only at
+    /// (a) counter reads (`rdpmc` flushes in-arm), (b) tag changes (`settag`
+    /// flushes in-arm), (c) armed-counter overflow side effects (PMI, spill).
+    /// For (c): after every instruction, if the batch total has reached the
+    /// cached armed headroom, the batch is flushed immediately — and since
+    /// every armed slot's accrued share is bounded by the batch total, no
+    /// slot can have wrapped *before* the instruction at which the flush
+    /// happens. The overflow is therefore delivered at the same instruction
+    /// boundary per-instruction accrual would deliver it.
+    pub fn run_until(&mut self, limits: &RunLimits) -> SimResult<RunExit> {
+        // One gate check per run (not per instruction): with every
+        // per-instruction observer off, steps dispatch to the monomorphized
+        // fast body whose trace/oracle/flight taps compile out.
+        let fast = self.oracle.is_none()
+            && self.flight.is_none()
+            && self.cores.iter().all(|c| c.trace.is_none());
+        // Busy-key snapshot: within a run, only the picked core's clock
+        // moves (the busy set and every other clock change only through
+        // kernel actions, which happen outside `run_until`), so the
+        // rotation scan can run over this compact array instead of
+        // touching every `Core` each time.
+        const MAX_CORES: usize = 64;
+        let n = self.cores.len().min(MAX_CORES);
+        let mut keys = [(u64::MAX, u32::MAX); MAX_CORES];
+        for (key, c) in keys.iter_mut().zip(&self.cores) {
+            if c.is_busy() {
+                *key = (c.clock, c.id.0);
+            }
+        }
+        let exit = loop {
+            // Two-minimum scan, lexicographic on (clock, core id) — the
+            // same first-minimum the single-step loop's `next_busy_core`
+            // picks each instruction. Idle cores sit at the MAX sentinel
+            // and can never win (a real clock never reaches u64::MAX).
+            let mut first = usize::MAX;
+            let mut first_key = (u64::MAX, u32::MAX);
+            let mut others_min = (u64::MAX, u32::MAX);
+            for (i, &key) in keys[..n].iter().enumerate() {
+                if key < first_key {
+                    others_min = first_key;
+                    first_key = key;
+                    first = i;
+                } else if key < others_min {
+                    others_min = key;
+                }
+            }
+            if first == usize::MAX {
+                break RunExit::Idle;
+            }
+            let r = if fast {
+                self.run_core::<true>(first, others_min, limits)?
+            } else {
+                self.run_core::<false>(first, others_min, limits)?
+            };
+            match r {
+                Some(exit) => break exit,
+                // Budget rotation: another core became the arbitration
+                // minimum; update the mover's key and continue there.
+                None => {
+                    let c = &self.cores[first];
+                    keys[first] = (c.clock, c.id.0);
+                }
+            }
+        };
+        self.settle_batches();
+        Ok(exit)
+    }
+
+    /// Runs the thread on core `idx` until a kernel-visible event (`Some`)
+    /// or until another core becomes the arbitration minimum (`None`).
+    fn run_core<const FAST: bool>(
+        &mut self,
+        idx: usize,
+        others_min: (u64, u32),
+        limits: &RunLimits,
+    ) -> SimResult<Option<RunExit>> {
+        let id = self.cores[idx].id;
+        let stop = limits.stop_at.get(idx).copied().unwrap_or(u64::MAX);
+        loop {
+            // Pre-instruction poll points: the checks the single-step
+            // kernel loop runs between steps. A kernel-visible exit may
+            // only fire while this core is the arbitration minimum — the
+            // position the single-step loop would consult it from. When
+            // the core has run ahead (see below), a would-be exit instead
+            // rotates (`None`): the exit fires once the core is picked as
+            // the minimum again, in exact legacy order.
+            let core = &self.cores[idx];
+            let ahead = (core.clock, id.0) >= others_min;
+            if core.clock >= stop {
+                return Ok((!ahead).then_some(RunExit::StopClock(id)));
+            }
+            if core.clock >= limits.wake_at {
+                return Ok((!ahead).then_some(RunExit::Wake(id)));
+            }
+            if core.pmu.pmi_pending() {
+                return Ok((!ahead).then_some(RunExit::Pmi(id)));
+            }
+            let pc = core.ctx.pc;
+            if let Some(armed) = limits.armed_pcs {
+                if armed.get(pc as usize).copied().unwrap_or(false) {
+                    return Ok((!ahead).then_some(RunExit::Boundary(id)));
+                }
+            }
+            // Registered LiMiT read sequences keep direct per-instruction
+            // accrual: per-pc precision is what the restart fix-up relies
+            // on. The batch stays settled across a whole in-range sequence
+            // and reactivates at the first out-of-range pc.
+            let in_range = limits.in_limit.get(pc as usize).copied().unwrap_or(false);
+            if ahead {
+                // Run-ahead: a core past the arbitration minimum may keep
+                // executing *core-local* instructions — they commute with
+                // every other core's execution, so the memory-system event
+                // stream and the order of kernel-visible events are
+                // unchanged (instructions that touch shared state rotate
+                // and wait their turn). The cost bound keeps the step from
+                // crossing a sleeper wake-up, whose boundary is defined by
+                // the first post-step clock to reach it on *any* core.
+                if in_range {
+                    return Ok(None);
+                }
+                match self.prog.fetch(pc).and_then(Instr::run_ahead_bound) {
+                    Some(bound) if self.cores[idx].clock.saturating_add(bound) < limits.wake_at => {
+                    }
+                    _ => return Ok(None),
+                }
+            }
+            {
+                let core = &mut self.cores[idx];
+                if in_range {
+                    if core.batch.active {
+                        core.settle_batch();
+                    }
+                } else if !core.batch.active {
+                    core.batch.active = true;
+                    core.batch.headroom = core.pmu.armed_headroom();
+                }
+            }
+            let step = self.step_impl::<FAST>(id)?;
+            let core = &mut self.cores[idx];
+            if core.batch.active && core.batch.total >= core.batch.headroom {
+                // An armed counter may have wrapped during this
+                // instruction: deliver now, so the PMI or spill lands at
+                // the same boundary per-instruction accrual gives it.
+                core.flush_batch();
+                self.apply_spills(idx);
+            }
+            // Post-step exits fire regardless of run-ahead: a trap here can
+            // only be a fault (syscalls/halts never run ahead), which
+            // aborts the whole run; a spill-journal consult and the wake
+            // boundary are keyed to *this* step having happened, and the
+            // journal consult is core-local. The wake-up check mirrors the
+            // single-step loop, where the sleeper wakes at the first
+            // instruction boundary after any core's clock crosses the
+            // deadline — the run-ahead cost bound above guarantees an
+            // ahead core cannot be the one that crosses it.
+            if step.trap.is_some() {
+                return Ok(Some(RunExit::Trap(id, step)));
+            }
+            let core = &self.cores[idx];
+            if core.pmu.spill_journal() > 0 {
+                return Ok(Some(RunExit::SpillJournal(id)));
+            }
+            if core.clock >= limits.wake_at {
+                return Ok(Some(RunExit::Wake(id)));
+            }
+        }
+    }
+
+    /// Delivers every core's outstanding batched counts and deactivates
+    /// batching; called at every `run_until` exit so kernel-side reads see
+    /// exact PMU state. Final flushes cannot wrap an armed counter (the
+    /// in-run guard flushed any batch that got within reach), so no PMI or
+    /// spill can appear here.
+    fn settle_batches(&mut self) {
+        for core in &mut self.cores {
+            if core.batch.active {
+                core.settle_batch();
             }
         }
     }
@@ -623,6 +916,101 @@ mod tests {
     use crate::regs::{Context, Reg};
     use sim_core::ThreadId;
     use sim_mem::HierarchyConfig;
+
+    fn floor_prog() -> Program {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        for _ in 0..6 {
+            a.alui_add(Reg::R1, 1);
+        }
+        a.alui_add(Reg::R2, 1);
+        a.br(Cond::Ne, Reg::R2, Reg::R0, top);
+        a.assemble().unwrap()
+    }
+
+    /// Interpreter-floor microbenchmarks (`--ignored`): lower bounds on
+    /// per-step cost with no kernel, trivial state, and (for the mem
+    /// variant) pure L1 hits. `docs/BENCH.md` records how to run them and
+    /// how the floor bounds the achievable block-stepped speedup.
+    #[test]
+    #[ignore = "host-timing microbenchmark; run with --ignored --nocapture"]
+    fn bench_floor() {
+        use std::time::Instant;
+        let mut m = machine_with(floor_prog());
+        install(&mut m, 0);
+        let n = 20_000_000u64;
+        let t = Instant::now();
+        let mut i = 0u64;
+        while i < n {
+            let s = m.step(CoreId::new(0)).unwrap();
+            i += s.instrs;
+        }
+        let el = t.elapsed().as_secs_f64();
+        eprintln!("floor: {:.1} ns/step", el / n as f64 * 1e9);
+    }
+
+    #[test]
+    #[ignore = "host-timing microbenchmark; run with --ignored --nocapture"]
+    fn bench_floor_mem() {
+        use std::time::Instant;
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.imm(Reg::R3, 4096);
+        a.load(Reg::R1, Reg::R3, 0);
+        a.load(Reg::R1, Reg::R3, 64);
+        a.load(Reg::R1, Reg::R3, 128);
+        a.store(Reg::R1, Reg::R3, 192);
+        a.alui_add(Reg::R2, 1);
+        a.br(Cond::Ne, Reg::R2, Reg::R0, top);
+        let prog = a.assemble().unwrap();
+        let mut m = machine_with(prog);
+        install(&mut m, 0);
+        let in_limit = vec![false; 16];
+        let stop2 = [40_000_000u64, u64::MAX];
+        let limits2 = RunLimits {
+            stop_at: &stop2,
+            wake_at: u64::MAX,
+            armed_pcs: None,
+            in_limit: &in_limit,
+        };
+        let t = Instant::now();
+        let _ = m.run_until(&limits2).unwrap();
+        let el = t.elapsed().as_secs_f64();
+        let steps = m.cores[0].retired;
+        eprintln!(
+            "run_until mem floor: {:.1} ns/step ({} steps, {} mem accesses)",
+            el / steps as f64 * 1e9,
+            steps,
+            m.memsys.accesses()
+        );
+    }
+
+    #[test]
+    #[ignore = "host-timing microbenchmark; run with --ignored --nocapture"]
+    fn bench_floor_rununtil() {
+        use std::time::Instant;
+        let mut m = machine_with(floor_prog());
+        install(&mut m, 0);
+        let in_limit = vec![false; 16];
+        let stop2 = [40_000_000u64, u64::MAX];
+        let limits2 = RunLimits {
+            stop_at: &stop2,
+            wake_at: u64::MAX,
+            armed_pcs: None,
+            in_limit: &in_limit,
+        };
+        let t = Instant::now();
+        let _ = m.run_until(&limits2).unwrap();
+        let el = t.elapsed().as_secs_f64();
+        let steps = m.cores[0].retired;
+        eprintln!(
+            "run_until floor: {:.1} ns/step ({} steps)",
+            el / steps as f64 * 1e9,
+            steps
+        );
+    }
 
     fn machine_with(prog: Program) -> Machine {
         let cfg = MachineConfig::new(2).with_hierarchy(HierarchyConfig::tiny());
@@ -909,6 +1297,36 @@ mod tests {
         m.step(CoreId::new(0)).unwrap();
         let step = m.step(CoreId::new(0)).unwrap();
         assert!(matches!(step.trap, Some(Trap::Fault(_))));
+    }
+
+    #[test]
+    fn faulting_fetch_accrues_no_cycles_or_events() {
+        let mut a = Asm::new();
+        a.nop(); // falls off the end
+        let mut m = machine_with(a.assemble().unwrap());
+        m.cores[0]
+            .pmu
+            .configure(0, CounterCfg::user(EventKind::Cycles))
+            .unwrap();
+        m.cores[0]
+            .pmu
+            .configure(1, CounterCfg::user(EventKind::Instructions))
+            .unwrap();
+        install(&mut m, 0);
+        m.step(CoreId::new(0)).unwrap(); // nop
+        let clock = m.cores[0].clock;
+        let cycles = m.cores[0].pmu.read(0).unwrap();
+        let instrs = m.cores[0].pmu.read(1).unwrap();
+        let step = m.step(CoreId::new(0)).unwrap(); // out-of-bounds fetch
+        assert!(matches!(step.trap, Some(Trap::Fault(_))));
+        assert_eq!(step.cycles, 0);
+        assert_eq!(step.instrs, 0);
+        assert_eq!(
+            m.cores[0].clock, clock,
+            "faulting fetch must not advance the clock"
+        );
+        assert_eq!(m.cores[0].pmu.read(0).unwrap(), cycles);
+        assert_eq!(m.cores[0].pmu.read(1).unwrap(), instrs);
     }
 
     #[test]

@@ -181,6 +181,13 @@ pub struct Pmu {
     pending_pmi: VecDeque<u8>,
     pending_spills: Vec<Spill>,
     overflows: u64,
+    /// Kernel-visible spill journal (the paper's enhancement 2 done
+    /// right): number of self-virtualizing spills performed since the
+    /// kernel last consulted the journal. A non-zero journal tells the
+    /// kernel a spill may have landed mid-read-sequence, so the restart
+    /// fix-up must run — closing the race where spills were invisible to
+    /// the kernel entirely.
+    spill_journal: u64,
     /// `subscribers[EventKind::index()]` = slot numbers (ascending) whose
     /// configuration counts that event. Rebuilt on configure/disable.
     subscribers: [Vec<u8>; EventKind::COUNT],
@@ -197,6 +204,7 @@ impl Pmu {
             pending_pmi: VecDeque::new(),
             pending_spills: Vec::new(),
             overflows: 0,
+            spill_journal: 0,
             subscribers: Default::default(),
         })
     }
@@ -320,6 +328,7 @@ impl Pmu {
             pending_pmi,
             pending_spills,
             overflows,
+            spill_journal,
             subscribers,
             ..
         } = self;
@@ -359,6 +368,7 @@ impl Pmu {
                         addr,
                         amount: modulus,
                     });
+                    *spill_journal += 1;
                 } else if cfg.pmi_on_overflow {
                     pending_pmi.push_back(idx);
                 }
@@ -380,6 +390,47 @@ impl Pmu {
     /// them to guest memory.
     pub fn take_spills(&mut self) -> Vec<Spill> {
         std::mem::take(&mut self.pending_spills)
+    }
+
+    /// Number of self-virtualizing spills since the journal was last
+    /// consulted (the kernel-visible spill journal).
+    pub fn spill_journal(&self) -> u64 {
+        self.spill_journal
+    }
+
+    /// Consults and clears the spill journal (kernel-privileged): the
+    /// kernel reads this at instruction boundaries and runs the restart
+    /// fix-up when it is non-zero.
+    pub fn take_spill_journal(&mut self) -> u64 {
+        std::mem::take(&mut self.spill_journal)
+    }
+
+    /// Records `n` spills performed outside [`Pmu::count`] in the journal.
+    /// Used by the kernel's forced-spill injection, which models the same
+    /// hardware event and must be equally journal-visible.
+    pub fn journal_spills(&mut self, n: u64) {
+        self.spill_journal += n;
+    }
+
+    /// The smallest remaining headroom (events until overflow) across
+    /// slots whose overflow has a side effect — a PMI or a memory spill.
+    /// `u64::MAX` when no such slot is armed. The block-stepped executor
+    /// uses this to bound how many events it may accrue in batch before a
+    /// flush could fire an interrupt at the wrong instruction.
+    pub fn armed_headroom(&self) -> u64 {
+        let modulus = self.modulus();
+        let mut headroom = u64::MAX;
+        for slot in &self.slots {
+            let Some(cfg) = slot.cfg else { continue };
+            let spills = cfg
+                .spill_addr
+                .filter(|_| self.config.ext_self_virtualizing)
+                .is_some();
+            if spills || cfg.pmi_on_overflow {
+                headroom = headroom.min(modulus - slot.raw);
+            }
+        }
+        headroom
     }
 
     /// Lifetime overflow count (for experiment E3's PMI-rate ablation).
@@ -607,6 +658,47 @@ mod tests {
             .unwrap();
         p.count(EventKind::Instructions, 5, Mode::User, 99);
         assert_eq!(p.read(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn spills_are_journaled_for_the_kernel() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ext_self_virtualizing: true,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Cycles).with_spill(0x4000))
+            .unwrap();
+        assert_eq!(p.spill_journal(), 0);
+        p.count(EventKind::Cycles, 600, Mode::User, 0);
+        assert_eq!(p.spill_journal(), 2, "two wraps, two journal entries");
+        assert_eq!(p.take_spill_journal(), 2);
+        assert_eq!(p.spill_journal(), 0, "consulting clears the journal");
+        p.journal_spills(3);
+        assert_eq!(p.spill_journal(), 3, "forced spills are journal-visible");
+    }
+
+    #[test]
+    fn armed_headroom_tracks_the_nearest_side_effect() {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ext_self_virtualizing: true,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(p.armed_headroom(), u64::MAX, "nothing armed");
+        p.configure(0, CounterCfg::user(EventKind::Cycles)).unwrap();
+        p.count(EventKind::Cycles, 250, Mode::User, 0);
+        assert_eq!(p.armed_headroom(), u64::MAX, "silent wrap is not armed");
+        p.configure(1, CounterCfg::user(EventKind::Instructions).with_pmi())
+            .unwrap();
+        p.count(EventKind::Instructions, 200, Mode::User, 0);
+        assert_eq!(p.armed_headroom(), 56);
+        p.configure(2, CounterCfg::user(EventKind::Loads).with_spill(0x4000))
+            .unwrap();
+        p.count(EventKind::Loads, 230, Mode::User, 0);
+        assert_eq!(p.armed_headroom(), 26, "spill slot is closer");
     }
 
     #[test]

@@ -53,13 +53,29 @@ impl CacheConfig {
 }
 
 /// One cache way within a set.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 struct Way {
-    /// Line-aligned address; `None` when invalid.
-    line: Option<u64>,
+    /// Line-aligned address; [`Way::INVALID`] when empty. Real lines are
+    /// always multiples of the 64-byte line size, so a non-multiple is a
+    /// safe sentinel and the hit scan stays a plain integer compare.
+    line: u64,
     /// LRU stamp: larger = more recently used.
     lru: u64,
     dirty: bool,
+}
+
+impl Way {
+    const INVALID: u64 = u64::MAX;
+}
+
+impl Default for Way {
+    fn default() -> Self {
+        Way {
+            line: Way::INVALID,
+            lru: 0,
+            dirty: false,
+        }
+    }
 }
 
 /// Outcome of a cache lookup-and-fill.
@@ -80,7 +96,16 @@ pub struct Lookup {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways, flattened: set `s` occupies `ways[s*w .. (s+1)*w]`.
+    ways: Vec<Way>,
+    /// `sets() - 1`, precomputed — set selection is a shift-and-mask, not
+    /// a division, on the per-access path.
+    set_mask: u64,
+    /// Per-set way index of the most recent hit or fill. A repeat access to
+    /// that way short-circuits the scan and skips the LRU stamp write: the
+    /// way is already the set's most-recent, so re-stamping cannot change
+    /// the replacement order.
+    mru: Vec<u8>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -90,12 +115,12 @@ impl Cache {
     /// Builds a cache from a validated config.
     pub fn new(config: CacheConfig) -> SimResult<Self> {
         config.validate()?;
-        let sets = (0..config.sets())
-            .map(|_| vec![Way::default(); config.ways])
-            .collect();
+        let ways = vec![Way::default(); (config.sets() as usize) * config.ways];
         Ok(Cache {
+            set_mask: config.sets() - 1,
+            mru: vec![0; config.sets() as usize],
             config,
-            sets,
+            ways,
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -107,22 +132,43 @@ impl Cache {
         self.config
     }
 
-    fn set_index(&self, line: u64) -> usize {
-        ((line / LINE_BYTES) & (self.config.sets() - 1)) as usize
+    #[inline]
+    fn set_of(&mut self, line: u64) -> &mut [Way] {
+        let set_idx = ((line / LINE_BYTES) & self.set_mask) as usize;
+        let w = self.config.ways;
+        &mut self.ways[set_idx * w..(set_idx + 1) * w]
     }
 
     /// Looks up `addr`, filling the line on miss. Returns hit/miss and any
     /// eviction. `write` marks the line dirty.
     pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
         let line = line_of(addr);
-        let set_idx = self.set_index(line);
+        let set_idx = ((line / LINE_BYTES) & self.set_mask) as usize;
+        let w = self.config.ways;
+        let base = set_idx * w;
+
+        // Most-recently-used fast path: a repeat access to the set's MRU
+        // way needs no scan and no LRU stamp (it is already most-recent;
+        // re-stamping cannot reorder replacement).
+        let mru = self.mru[set_idx] as usize;
+        if mru < w && self.ways[base + mru].line == line {
+            self.ways[base + mru].dirty |= write;
+            self.hits += 1;
+            return Lookup {
+                hit: true,
+                writeback: None,
+                evicted: None,
+            };
+        }
+
         self.stamp += 1;
         let stamp = self.stamp;
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.ways[base..base + w];
 
-        if let Some(way) = set.iter_mut().find(|w| w.line == Some(line)) {
+        if let Some((i, way)) = set.iter_mut().enumerate().find(|(_, w)| w.line == line) {
             way.lru = stamp;
             way.dirty |= write;
+            self.mru[set_idx] = i as u8;
             self.hits += 1;
             return Lookup {
                 hit: true,
@@ -133,18 +179,22 @@ impl Cache {
 
         self.misses += 1;
         // Prefer an invalid way; otherwise evict the LRU way.
-        let victim = match set.iter_mut().find(|w| w.line.is_none()) {
-            Some(w) => w,
+        let vi = match set.iter().position(|w| w.line == Way::INVALID) {
+            Some(i) => i,
             None => set
-                .iter_mut()
-                .min_by_key(|w| w.lru)
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
                 .expect("sets always have at least one way"),
         };
-        let evicted = victim.line;
-        let writeback = if victim.dirty { victim.line } else { None };
-        victim.line = Some(line);
+        let victim = &mut set[vi];
+        let evicted = (victim.line != Way::INVALID).then_some(victim.line);
+        let writeback = if victim.dirty { evicted } else { None };
+        victim.line = line;
         victim.lru = stamp;
         victim.dirty = write;
+        self.mru[set_idx] = vi as u8;
         Lookup {
             hit: false,
             writeback,
@@ -155,18 +205,19 @@ impl Cache {
     /// Whether the line containing `addr` is present.
     pub fn contains(&self, addr: u64) -> bool {
         let line = line_of(addr);
-        self.sets[self.set_index(line)]
+        let set_idx = ((line / LINE_BYTES) & self.set_mask) as usize;
+        let w = self.config.ways;
+        self.ways[set_idx * w..(set_idx + 1) * w]
             .iter()
-            .any(|w| w.line == Some(line))
+            .any(|way| way.line == line)
     }
 
     /// Removes the line containing `addr`, returning whether it was present
     /// and dirty (i.e. whether an invalidation writeback is required).
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let line = line_of(addr);
-        let set_idx = self.set_index(line);
-        for way in &mut self.sets[set_idx] {
-            if way.line == Some(line) {
+        for way in self.set_of(line) {
+            if way.line == line {
                 let dirty = way.dirty;
                 *way = Way::default();
                 return Some(dirty);
@@ -177,10 +228,8 @@ impl Cache {
 
     /// Drops every line (e.g. between experiment repetitions).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = Way::default();
-            }
+        for way in &mut self.ways {
+            *way = Way::default();
         }
     }
 
@@ -196,11 +245,7 @@ impl Cache {
 
     /// Number of currently-valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|w| w.line.is_some())
-            .count()
+        self.ways.iter().filter(|w| w.line != Way::INVALID).count()
     }
 }
 

@@ -15,8 +15,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::tlb::{Tlb, TlbConfig};
 use crate::{line_of, LINE_BYTES};
 use serde::{Deserialize, Serialize};
-use sim_core::{CoreId, SimError, SimResult};
-use std::collections::HashMap;
+use sim_core::{CoreId, FxHashMap, SimError, SimResult};
 
 /// Latencies and geometry for the whole hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -159,11 +158,11 @@ pub struct MemorySystem {
     llc: Cache,
     dram: Dram,
     /// Directory: line -> bitmask of cores whose private hierarchy holds it.
-    sharers: HashMap<u64, u64>,
+    sharers: FxHashMap<u64, u64>,
     accesses: u64,
     tlbs: Vec<Tlb>,
     /// Prefetched lines not yet demanded, per the useful-prefetch metric.
-    prefetched: HashMap<u64, ()>,
+    prefetched: FxHashMap<u64, ()>,
     prefetches_issued: u64,
     prefetches_useful: u64,
 }
@@ -195,9 +194,9 @@ impl MemorySystem {
             l1,
             l2,
             tlbs,
-            sharers: HashMap::new(),
+            sharers: FxHashMap::default(),
             accesses: 0,
-            prefetched: HashMap::new(),
+            prefetched: FxHashMap::default(),
             prefetches_issued: 0,
             prefetches_useful: 0,
             config,

@@ -31,10 +31,11 @@ pub enum InjectAction {
     /// (preempting its occupant), so the thread resumes elsewhere.
     Migrate,
     /// Forced self-virtualizing hardware spill: each live LiMiT counter
-    /// value moves to its accumulator with *no kernel involvement* — no
-    /// fix-up, no seqlock bump. This models the paper's hardware
-    /// enhancement 2 mid-sequence and is a genuine race the restart
-    /// fix-up cannot see; torture runs treat it as a separate arm.
+    /// value moves to its accumulator with no *synchronous* kernel
+    /// involvement. This models the paper's hardware enhancement 2
+    /// mid-sequence; the spill is journaled for the kernel, whose consult
+    /// at the next instruction boundary applies the restart fix-up.
+    /// Torture runs keep it as a separate arm to exercise the journal.
     Spill,
 }
 

@@ -18,6 +18,22 @@ use sim_core::{CoreId, SimError, SimResult, ThreadId};
 use sim_cpu::pmu::CounterCfg;
 use sim_cpu::{cost, Machine, Mode, Reg, Trap};
 
+/// How the kernel drives the machine between its poll points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Block-stepped execution with batched event accrual
+    /// ([`sim_cpu::Machine::run_until`]): the kernel hands the machine its
+    /// poll-point thresholds and gets control back at the next
+    /// kernel-visible event. Automatically falls back to single-stepping
+    /// whenever a per-instruction observer (oracle, flight recorder, core
+    /// trace) is attached.
+    #[default]
+    Block,
+    /// The reference per-instruction loop: one `Machine::step` per kernel
+    /// loop iteration.
+    SingleStep,
+}
+
 /// Kernel tuning parameters.
 ///
 /// The cycle costs are documented substitutions for measured Linux costs of
@@ -41,6 +57,9 @@ pub struct KernelConfig {
     pub restart_fixup: bool,
     /// Hard budget on the global clock; exceeding it aborts the run.
     pub max_cycles: u64,
+    /// Execution strategy (block-stepped by default; the differential
+    /// harness pins `SingleStep` to compare against).
+    pub exec: ExecMode,
 }
 
 impl Default for KernelConfig {
@@ -53,12 +72,13 @@ impl Default for KernelConfig {
             perf_open_work: 20_000,
             restart_fixup: true,
             max_cycles: 20_000_000_000,
+            exec: ExecMode::Block,
         }
     }
 }
 
 /// End-of-run accounting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Global clock (max across cores) when the last thread exited.
     pub total_cycles: u64,
@@ -159,6 +179,14 @@ pub struct Kernel {
     syscalls: u64,
     /// Disturbance injector for the torture harness (off by default).
     injector: Option<Injector>,
+    /// Predecoded block map for the fast path; rebuilt lazily after every
+    /// restart-range registration.
+    blocks: Option<sim_cpu::BlockMap>,
+    /// Reusable per-core stop-threshold buffer for the fast path.
+    fast_stop: Vec<u64>,
+    /// Per-pc injection-arming table derived from the injector schedule:
+    /// armed pcs are boundaries the fast path must not run across.
+    armed_pcs: Option<Vec<bool>>,
 }
 
 impl Kernel {
@@ -177,6 +205,9 @@ impl Kernel {
             pmis: 0,
             syscalls: 0,
             injector: None,
+            blocks: None,
+            fast_stop: Vec::new(),
+            armed_pcs: None,
             cfg,
             machine,
         }
@@ -187,6 +218,13 @@ impl Kernel {
     /// kernel would otherwise have stepped the thread.
     pub fn set_injector(&mut self, schedule: &[Injection]) {
         self.injector = Some(Injector::new(schedule));
+        let mut armed = vec![false; self.machine.prog.len()];
+        for inj in schedule {
+            if let Some(slot) = armed.get_mut(inj.pc as usize) {
+                *slot = true;
+            }
+        }
+        self.armed_pcs = Some(armed);
     }
 
     /// The injector, if one is installed.
@@ -277,7 +315,12 @@ impl Kernel {
     /// registration outcome; [`RangeReg::Overlap`] means the sequence will
     /// run unprotected.
     pub fn register_restart_range(&mut self, start: u32, end: u32) -> RangeReg {
-        self.limit.register_range(start, end)
+        let reg = self.limit.register_range(start, end);
+        if reg == RangeReg::Registered {
+            // The block map's in-range table is stale; rebuild lazily.
+            self.blocks = None;
+        }
+        reg
     }
 
     /// All sampling hits recorded by live and closed perf fds.
@@ -343,6 +386,13 @@ impl Kernel {
         mut hook: Option<(u64, &mut dyn FnMut(&mut Machine, u64) -> SimResult<()>)>,
     ) -> SimResult<RunReport> {
         let mut next_fire = hook.as_ref().map(|(every, _)| *every);
+        // Block-stepped execution needs every per-instruction observer off:
+        // the oracle, the flight recorder, and core traces all hook
+        // individual steps in ways batching would reorder.
+        let fast = self.cfg.exec == ExecMode::Block
+            && self.machine.oracle().is_none()
+            && self.machine.flight().is_none()
+            && self.machine.cores.iter().all(|c| c.trace.is_none());
         loop {
             if let Some(t) = stop_on_exit {
                 if self.threads[t.index()].is_exited() {
@@ -374,6 +424,10 @@ impl Kernel {
                 self.handle_pmis(core)?;
                 continue;
             }
+            if self.machine.cores[core.index()].pmu.spill_journal() > 0 {
+                self.consult_spill_journal(core);
+                continue;
+            }
             if self.sched.slice_expired(core, now) && self.sched.ready_len() > 0 {
                 self.preempt(core)?;
                 continue;
@@ -387,7 +441,19 @@ impl Kernel {
                 }
             }
 
-            let step = self.machine.step(core)?;
+            let (core, step) = if fast && !self.injection_armed_at(core) {
+                match self.fast_run(next_fire)? {
+                    Some((c, s)) => (c, s),
+                    // The machine stopped at a poll point without trapping:
+                    // re-run the kernel's full decision sequence.
+                    None => continue,
+                }
+            } else {
+                // An armed injection pc the poll above chose not to fire
+                // on must execute as exactly one legacy step, otherwise
+                // the fast path would stop at it forever.
+                (core, self.machine.step(core)?)
+            };
             match step.trap {
                 None => {}
                 Some(Trap::Syscall(nr)) => self.do_syscall(core, nr)?,
@@ -395,6 +461,9 @@ impl Kernel {
                 Some(Trap::Fault(msg)) => {
                     let tid = self.machine.cores[core.index()].running;
                     let pc = self.machine.cores[core.index()].ctx.pc;
+                    // The flight recorder and telemetry survive the fault:
+                    // record it, and let callers export what was captured.
+                    self.flight_record(core, EventData::Fault { pc });
                     return Err(SimError::Fault(format!(
                         "thread {tid:?} faulted at pc {pc}: {msg}"
                     )));
@@ -421,6 +490,89 @@ impl Kernel {
                 ..TeardownWarnings::default()
             },
         })
+    }
+
+    /// Whether an injection trigger is armed at the pc `core` is about to
+    /// execute (regardless of thread — arming is conservative).
+    fn injection_armed_at(&self, core: CoreId) -> bool {
+        let Some(armed) = self.armed_pcs.as_deref() else {
+            return false;
+        };
+        let pc = self.machine.cores[core.index()].ctx.pc;
+        armed.get(pc as usize).copied().unwrap_or(false)
+    }
+
+    /// One block-stepped machine run: derives the poll-point thresholds
+    /// from current kernel state (the kernel telling the machine how far it
+    /// may run), lets the machine execute until a kernel-visible event, and
+    /// translates the exit. `None` means "nothing to dispatch — re-run the
+    /// kernel's poll sequence"; `Some` carries a trap.
+    fn fast_run(&mut self, next_fire: Option<u64>) -> SimResult<Option<(CoreId, sim_cpu::Step)>> {
+        if self.blocks.is_none() {
+            self.blocks = Some(sim_cpu::BlockMap::build(
+                &self.machine.prog,
+                self.limit.ranges(),
+            ));
+        }
+        // A core must stop before the hook's next fire time, before its
+        // slice expires (only enforceable while someone is waiting), and
+        // before the cycle budget check would trip.
+        let ready = self.sched.ready_len() > 0;
+        self.fast_stop.clear();
+        for i in 0..self.machine.num_cores() {
+            let mut stop = self.cfg.max_cycles.saturating_add(1);
+            if let Some(nf) = next_fire {
+                stop = stop.min(nf);
+            }
+            if ready {
+                stop = stop.min(self.sched.slice_end(CoreId::new(i as u32)));
+            }
+            self.fast_stop.push(stop);
+        }
+        let wake_at = self
+            .threads
+            .iter()
+            .filter_map(|t| match t.state {
+                ThreadState::Sleeping { until } => Some(until),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(u64::MAX);
+        let limits = sim_cpu::RunLimits {
+            stop_at: &self.fast_stop,
+            wake_at,
+            armed_pcs: self.armed_pcs.as_deref(),
+            in_limit: self.blocks.as_ref().expect("just built").in_limit(),
+        };
+        match self.machine.run_until(&limits)? {
+            sim_cpu::RunExit::Trap(core, step) => Ok(Some((core, step))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Consults the core's hardware spill journal (the paper's enhancement
+    /// 2 made kernel-visible): a self-virtualizing spill moves live counts
+    /// into the user accumulator with no interrupt, so a spill that lands
+    /// mid-read-sequence needs the same restart fix-up a fold does. The
+    /// journal closes exactly that gap — without it, mid-sequence spills
+    /// are invisible to the kernel and the read sequence can observe a
+    /// torn sum (the 145/1k residual the torture harness pinned in E14).
+    fn consult_spill_journal(&mut self, core: CoreId) {
+        let i = core.index();
+        if self.machine.cores[i].pmu.take_spill_journal() == 0 {
+            return;
+        }
+        let Some(tid) = self.machine.cores[i].running else {
+            return;
+        };
+        let pc = self.machine.cores[i].ctx.pc;
+        let fixed = self.limit.fixup_pc(pc);
+        if fixed != pc {
+            self.machine.cores[i].ctx.pc = fixed;
+            // The accumulator changed under the reader; the seqlock
+            // protocol must see the disturbance too.
+            self.bump_seq(tid);
+        }
     }
 
     /// Wakes due sleepers and installs ready threads on idle cores.
@@ -638,6 +790,10 @@ impl Kernel {
                 let _ = pmu.disable(slot);
             }
             pmu.set_user_rdpmc(false);
+            // The switch-out fix-up below supersedes any pending spill-
+            // journal consult; drop the journal so it cannot be applied to
+            // the next thread installed on this core.
+            let _ = pmu.take_spill_journal();
         }
 
         // The fold may have landed mid-read-sequence: rewind the saved PC
@@ -766,8 +922,12 @@ impl Kernel {
             }
             InjectAction::Spill => {
                 // Self-virtualizing hardware spill forced mid-stream: the
-                // live raw value moves to the accumulator with no kernel
-                // involvement — no fix-up, no fold accounting, no seq bump.
+                // live raw value moves to the accumulator with no
+                // synchronous kernel involvement — no fold accounting. The
+                // hardware journals the spill (enhancement 2), and the
+                // kernel consults the journal at the next instruction
+                // boundary, applying the restart fix-up if the spill landed
+                // mid-read-sequence.
                 let Some(tid) = self.machine.cores[i].running else {
                     return Ok(());
                 };
@@ -785,6 +945,9 @@ impl Kernel {
                     }
                 }
                 cores[i].clock += spilled * cost::SPILL;
+                if spilled > 0 {
+                    cores[i].pmu.journal_spills(spilled);
+                }
             }
         }
         Ok(())
@@ -1000,7 +1163,7 @@ impl Kernel {
                 let ok = start < end
                     && end <= self.machine.prog.len() as u64
                     && matches!(
-                        self.limit.register_range(start as u32, end as u32),
+                        self.register_restart_range(start as u32, end as u32),
                         RangeReg::Registered | RangeReg::Duplicate
                     );
                 set_r0(self, if ok { 0 } else { SYS_ERR });

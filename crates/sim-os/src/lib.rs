@@ -29,7 +29,7 @@ pub mod syscall;
 pub mod thread;
 
 pub use inject::{InjectAction, Injection, Injector};
-pub use kernel::{Kernel, KernelConfig, RunReport, TeardownWarnings};
+pub use kernel::{ExecMode, Kernel, KernelConfig, RunReport, TeardownWarnings};
 pub use limitmod::{LimitMod, RangeReg};
 pub use perf::{PerfFd, PerfSubsystem, Sample};
 pub use stat::{ThreadStatRow, ThreadStats};

@@ -227,6 +227,12 @@ impl Scheduler {
         now >= self.slice_end[core.index()]
     }
 
+    /// The cycle at which `core`'s current timeslice expires (the fast
+    /// path's stop threshold for preemption).
+    pub fn slice_end(&self, core: CoreId) -> u64 {
+        self.slice_end[core.index()]
+    }
+
     /// Records an involuntary preemption.
     pub fn note_preemption(&mut self) {
         self.preemptions += 1;

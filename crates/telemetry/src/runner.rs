@@ -53,7 +53,7 @@ where
     F: FnMut(&Snapshot),
 {
     let mut seq = 0u64;
-    let report = {
+    let result = {
         let regions = &session.regions;
         let hook = |m: &mut sim_cpu::Machine, now: u64| {
             let records = collector.drain(m)?;
@@ -63,18 +63,29 @@ where
             Ok(())
         };
         match stop_on_exit {
-            None => session.kernel.run_with_hook(every, hook)?,
-            Some(tid) => session.kernel.run_until_exit_with_hook(tid, every, hook)?,
+            None => session.kernel.run_with_hook(every, hook),
+            Some(tid) => session.kernel.run_until_exit_with_hook(tid, every, hook),
         }
     };
     // Final sweep: records appended after the last tick are still in the
-    // rings.
-    let records = collector.drain(&mut session.kernel.machine)?;
-    seq += 1;
-    let cycle = session.kernel.machine.global_clock();
-    flight_note_tick(&mut session.kernel.machine, cycle, records, seq);
-    on_snapshot(&collector.snapshot(seq, cycle, &session.regions));
-    Ok(report)
+    // rings. This runs even when the run itself errored (e.g. a guest
+    // fault) — the rings hold everything the guest emitted up to the
+    // fault, and discarding it would make faults undebuggable from the
+    // telemetry side. The run's own error still propagates afterwards.
+    match collector.drain(&mut session.kernel.machine) {
+        Ok(records) => {
+            seq += 1;
+            let cycle = session.kernel.machine.global_clock();
+            flight_note_tick(&mut session.kernel.machine, cycle, records, seq);
+            on_snapshot(&collector.snapshot(seq, cycle, &session.regions));
+        }
+        Err(drain_err) => {
+            // Surface the run's error in preference to the drain's.
+            result?;
+            return Err(drain_err);
+        }
+    }
+    result
 }
 
 /// Mirrors one collector tick — the drain and the snapshot it publishes —
@@ -132,5 +143,45 @@ mod tests {
         let work = last.region("work").unwrap();
         assert_eq!(work.count, 200);
         assert!(work.events[0].mean().unwrap() >= 100.0);
+    }
+
+    #[test]
+    fn faulting_run_still_publishes_final_snapshot() {
+        // Records appended before a guest fault must survive it: the final
+        // sweep drains the rings and publishes one last snapshot even
+        // though the run itself errors out.
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let cfg = StreamConfig::dropping(256);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Cycles])
+            .stream(cfg);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        for _ in 0..50 {
+            ins.emit_enter(&mut asm);
+            asm.burst(100);
+            ins.emit_exit_stream(&mut asm, 0, cfg);
+        }
+        // Destructive counter read with the extension disabled: faults.
+        asm.rdpmc_clear(sim_cpu::Reg::R1, 0);
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.regions.define("work");
+        s.spawn_instrumented("main", &[]).unwrap();
+        let mut c = Collector::new(2, 1);
+        c.attach(&s);
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let err =
+            run_streaming(&mut s, &mut c, 1_000_000, |snap| snaps.push(snap.clone())).unwrap_err();
+        assert_eq!(err.category(), "fault");
+        // The drain interval was far beyond the run length, so the final
+        // sweep is the only chance to see the 50 pre-fault records.
+        let last = snaps.last().expect("final snapshot must be published");
+        assert_eq!(last.appended, 50);
+        assert_eq!(last.drained, 50);
+        assert_eq!(last.in_flight(), 0);
+        assert_eq!(last.region("work").unwrap().count, 50);
     }
 }

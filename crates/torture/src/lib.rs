@@ -60,9 +60,10 @@ pub struct TortureConfig {
     /// Number of injection schedules per arm.
     pub schedules: u64,
     /// Include [`InjectAction::Spill`] in the action set. A forced
-    /// mid-sequence self-virtualizing spill is invisible to the kernel, so
-    /// the restart fix-up *cannot* protect against it — this arm documents
-    /// that known race rather than hunting regressions.
+    /// mid-sequence self-virtualizing spill lands with no synchronous
+    /// kernel involvement; the kernel-visible spill journal (the paper's
+    /// enhancement 2 done right) lets the restart fix-up repair it, so
+    /// this arm now hunts regressions in the journal path.
     pub spill: bool,
     /// Guest threads hammering the read sequence.
     pub threads: usize,
@@ -462,17 +463,34 @@ mod tests {
     }
 
     #[test]
-    fn spill_arm_exposes_the_self_virtualizing_race_despite_fixup() {
+    fn spill_arm_is_fixed_by_the_kernel_visible_journal() {
         let cfg = TortureConfig {
             spill: true,
             schedules: 120,
             ..TortureConfig::default()
         };
         let report = run_arm(&cfg, true).unwrap();
+        assert!(report.fired > 0, "spill injections must actually fire");
+        assert_eq!(
+            report.divergent_schedules, 0,
+            "the spill journal makes mid-sequence spills kernel-visible, \
+             so the restart fix-up repairs them; first failure: {:?}",
+            report.first_failure
+        );
+    }
+
+    #[test]
+    fn spill_arm_still_diverges_with_the_fixup_disabled() {
+        let cfg = TortureConfig {
+            spill: true,
+            schedules: 120,
+            ..TortureConfig::default()
+        };
+        let report = run_arm(&cfg, false).unwrap();
         assert!(
             report.divergent_schedules > 0,
-            "a mid-sequence hardware spill is invisible to the kernel; \
-             the fix-up cannot protect it"
+            "journal consults are inert while the fix-up is disabled; \
+             the spill race must still reproduce"
         );
     }
 

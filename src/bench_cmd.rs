@@ -1,0 +1,244 @@
+//! `limit-repro bench`: the guest-instructions-per-second microbenchmark.
+//!
+//! Runs the mysqld workload twice — once under the legacy per-instruction
+//! interpreter ([`ExecMode::SingleStep`]) and once under the block-stepped
+//! fast path ([`ExecMode::Block`], the default) — and reports guest
+//! instructions retired per wall-clock second for each, plus the speedup
+//! ratio. Both runs execute the identical instrumented image, so the run
+//! doubles as a differential check: the two [`RunReport`]s and retired
+//! instruction totals must match exactly or the command fails.
+//!
+//! Results append to `BENCH_sim.json` (schema documented in
+//! `docs/BENCH.md`). Absolute instr/s numbers are machine-dependent; the
+//! *speedup ratio* is not, which is what `--check` compares against the
+//! committed baseline (the file's first entry) for CI regression gating.
+
+use bench::json::Json;
+use limit::LimitReader;
+use sim_cpu::EventKind;
+use sim_os::{ExecMode, KernelConfig, RunReport};
+use workloads::mysqld::{self, MysqlConfig};
+
+/// Options for one `bench` invocation.
+pub struct BenchOptions {
+    /// Queries per worker thread (scales run length; the default is long
+    /// enough that wall times are stable on an idle machine).
+    pub queries: u64,
+    /// Entry label recorded in the JSON output.
+    pub label: String,
+    /// Results file to append to (empty disables writing).
+    pub out: String,
+    /// Fail if the measured speedup regresses >20% vs the file's first
+    /// (committed baseline) entry.
+    pub check: bool,
+    /// Which arms to run: `both` (default), or `single`/`block` alone
+    /// (profiling one interpreter; no file write, no differential gate).
+    pub mode: String,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            queries: 2000,
+            label: "local".to_string(),
+            out: "BENCH_sim.json".to_string(),
+            check: false,
+            mode: "both".to_string(),
+        }
+    }
+}
+
+/// One measured arm: wall seconds and guest instructions retired.
+struct Arm {
+    report: RunReport,
+    instrs: u64,
+    secs: f64,
+}
+
+/// The counter set the instrumented workload reads (same as `stat`).
+const EVENTS: [EventKind; 4] = [
+    EventKind::Cycles,
+    EventKind::Instructions,
+    EventKind::LlcMisses,
+    EventKind::BranchMisses,
+];
+
+const CORES: usize = 8;
+
+fn run_arm(cfg: &MysqlConfig, exec: ExecMode) -> Result<Arm, String> {
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let kcfg = KernelConfig {
+        exec,
+        ..KernelConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let r = mysqld::run(cfg, &reader, CORES, &EVENTS, kcfg).map_err(|e| e.to_string())?;
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    Ok(Arm {
+        instrs: r.session.kernel.machine.total_retired(),
+        report: r.report,
+        secs,
+    })
+}
+
+/// Runs the benchmark, prints the table, appends to the results file, and
+/// (with `--check`) gates on the committed baseline's speedup.
+pub fn run(opts: &BenchOptions) -> Result<(), String> {
+    let cfg = MysqlConfig {
+        queries_per_thread: opts.queries,
+        ..MysqlConfig::default()
+    };
+
+    eprintln!(
+        "[bench] mysqld: {} threads x {} queries on {CORES} cores, events {:?}",
+        cfg.threads,
+        cfg.queries_per_thread,
+        EVENTS.map(EventKind::mnemonic)
+    );
+    match opts.mode.as_str() {
+        "both" => {}
+        // Single-arm runs are for profiling one interpreter in isolation:
+        // report the throughput and stop.
+        "single" | "block" => {
+            let exec = if opts.mode == "block" {
+                ExecMode::Block
+            } else {
+                ExecMode::SingleStep
+            };
+            let arm = run_arm(&cfg, exec)?;
+            println!(
+                "  {:<12}  {:>8.3} s   {:>8.2} Minstr/s",
+                opts.mode,
+                arm.secs,
+                arm.instrs as f64 / arm.secs / 1e6
+            );
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "invalid --mode value {other:?} (both|single|block)"
+            ))
+        }
+    }
+    let single = run_arm(&cfg, ExecMode::SingleStep)?;
+    let block = run_arm(&cfg, ExecMode::Block)?;
+
+    // Differential gate: identical image, identical semantics required.
+    if single.report != block.report || single.instrs != block.instrs {
+        return Err(format!(
+            "block-stepped run diverged from single-step: \
+             instrs {} vs {}, reports {}equal",
+            single.instrs,
+            block.instrs,
+            if single.report == block.report {
+                ""
+            } else {
+                "un"
+            }
+        ));
+    }
+
+    let mips = |a: &Arm| a.instrs as f64 / a.secs / 1e6;
+    let speedup = mips(&block) / mips(&single);
+    println!(
+        "guest instr/s, mysqld ({} guest instructions):",
+        block.instrs
+    );
+    println!(
+        "  single-step   {:>8.3} s   {:>8.2} Minstr/s",
+        single.secs,
+        mips(&single)
+    );
+    println!(
+        "  block         {:>8.3} s   {:>8.2} Minstr/s",
+        block.secs,
+        mips(&block)
+    );
+    println!("  speedup       {speedup:>8.2}x");
+
+    if !opts.out.is_empty() {
+        append_entry(opts, &cfg, &single, &block, speedup)?;
+    }
+    if opts.check {
+        check_regression(&opts.out, speedup)?;
+    }
+    Ok(())
+}
+
+fn entry_json(
+    opts: &BenchOptions,
+    cfg: &MysqlConfig,
+    single: &Arm,
+    block: &Arm,
+    speedup: f64,
+) -> Json {
+    let arm = |a: &Arm| {
+        Json::object()
+            .set("wall_s", a.secs)
+            .set("minstr_per_s", a.instrs as f64 / a.secs / 1e6)
+    };
+    Json::object()
+        .set("label", opts.label.as_str())
+        .set("workload", "mysqld")
+        .set("threads", cfg.threads as u64)
+        .set("queries_per_thread", cfg.queries_per_thread)
+        .set("cores", CORES as u64)
+        .set("guest_instrs", single.instrs)
+        .set("single_step", arm(single))
+        .set("block", arm(block))
+        .set("speedup", speedup)
+}
+
+/// Appends one entry to the results file, creating it if needed. The file
+/// is `{schema, entries: [...]}`; the first entry is the committed
+/// baseline that `--check` compares against.
+fn append_entry(
+    opts: &BenchOptions,
+    cfg: &MysqlConfig,
+    single: &Arm,
+    block: &Arm,
+    speedup: f64,
+) -> Result<(), String> {
+    let mut entries: Vec<Json> = match std::fs::read_to_string(&opts.out) {
+        Ok(text) => Json::parse(&text)
+            .map_err(|e| format!("{}: {e}", opts.out))?
+            .get("entries")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", opts.out)),
+    };
+    entries.push(entry_json(opts, cfg, single, block, speedup));
+    let doc = Json::object()
+        .set("schema", 1u64)
+        .set("entries", Json::Array(entries));
+    std::fs::write(&opts.out, doc.pretty()).map_err(|e| format!("{}: {e}", opts.out))?;
+    eprintln!("[bench] appended entry {:?} to {}", opts.label, opts.out);
+    Ok(())
+}
+
+/// Fails if this run's speedup fell more than 20% below the committed
+/// baseline's (the file's first entry). Ratios, not absolute instr/s:
+/// CI machines vary in clock speed but the block/single ratio is a
+/// property of the interpreter, so it transfers.
+fn check_regression(out: &str, speedup: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(out).map_err(|e| format!("{out}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+    let baseline = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::first)
+        .and_then(|e| e.get("speedup"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{out}: no baseline entry with a speedup field"))?;
+    let floor = baseline * 0.8;
+    if speedup < floor {
+        return Err(format!(
+            "speedup regression: measured {speedup:.2}x < {floor:.2}x \
+             (80% of committed baseline {baseline:.2}x)"
+        ));
+    }
+    eprintln!("[bench] check ok: {speedup:.2}x >= {floor:.2}x (80% of baseline {baseline:.2}x)");
+    Ok(())
+}

@@ -23,6 +23,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+mod bench_cmd;
 mod monitor;
 mod trace;
 
@@ -518,6 +519,9 @@ fn usage() {
   list                                                  what can run
   run <experiment|all> [--jobs N] [--out-dir DIR]       run experiments
   stat <workload>                                       perf-stat summary
+  bench [--queries N] [--label S] [--out FILE] [--check true|false]
+                                                        guest instr/s microbenchmark
+                                                        (single-step vs block-stepped)
   monitor <mysqld|memcached> [--threads N] [--queries N]
           [--interval CYCLES] [--capacity N] [--out-dir DIR]
                                                         live telemetry stream
@@ -669,6 +673,42 @@ fn main() -> ExitCode {
                 }
             }
             match monitor::run(which, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("bench") => {
+            let mut opts = bench_cmd::BenchOptions::default();
+            let flags = match parse_flags(&args[1..], &["queries", "label", "out", "check", "mode"])
+            {
+                Ok(flags) => flags,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, value) in flags {
+                let parsed: Result<(), String> = (|| {
+                    match key {
+                        "queries" => opts.queries = parse_num(key, value)?,
+                        "label" => opts.label = value.to_string(),
+                        "out" => opts.out = value.to_string(),
+                        "check" => opts.check = parse_num(key, value)?,
+                        "mode" => opts.mode = value.to_string(),
+                        _ => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = parsed {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match bench_cmd::run(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -161,8 +161,26 @@ pub fn run(workload: &str, opts: &TraceOptions) -> Result<(), String> {
         categories: opts.categories,
     });
     let run_span = spans::start(format!("trace/run-{workload}"));
-    let report = session.run().map_err(|e| e.to_string())?;
+    let result = session.run();
     run_span.finish();
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            // A faulting run still carries everything recorded up to the
+            // fault (the kernel logs the fault event before erroring) —
+            // export the partial timeline so it can be used to debug the
+            // fault, then surface the error.
+            let stem = format!("trace-{workload}-faulted");
+            return match export_session(&session, &stem, &opts.out_dir) {
+                Ok(()) => Err(format!(
+                    "{workload} faulted mid-run: {e} (partial trace exported)"
+                )),
+                Err(x) => Err(format!(
+                    "{workload} faulted mid-run: {e} (partial trace export failed too: {x})"
+                )),
+            };
+        }
+    };
 
     println!(
         "traced {workload}: {} guest cycles, {} context switches, {} syscalls",
@@ -293,4 +311,42 @@ pub fn parse_replay_spec(value: &str) -> Result<(u64, u64), String> {
             .map_err(|_| format!("invalid --replay {what} {s:?}"))
     };
     Ok((parse("seed", seed)?, parse("index", index)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limit::harness::SessionBuilder;
+    use sim_cpu::Reg;
+
+    /// The trace command's fault path: a guest fault aborts the run, but
+    /// the flight timeline recorded up to the fault must still export and
+    /// validate (the kernel logs the fault event before erroring, and a
+    /// thread left installed on its core is legal in the checker).
+    #[test]
+    fn faulted_session_still_exports_a_valid_partial_trace() {
+        let mut b = SessionBuilder::new(1).events(&[EventKind::Cycles]);
+        let mut asm = b.asm();
+        asm.export("main");
+        asm.burst(500);
+        asm.rdpmc_clear(Reg::R1, 0); // destructive-read extension off: faults
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.enable_flight(FlightConfig {
+            buf_slots: 1 << 12,
+            categories: Categories::ALL,
+        });
+        s.spawn_instrumented("main", &[]).unwrap();
+        let err = s.run().unwrap_err();
+        assert_eq!(err.category(), "fault");
+        let dir = std::env::temp_dir().join(format!("limit-trace-fault-{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        export_session(&s, "trace-fault-test", &dir).expect("partial export succeeds");
+        let text = std::fs::read_to_string(format!("{dir}/trace-fault-test.ndjson")).unwrap();
+        assert!(
+            text.contains("\"fault\""),
+            "exported timeline records the fault event"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

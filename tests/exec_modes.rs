@@ -1,0 +1,116 @@
+//! Cross-interpreter differential tests: every workload must produce a
+//! bit-identical simulation under the legacy per-instruction interpreter
+//! (`ExecMode::SingleStep`) and the block-stepped fast path
+//! (`ExecMode::Block`). The block executor's batched event accrual and
+//! run-ahead are *optimizations* — any observable difference (kernel run
+//! report, retired instruction totals, virtualized counter values) is a
+//! bug in the fast path, not a tolerance to widen.
+//!
+//! The `bench` command enforces the same gate at full mysqld scale on
+//! every benchmark run; these tests cover the other workloads at small
+//! configurations so the gate rides along with `cargo test`.
+
+use limit::LimitReader;
+use sim_cpu::EventKind;
+use sim_os::{ExecMode, KernelConfig, RunReport};
+use workloads::{apache, firefox, memcached, mysqld};
+
+const EVENTS: [EventKind; 3] = [
+    EventKind::Cycles,
+    EventKind::Instructions,
+    EventKind::LlcMisses,
+];
+
+fn kcfg(exec: ExecMode) -> KernelConfig {
+    KernelConfig {
+        exec,
+        ..KernelConfig::default()
+    }
+}
+
+/// Everything observable from one run, gathered for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    report: RunReport,
+    total_retired: u64,
+    /// Per-thread virtualized counter totals, in spawn order.
+    counters: Vec<Vec<u64>>,
+}
+
+fn observe(session: &limit::harness::Session, report: RunReport) -> Observed {
+    let counters = session
+        .spawned_tids()
+        .into_iter()
+        .map(|tid| {
+            (0..EVENTS.len())
+                .map(|i| session.counter_total(tid, i).unwrap_or(u64::MAX))
+                .collect()
+        })
+        .collect();
+    Observed {
+        report,
+        total_retired: session.kernel.machine.total_retired(),
+        counters,
+    }
+}
+
+fn assert_identical(name: &str, single: &Observed, block: &Observed) {
+    assert_eq!(
+        single, block,
+        "{name}: block-stepped run diverged from single-step"
+    );
+}
+
+#[test]
+fn mysqld_is_identical_across_exec_modes() {
+    let cfg = mysqld::MysqlConfig {
+        queries_per_thread: 40,
+        ..Default::default()
+    };
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let run = |exec| {
+        let r = mysqld::run(&cfg, &reader, 4, &EVENTS, kcfg(exec)).unwrap();
+        observe(&r.session, r.report)
+    };
+    assert_identical("mysqld", &run(ExecMode::SingleStep), &run(ExecMode::Block));
+}
+
+#[test]
+fn memcached_is_identical_across_exec_modes() {
+    let cfg = memcached::MemcachedConfig {
+        ops_per_worker: 300,
+        ..Default::default()
+    };
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let run = |exec| {
+        let r = memcached::run(&cfg, &reader, 4, &EVENTS, kcfg(exec)).unwrap();
+        observe(&r.session, r.report)
+    };
+    assert_identical(
+        "memcached",
+        &run(ExecMode::SingleStep),
+        &run(ExecMode::Block),
+    );
+}
+
+#[test]
+fn apache_is_identical_across_exec_modes() {
+    let cfg = apache::ApacheConfig::default();
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let run = |exec| {
+        let r = apache::run(&cfg, &reader, 4, &EVENTS, kcfg(exec)).unwrap();
+        observe(&r.session, r.report)
+    };
+    assert_identical("apache", &run(ExecMode::SingleStep), &run(ExecMode::Block));
+}
+
+#[test]
+fn firefox_is_identical_across_exec_modes() {
+    let cfg = firefox::FirefoxConfig::default();
+    let reader = LimitReader::with_events(EVENTS.to_vec());
+    let run = |exec| {
+        let r = firefox::run(&cfg, &reader, 4, &EVENTS, kcfg(exec)).unwrap();
+        observe(&r.session, r.report)
+    };
+    assert_identical("firefox", &run(ExecMode::SingleStep), &run(ExecMode::Block));
+}
