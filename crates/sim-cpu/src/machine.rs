@@ -730,10 +730,20 @@ impl Machine {
         // moves (the busy set and every other clock change only through
         // kernel actions, which happen outside `run_until`), so the
         // rotation scan can run over this compact array instead of
-        // touching every `Core` each time.
-        const MAX_CORES: usize = 64;
-        let n = self.cores.len().min(MAX_CORES);
-        let mut keys = [(u64::MAX, u32::MAX); MAX_CORES];
+        // touching every `Core` each time. A 64-entry stack buffer covers
+        // every realistic topology; wider machines spill to a heap buffer
+        // (one allocation per run, not per instruction) so every core
+        // stays schedulable.
+        const INLINE_CORES: usize = 64;
+        let n = self.cores.len();
+        let mut inline = [(u64::MAX, u32::MAX); INLINE_CORES];
+        let mut heap = Vec::new();
+        let keys: &mut [(u64, u32)] = if n <= INLINE_CORES {
+            &mut inline[..n]
+        } else {
+            heap.resize(n, (u64::MAX, u32::MAX));
+            &mut heap
+        };
         for (key, c) in keys.iter_mut().zip(&self.cores) {
             if c.is_busy() {
                 *key = (c.clock, c.id.0);
@@ -747,7 +757,7 @@ impl Machine {
             let mut first = usize::MAX;
             let mut first_key = (u64::MAX, u32::MAX);
             let mut others_min = (u64::MAX, u32::MAX);
-            for (i, &key) in keys[..n].iter().enumerate() {
+            for (i, &key) in keys.iter().enumerate() {
                 if key < first_key {
                     others_min = first_key;
                     first_key = key;
@@ -788,6 +798,21 @@ impl Machine {
     ) -> SimResult<Option<RunExit>> {
         let id = self.cores[idx].id;
         let stop = limits.stop_at.get(idx).copied().unwrap_or(u64::MAX);
+        // An unconsumed spill journal must reach the kernel before this
+        // core executes anything further: the kernel consults the journal
+        // only for the arbitration-minimum core, so a journaled core that
+        // stepped here could execute an instruction the restart fix-up is
+        // about to rewind over — running it twice and diverging from
+        // single-step. Checked once at entry, not per instruction: the
+        // post-step check below returns the moment a step journals a
+        // spill, so the journal is provably zero at every later iteration.
+        {
+            let core = &self.cores[idx];
+            if core.pmu.spill_journal() > 0 {
+                let ahead = (core.clock, id.0) >= others_min;
+                return Ok((!ahead).then_some(RunExit::SpillJournal(id)));
+            }
+        }
         loop {
             // Pre-instruction poll points: the checks the single-step
             // kernel loop runs between steps. A kernel-visible exit may
@@ -1036,6 +1061,70 @@ mod tests {
             }
         }
         panic!("did not halt within {max} steps");
+    }
+
+    #[test]
+    fn run_until_exits_on_a_journaled_core_before_it_steps_again() {
+        let mut m = machine_with(floor_prog());
+        install(&mut m, 0);
+        // A journal entry left from an earlier run (e.g. the kernel
+        // consulted a different core at its loop top): the machine must
+        // hand control back before this core executes anything, or the
+        // restart fix-up would rewind over an already-executed
+        // instruction and run it twice.
+        m.cores[0].pmu.journal_spills(1);
+        let in_limit = vec![false; 16];
+        let stop = [u64::MAX, u64::MAX];
+        let limits = RunLimits {
+            stop_at: &stop,
+            wake_at: u64::MAX,
+            armed_pcs: None,
+            in_limit: &in_limit,
+        };
+        let exit = m.run_until(&limits).unwrap();
+        assert_eq!(exit, RunExit::SpillJournal(CoreId::new(0)));
+        assert_eq!(
+            m.cores[0].retired, 0,
+            "journaled core stepped before the kernel could consult the journal"
+        );
+    }
+
+    #[test]
+    fn machines_wider_than_64_cores_are_rejected_at_construction() {
+        // The coherence sharer set is a u64 bitmask, so MemorySystem (and
+        // therefore Machine::new) caps machines at 64 cores. run_until's
+        // key buffer no longer depends on that cap (it spills to the heap
+        // past 64 entries), but the cap itself must hold: a wider machine
+        // that slipped through would once have hit a truncated scheduler
+        // scan that left high cores busy-but-unscheduled forever.
+        let cfg = MachineConfig::new(66).with_hierarchy(HierarchyConfig::tiny());
+        assert!(matches!(
+            Machine::new(cfg, floor_prog()),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn run_until_schedules_the_highest_supported_core() {
+        let cfg = MachineConfig::new(64).with_hierarchy(HierarchyConfig::tiny());
+        let mut m = Machine::new(cfg, floor_prog()).unwrap();
+        // Only the last core is busy; it must still be picked and run to
+        // its stop threshold rather than reported Idle.
+        let hi = 63;
+        m.cores[hi].ctx = Context::at(0);
+        m.cores[hi].running = Some(ThreadId::new(1));
+        m.cores[hi].mode = Mode::User;
+        let in_limit = vec![false; 16];
+        let stop = vec![1_000u64; 64];
+        let limits = RunLimits {
+            stop_at: &stop,
+            wake_at: u64::MAX,
+            armed_pcs: None,
+            in_limit: &in_limit,
+        };
+        let exit = m.run_until(&limits).unwrap();
+        assert_eq!(exit, RunExit::StopClock(CoreId::new(hi as u32)));
+        assert!(m.cores[hi].retired > 0, "high core was never scheduled");
     }
 
     #[test]
