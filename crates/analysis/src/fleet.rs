@@ -1,0 +1,293 @@
+//! Fleet-wide bottleneck classification: lifting [`crate::online`] from
+//! one instance to a population of instances.
+//!
+//! A single instance's snapshot answers "what is *this* process bound
+//! on?"; a fleet answers population questions: what fraction of instances
+//! share a bottleneck ("37% of instances lock-bound on `lock.acq`"), what
+//! the session-latency distribution looks like under the offered load
+//! (p50/p95/p99 sojourn), and whether the node is past its saturation
+//! knee (offered load vs service capacity). The inputs are deliberately
+//! plain — per-instance findings, sojourn latencies, queueing facts — so
+//! this module depends on the telemetry vocabulary only, not the fleet
+//! driver.
+
+use crate::online::{classify, DetectorConfig, Finding, FindingKind};
+use sim_cpu::EventKind;
+use std::collections::HashMap;
+use std::fmt;
+use telemetry::Snapshot;
+
+/// What a fleet-level finding reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetFindingKind {
+    /// A fraction of instances share one per-instance bottleneck class on
+    /// one region.
+    Population {
+        /// The shared per-instance classification.
+        kind: FindingKind,
+        /// Instances whose *top* finding this is.
+        instances: u64,
+    },
+    /// Session-latency (sojourn = queue wait + service) percentiles under
+    /// the offered load.
+    Latency {
+        /// p50 sojourn in cycles.
+        p50: u64,
+        /// p95 sojourn in cycles.
+        p95: u64,
+        /// p99 sojourn in cycles.
+        p99: u64,
+    },
+    /// The node is saturated: offered load meets or exceeds service
+    /// capacity, so the admission queue grows without bound.
+    Overload {
+        /// Offered load ρ (arrival rate × mean service / slots).
+        utilization: f64,
+        /// Mean cycles an admitted session waited before starting.
+        mean_wait: f64,
+    },
+}
+
+/// One fleet-level finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFinding {
+    /// Classification.
+    pub kind: FleetFindingKind,
+    /// The accused region (population findings), or a summary label.
+    pub region: String,
+    /// Share of the fleet this finding covers (population: fraction of
+    /// instances; latency/overload: 1.0).
+    pub share: f64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for FleetFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FleetFindingKind::Population { kind, instances } => write!(
+                f,
+                "{:.0}% of instances {kind} on {} ({instances} instances; {})",
+                self.share * 100.0,
+                self.region,
+                self.detail
+            ),
+            FleetFindingKind::Latency { p50, p95, p99 } => write!(
+                f,
+                "session latency p50 {p50} / p95 {p95} / p99 {p99} cycles ({})",
+                self.detail
+            ),
+            FleetFindingKind::Overload {
+                utilization,
+                mean_wait,
+            } => write!(
+                f,
+                "overload: utilization {utilization:.2}, mean queue wait {mean_wait:.0} cycles ({})",
+                self.detail
+            ),
+        }
+    }
+}
+
+/// Queueing facts the fleet driver measured (open-loop admission).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Offered load ρ = arrival rate × mean service time / service slots.
+    pub utilization: f64,
+    /// Mean cycles between arrival and admission.
+    pub mean_wait: f64,
+    /// Largest admission-queue depth observed.
+    pub max_queue_depth: u64,
+}
+
+/// Classifies a fleet.
+///
+/// `per_instance` holds each instance's findings (from
+/// [`classify`] on its final snapshot); `sojourn` holds each
+/// instance's session latency in cycles (queue wait + service). Population
+/// findings count each instance once, by its *top* finding (largest
+/// share), grouped by `(kind, region)`; a group is reported when it covers
+/// at least `min_share` of instances. Latency percentiles are exact
+/// (nearest-rank on the sorted sojourns). An overload finding fires when
+/// utilization reaches 1.0 or the mean wait exceeds the mean service time.
+pub fn classify_fleet(
+    per_instance: &[Vec<Finding>],
+    sojourn: &[u64],
+    service: &[u64],
+    queue: &QueueStats,
+    min_share: f64,
+) -> Vec<FleetFinding> {
+    let n = per_instance.len();
+    let mut findings = Vec::new();
+
+    // Population roll-up: one vote per instance, by its top finding.
+    let mut groups: HashMap<(FindingKind, String), u64> = HashMap::new();
+    for fs in per_instance {
+        if let Some(top) = fs.first() {
+            *groups.entry((top.kind, top.region.clone())).or_insert(0) += 1;
+        }
+    }
+    let mut groups: Vec<((FindingKind, String), u64)> = groups.into_iter().collect();
+    // Deterministic order: most instances first, then region name.
+    groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .1.cmp(&b.0 .1)));
+    for ((kind, region), count) in groups {
+        let share = count as f64 / n.max(1) as f64;
+        if share < min_share {
+            continue;
+        }
+        findings.push(FleetFinding {
+            kind: FleetFindingKind::Population {
+                kind,
+                instances: count,
+            },
+            region,
+            share,
+            detail: format!("top finding of {count}/{n} instances"),
+        });
+    }
+
+    // Latency percentiles (nearest-rank; exact, not bucketed).
+    if !sojourn.is_empty() {
+        let mut sorted = sojourn.to_vec();
+        sorted.sort_unstable();
+        let pick = |q: f64| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            sorted[rank - 1]
+        };
+        let (p50, p95, p99) = (pick(0.50), pick(0.95), pick(0.99));
+        findings.push(FleetFinding {
+            kind: FleetFindingKind::Latency { p50, p95, p99 },
+            region: "sojourn".to_string(),
+            share: 1.0,
+            detail: format!("{} sessions", sorted.len()),
+        });
+    }
+
+    // Overload: the open-loop tell is a queue that cannot drain.
+    let mean_service = if service.is_empty() {
+        0.0
+    } else {
+        service.iter().sum::<u64>() as f64 / service.len() as f64
+    };
+    if queue.utilization >= 1.0 || (mean_service > 0.0 && queue.mean_wait > mean_service) {
+        findings.push(FleetFinding {
+            kind: FleetFindingKind::Overload {
+                utilization: queue.utilization,
+                mean_wait: queue.mean_wait,
+            },
+            region: "admission".to_string(),
+            share: 1.0,
+            detail: format!(
+                "mean service {mean_service:.0} cycles, max queue depth {}",
+                queue.max_queue_depth
+            ),
+        });
+    }
+    findings
+}
+
+/// Convenience: classify every instance snapshot with the shared
+/// single-instance detector, returning one findings vector per instance
+/// (the `per_instance` input of [`classify_fleet`]).
+pub fn classify_instances(
+    snaps: &[Snapshot],
+    events: &[EventKind],
+    cfg: &DetectorConfig,
+) -> Vec<Vec<Finding>> {
+    snaps.iter().map(|s| classify(s, events, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(kind: FindingKind, region: &str, share: f64) -> Finding {
+        Finding {
+            kind,
+            region: region.to_string(),
+            share,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn population_groups_by_top_finding() {
+        // 3 of 4 instances are lock-bound on the same class; one is
+        // memory-bound. The lock group leads.
+        let per_instance = vec![
+            vec![finding(FindingKind::LockContention, "db.lock", 0.6)],
+            vec![
+                finding(FindingKind::LockContention, "db.lock", 0.5),
+                finding(FindingKind::CpuBound, "scan", 0.3),
+            ],
+            vec![finding(FindingKind::LockContention, "db.lock", 0.7)],
+            vec![finding(FindingKind::MemoryBound, "scan", 0.4)],
+        ];
+        let sojourn = vec![100, 200, 300, 400];
+        let service = vec![100, 100, 100, 100];
+        let fs = classify_fleet(
+            &per_instance,
+            &sojourn,
+            &service,
+            &QueueStats::default(),
+            0.2,
+        );
+        let top = &fs[0];
+        assert_eq!(top.region, "db.lock");
+        assert!((top.share - 0.75).abs() < 1e-9);
+        match top.kind {
+            FleetFindingKind::Population { kind, instances } => {
+                assert_eq!(kind, FindingKind::LockContention);
+                assert_eq!(instances, 3);
+            }
+            _ => panic!("expected population finding"),
+        }
+        // The memory-bound group is below min_share 0.2? 1/4 = 0.25 >= 0.2,
+        // so it is present too.
+        assert!(fs.iter().any(|f| f.region == "scan"));
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let sojourn: Vec<u64> = (1..=100).collect();
+        let fs = classify_fleet(&[], &sojourn, &[], &QueueStats::default(), 0.5);
+        let lat = fs
+            .iter()
+            .find_map(|f| match f.kind {
+                FleetFindingKind::Latency { p50, p95, p99 } => Some((p50, p95, p99)),
+                _ => None,
+            })
+            .expect("latency finding");
+        assert_eq!(lat, (50, 95, 99));
+    }
+
+    #[test]
+    fn overload_fires_at_saturation() {
+        let q = QueueStats {
+            utilization: 1.4,
+            mean_wait: 50_000.0,
+            max_queue_depth: 37,
+        };
+        let fs = classify_fleet(&[], &[1], &[1_000], &q, 0.5);
+        assert!(fs
+            .iter()
+            .any(|f| matches!(f.kind, FleetFindingKind::Overload { .. })));
+        // Healthy load: no overload finding.
+        let ok = QueueStats {
+            utilization: 0.3,
+            mean_wait: 10.0,
+            max_queue_depth: 1,
+        };
+        let fs = classify_fleet(&[], &[1], &[1_000], &ok, 0.5);
+        assert!(!fs
+            .iter()
+            .any(|f| matches!(f.kind, FleetFindingKind::Overload { .. })));
+    }
+
+    #[test]
+    fn quiet_instances_produce_no_population_findings() {
+        let per_instance = vec![Vec::new(), Vec::new()];
+        let fs = classify_fleet(&per_instance, &[], &[], &QueueStats::default(), 0.1);
+        assert!(fs.is_empty());
+    }
+}

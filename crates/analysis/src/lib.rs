@@ -11,6 +11,9 @@
 //! * [`online`] — the same logic applied continuously to mid-run
 //!   telemetry snapshots (lock-contention / memory-bound / cpu-bound
 //!   classification),
+//! * [`fleet`] — the population lift of [`online`]: share-of-instances
+//!   bottleneck roll-ups, session-latency percentiles, and overload
+//!   detection for the fleet driver,
 //! * [`overhead`] — instrumentation-overhead accounting (E2),
 //! * [`table`] — plain-text table rendering shared by every `exp_*`
 //!   binary.
@@ -19,6 +22,7 @@ pub mod accuracy;
 pub mod attribution;
 pub mod bottleneck;
 pub mod compare;
+pub mod fleet;
 pub mod lockstats;
 pub mod metrics;
 pub mod online;
@@ -30,6 +34,7 @@ pub use accuracy::AccuracyReport;
 pub use attribution::{precise_cycles_by_region, samples_by_range, RangeMap};
 pub use bottleneck::{Bottleneck, BottleneckReport};
 pub use compare::Comparison;
+pub use fleet::{classify_fleet, classify_instances, FleetFinding, FleetFindingKind, QueueStats};
 pub use lockstats::{LockClassStats, LockReport};
 pub use metrics::Rates;
 pub use online::{classify, DetectorConfig, Finding, FindingKind};

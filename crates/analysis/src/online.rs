@@ -51,7 +51,7 @@ impl Default for DetectorConfig {
 }
 
 /// What a finding accuses a region of.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FindingKind {
     /// Acquire cycles rival hold cycles: threads fight for the lock.
     LockContention,

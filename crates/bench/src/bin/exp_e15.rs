@@ -1,0 +1,29 @@
+//! E15: the fleet saturation sweep. `cargo run -p bench --bin exp_e15`
+
+use bench::e15;
+
+fn main() {
+    let fracs = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+    let r = e15::run(48, &fracs, bench::default_jobs()).expect("E15 runs");
+    println!("{}", e15::table(&r));
+    for s in bench::spans::drain() {
+        eprintln!("[span] {:<14} {:>10.1} ms", s.name, s.wall_ms);
+    }
+    println!(
+        "Node capacity: {:.2} sessions/Mcycle (4 slots, mean service {:.0} kcycles).",
+        r.capacity_rate,
+        r.mean_service / 1e3
+    );
+    match r.knee {
+        Some(k) => println!(
+            "Saturation knee at {:.2} arrivals/Mcycle ({:.2}x capacity): past it the \
+             admission queue grows without bound and p99 sojourn decouples from service time.",
+            k,
+            k / r.capacity_rate
+        ),
+        None => println!("No knee inside the swept range — raise the top fraction."),
+    }
+    if let Some(pop) = &r.top_population {
+        println!("Fleet-wide bottleneck: {pop}");
+    }
+}

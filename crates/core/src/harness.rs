@@ -155,6 +155,7 @@ impl SessionBuilder {
             stream: self.stream,
             tls_of: HashMap::new(),
             report: None,
+            warn_sink: None,
         })
     }
 }
@@ -186,6 +187,30 @@ pub struct RingHandle {
     pub overwrite: bool,
 }
 
+/// Destination for a session's teardown warning lines.
+///
+/// By default warnings go straight to stderr — fine for one session, but N
+/// concurrent fleet instances would interleave their lines arbitrarily. A
+/// sink captures the formatted lines instead, so the host can serialize
+/// them (the fleet driver buffers per instance and prints them in instance
+/// order after the parallel phase). The structured counterparts stay on
+/// [`RunReport::warnings`] either way.
+pub struct WarnSink(Box<dyn FnMut(&str) + Send>);
+
+impl WarnSink {
+    /// Wraps a callback receiving each formatted warning line (no trailing
+    /// newline).
+    pub fn new(f: impl FnMut(&str) + Send + 'static) -> Self {
+        WarnSink(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for WarnSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WarnSink(..)")
+    }
+}
+
 /// A booted, instrumented experiment run.
 #[derive(Debug)]
 pub struct Session {
@@ -201,6 +226,7 @@ pub struct Session {
     stream: Option<StreamConfig>,
     tls_of: HashMap<ThreadId, TlsInfo>,
     report: Option<RunReport>,
+    warn_sink: Option<WarnSink>,
 }
 
 impl Session {
@@ -371,6 +397,15 @@ impl Session {
         }
     }
 
+    /// Teardown accounting for externally-driven runs: callers that drive
+    /// `kernel.run_with_hook` themselves (the telemetry streaming path)
+    /// never pass through [`Session::run`], so they invoke this to fill
+    /// the report's warnings and route the warning lines through the
+    /// installed [`WarnSink`].
+    pub fn finalize_report(&mut self, report: &mut RunReport) {
+        self.finish_run(report);
+    }
+
     /// Teardown accounting: fills the report's structured warnings (the
     /// kernel already filled the fields it owns), mirrors them onto the
     /// flight recorder's host ring, and prints the legacy stderr lines.
@@ -411,21 +446,34 @@ impl Session {
         // lost).
         if let Some((tid, d)) = w.worst_dropper {
             let region = w.busiest_region.as_deref().unwrap_or("unknown");
-            eprintln!(
+            self.warn(&format!(
                 "warning: {} instrumentation record(s) dropped to full buffers \
                  (worst: {tid} with {d}; most-affected region: {region})",
                 w.dropped_records
-            );
+            ));
         }
         // Surface silently unprotected read sequences: a rejected
         // restart-range registration means interrupts landing in that
         // sequence could not be rewound, so its reads may be torn.
         if w.rejected_ranges > 0 {
-            eprintln!(
+            self.warn(&format!(
                 "warning: {} restart-range registration(s) rejected for overlap; \
                  the affected read sequences ran without the atomicity fix-up",
                 w.rejected_ranges
-            );
+            ));
+        }
+    }
+
+    /// Routes teardown warning lines through the installed sink instead of
+    /// stderr (see [`WarnSink`]). Install before running.
+    pub fn set_warn_sink(&mut self, sink: WarnSink) {
+        self.warn_sink = Some(sink);
+    }
+
+    fn warn(&mut self, line: &str) {
+        match &mut self.warn_sink {
+            Some(WarnSink(f)) => f(line),
+            None => eprintln!("{line}"),
         }
     }
 
@@ -761,6 +809,39 @@ mod tests {
         assert_eq!(w.worst_dropper, Some((tid, 3)));
         assert_eq!(w.busiest_region.as_deref(), Some("region 1"));
         assert!(w.any());
+    }
+
+    #[test]
+    fn warn_sink_captures_teardown_lines_instead_of_stderr() {
+        use std::sync::{Arc, Mutex};
+
+        let reader = LimitReader::new(1);
+        let ins = Instrumenter::new(&reader);
+        let mut b = SessionBuilder::new(1)
+            .events(&[EventKind::Instructions])
+            .log_capacity(1);
+        let mut asm = b.asm();
+        asm.export("main");
+        reader.emit_thread_setup(&mut asm);
+        for _ in 0..3 {
+            ins.emit_enter(&mut asm);
+            asm.burst(10);
+            ins.emit_exit(&mut asm, 1);
+        }
+        asm.halt();
+        let mut s = b.build(asm).unwrap();
+        s.spawn_instrumented("main", &[]).unwrap();
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let captured = Arc::clone(&lines);
+        s.set_warn_sink(WarnSink::new(move |line| {
+            captured.lock().unwrap().push(line.to_string());
+        }));
+        s.run().unwrap();
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1, "expected exactly the drop warning");
+        assert!(lines[0].contains("dropped to full buffers"), "{}", lines[0]);
+        // The structured report still carries the same accounting.
+        assert_eq!(s.report().warnings.dropped_records, 2);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod report;
 pub mod routine;
 pub mod tls;
 
-pub use harness::{RingHandle, Session, SessionBuilder};
+pub use harness::{RingHandle, Session, SessionBuilder, WarnSink};
 pub use instrument::{Instrumenter, LogMode, StreamConfig};
 pub use reader::{CounterReader, LimitReader, NullReader};
 pub use report::{RegionRecord, Regions};

@@ -1,0 +1,185 @@
+//! Open-loop arrival processes on the virtual-cycle timeline.
+//!
+//! The load generator decides *when sessions arrive*, in guest cycles,
+//! independent of how fast the node services them — that is what makes
+//! the loop open. Two arms:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless interarrivals at the target
+//!   rate; the classic open-loop baseline.
+//! * [`ArrivalProcess::Bursty`] — a two-state Markov-modulated process
+//!   (MMPP): a *calm* state with long gaps and a *burst* state with gaps
+//!   compressed by `factor`, switching states with probability `switch_p`
+//!   at each arrival. The long-run rate still meets the target; the
+//!   clumping is what stresses the admission queue.
+//!
+//! All draws come from one caller-supplied [`DetRng`] consumed in
+//! arrival-index order, so a fleet seed fully determines the timeline.
+
+use sim_core::DetRng;
+
+/// The shape of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exponential interarrivals at the target rate.
+    Poisson,
+    /// Two-state MMPP: burst-state gaps are `factor`× shorter than the
+    /// mean, calm-state gaps stretched to compensate, switching with
+    /// probability `switch_p` per arrival.
+    Bursty {
+        /// Gap compression inside a burst (>= 1.0; 1.0 degenerates to
+        /// Poisson).
+        factor: f64,
+        /// Per-arrival state-switch probability (0..=1).
+        switch_p: f64,
+    },
+}
+
+/// Target load: process shape plus rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalConfig {
+    /// Process shape.
+    pub process: ArrivalProcess,
+    /// Target arrival rate in sessions per million cycles.
+    pub rate_per_mcycle: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            process: ArrivalProcess::Poisson,
+            rate_per_mcycle: 2.0,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// Mean interarrival gap in cycles implied by the target rate.
+    pub fn mean_gap(&self) -> f64 {
+        1_000_000.0 / self.rate_per_mcycle.max(1e-12)
+    }
+}
+
+/// Draws `n` arrival times (cycles, nondecreasing) from `rng`.
+pub fn arrival_times(cfg: &ArrivalConfig, n: usize, rng: &mut DetRng) -> Vec<u64> {
+    let base = cfg.mean_gap();
+    let mut times = Vec::with_capacity(n);
+    let mut now = 0u64;
+    match cfg.process {
+        ArrivalProcess::Poisson => {
+            for _ in 0..n {
+                now = now.saturating_add(rng.exp_u64(base));
+                times.push(now);
+            }
+        }
+        ArrivalProcess::Bursty { factor, switch_p } => {
+            let factor = factor.max(1.0);
+            let switch_p = switch_p.clamp(0.0, 1.0);
+            // Equal expected time in each state (symmetric switching), so
+            // the two state means must average to the target gap:
+            //   burst = base / factor,  calm = 2·base − base/factor.
+            let burst_gap = base / factor;
+            let calm_gap = 2.0 * base - burst_gap;
+            let mut bursting = false;
+            for _ in 0..n {
+                if rng.chance(switch_p) {
+                    bursting = !bursting;
+                }
+                let mean = if bursting { burst_gap } else { calm_gap };
+                now = now.saturating_add(rng.exp_u64(mean));
+                times.push(now);
+            }
+        }
+    }
+    times
+}
+
+/// Measured long-run rate (arrivals per Mcycle) of a drawn timeline.
+pub fn offered_rate(times: &[u64]) -> f64 {
+    match (times.first(), times.last()) {
+        (Some(&a), Some(&b)) if b > a => (times.len() - 1) as f64 * 1_000_000.0 / (b - a) as f64,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(process: ArrivalProcess, rate: f64) -> ArrivalConfig {
+        ArrivalConfig {
+            process,
+            rate_per_mcycle: rate,
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_monotone() {
+        let c = cfg(ArrivalProcess::Poisson, 4.0);
+        let a = arrival_times(&c, 500, &mut DetRng::new(7));
+        let b = arrival_times(&c, 500, &mut DetRng::new(7));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_hits_target_rate() {
+        let c = cfg(ArrivalProcess::Poisson, 4.0);
+        let times = arrival_times(&c, 4_000, &mut DetRng::new(42));
+        let rate = offered_rate(&times);
+        assert!(
+            (rate - 4.0).abs() < 0.4,
+            "measured {rate} arrivals/Mcycle, wanted ~4"
+        );
+    }
+
+    #[test]
+    fn bursty_hits_target_rate_but_clumps() {
+        let target = 4.0;
+        let burst = cfg(
+            ArrivalProcess::Bursty {
+                factor: 8.0,
+                switch_p: 0.05,
+            },
+            target,
+        );
+        let times = arrival_times(&burst, 4_000, &mut DetRng::new(42));
+        let rate = offered_rate(&times);
+        assert!(
+            (rate - target).abs() < 0.8,
+            "measured {rate} arrivals/Mcycle, wanted ~{target}"
+        );
+        // Clumping: the gap distribution has higher dispersion than the
+        // Poisson draw at the same rate and seed.
+        let poisson = arrival_times(
+            &cfg(ArrivalProcess::Poisson, target),
+            4_000,
+            &mut DetRng::new(42),
+        );
+        let cv2 = |ts: &[u64]| {
+            let gaps: Vec<f64> = ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        assert!(
+            cv2(&times) > cv2(&poisson) * 1.5,
+            "bursty CV² {} not above poisson CV² {}",
+            cv2(&times),
+            cv2(&poisson)
+        );
+    }
+
+    #[test]
+    fn bursty_with_unit_factor_degenerates_to_target_gap() {
+        let c = cfg(
+            ArrivalProcess::Bursty {
+                factor: 1.0,
+                switch_p: 0.5,
+            },
+            2.0,
+        );
+        let times = arrival_times(&c, 2_000, &mut DetRng::new(9));
+        let rate = offered_rate(&times);
+        assert!((rate - 2.0).abs() < 0.3, "measured {rate}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Deterministic admission queue: `c` service slots, FIFO order.
+//!
+//! The node is modeled as `slots` concurrent service slots (sessions the
+//! node runs at once). Sessions are admitted in arrival order; a session
+//! whose arrival finds every slot busy waits in a FIFO queue. Because the
+//! service time of instance *i* is its simulated run length — a function
+//! of the instance seed alone — the whole queue is a cheap post-pass over
+//! two arrays, decoupled from host parallelism: `--jobs` can never change
+//! a start time, a sojourn, or the measured saturation point.
+
+use analysis::QueueStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-session queueing outcome plus node-level statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueueOutcome {
+    /// Cycle each session started service (>= its arrival).
+    pub start: Vec<u64>,
+    /// Cycle each session completed (start + service).
+    pub completion: Vec<u64>,
+    /// Admission wait per session (start − arrival).
+    pub wait: Vec<u64>,
+    /// Sojourn per session (completion − arrival = wait + service).
+    pub sojourn: Vec<u64>,
+    /// Node-level facts for the fleet classifier.
+    pub stats: QueueStats,
+}
+
+/// Runs the c-slot FIFO recurrence over `arrivals` (nondecreasing cycles)
+/// and `service` (cycles per session, same length).
+///
+/// # Panics
+///
+/// Panics when the input lengths differ or `slots` is zero.
+pub fn simulate(arrivals: &[u64], service: &[u64], slots: usize) -> QueueOutcome {
+    assert_eq!(
+        arrivals.len(),
+        service.len(),
+        "one service time per arrival"
+    );
+    assert!(slots > 0, "a node needs at least one service slot");
+    let n = arrivals.len();
+    let mut out = QueueOutcome {
+        start: Vec::with_capacity(n),
+        completion: Vec::with_capacity(n),
+        wait: Vec::with_capacity(n),
+        sojourn: Vec::with_capacity(n),
+        stats: QueueStats::default(),
+    };
+    if n == 0 {
+        return out;
+    }
+
+    // Min-heap of slot free times. Popping the earliest-free slot for each
+    // session in arrival order is exactly FIFO admission.
+    let mut free: BinaryHeap<Reverse<u64>> = (0..slots).map(|_| Reverse(0)).collect();
+    for i in 0..n {
+        let Reverse(slot_free) = free.pop().expect("slots is non-zero");
+        let start = arrivals[i].max(slot_free);
+        let completion = start + service[i];
+        free.push(Reverse(completion));
+        out.start.push(start);
+        out.completion.push(completion);
+        out.wait.push(start - arrivals[i]);
+        out.sojourn.push(completion - arrivals[i]);
+    }
+
+    // Max queue depth: sessions arrived but not yet started. Sweep the
+    // merged event list; at equal times starts drain before arrivals count.
+    let mut events: Vec<(u64, i8)> = Vec::with_capacity(2 * n);
+    for &a in arrivals {
+        events.push((a, 1));
+    }
+    for &s in &out.start {
+        events.push((s, -1));
+    }
+    events.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut depth, mut max_depth) = (0i64, 0i64);
+    for (_, delta) in events {
+        depth += delta as i64;
+        max_depth = max_depth.max(depth);
+    }
+    out.stats.max_queue_depth = max_depth as u64;
+
+    out.stats.mean_wait = out.wait.iter().sum::<u64>() as f64 / n as f64;
+    // Offered load ρ = λ · E[S] / c, with λ measured over the arrival span.
+    let span = arrivals[n - 1] - arrivals[0];
+    if span > 0 {
+        let lambda = (n - 1) as f64 / span as f64;
+        let mean_service = service.iter().sum::<u64>() as f64 / n as f64;
+        out.stats.utilization = lambda * mean_service / slots as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_serializes_back_to_back_arrivals() {
+        // Three sessions arrive together; one slot services them in order.
+        let out = simulate(&[0, 0, 0], &[10, 20, 30], 1);
+        assert_eq!(out.start, vec![0, 10, 30]);
+        assert_eq!(out.completion, vec![10, 30, 60]);
+        assert_eq!(out.wait, vec![0, 10, 30]);
+        assert_eq!(out.sojourn, vec![10, 30, 60]);
+        assert_eq!(out.stats.max_queue_depth, 2);
+    }
+
+    #[test]
+    fn wide_spacing_never_waits() {
+        let out = simulate(&[0, 1_000, 2_000], &[100, 100, 100], 2);
+        assert_eq!(out.wait, vec![0, 0, 0]);
+        assert_eq!(out.stats.max_queue_depth, 0);
+        assert!(out.stats.utilization < 0.2);
+    }
+
+    #[test]
+    fn two_slots_absorb_a_pair() {
+        // Pairs arrive together: with 2 slots the pair runs concurrently,
+        // the third session waits for the earlier completion.
+        let out = simulate(&[0, 0, 0], &[50, 80, 10], 2);
+        assert_eq!(out.start, vec![0, 0, 50]);
+        assert_eq!(out.completion, vec![50, 80, 60]);
+        assert_eq!(out.stats.max_queue_depth, 1);
+    }
+
+    #[test]
+    fn sojourn_is_wait_plus_service_and_starts_are_monotone() {
+        let arrivals = [0, 5, 7, 7, 30, 31];
+        let service = [20, 3, 40, 2, 9, 9];
+        let out = simulate(&arrivals, &service, 2);
+        for i in 0..arrivals.len() {
+            assert_eq!(out.sojourn[i], out.wait[i] + service[i]);
+            assert!(out.start[i] >= arrivals[i]);
+        }
+        assert!(out.start.windows(2).all(|w| w[0] <= w[1]), "FIFO starts");
+    }
+
+    #[test]
+    fn overload_shows_unbounded_queue_growth() {
+        // Offered load 2× capacity: waits grow linearly with index.
+        let arrivals: Vec<u64> = (0..100).map(|i| i * 50).collect();
+        let service = vec![100u64; 100];
+        let out = simulate(&arrivals, &service, 1);
+        assert!(out.stats.utilization > 1.9);
+        assert!(out.wait[99] > out.wait[50]);
+        assert!(out.stats.max_queue_depth > 40);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_clean_zero() {
+        let out = simulate(&[], &[], 4);
+        assert!(out.sojourn.is_empty());
+        assert_eq!(out.stats.utilization, 0.0);
+    }
+}

@@ -11,6 +11,8 @@
 //!   reproduction is replayable bit-for-bit,
 //! * measurement containers ([`stats`]): log-bucketed histograms, running
 //!   summaries, and percentile extraction used by the analysis crate,
+//! * a bounded host-side worker pool ([`parallel`]) shared by the
+//!   experiment driver (`bench`) and the fleet layer (`fleet`),
 //! * experiment configuration ([`config`]) serialized with `serde`,
 //! * the shared error type ([`error`]).
 
@@ -19,6 +21,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod json;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;

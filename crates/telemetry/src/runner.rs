@@ -53,7 +53,7 @@ where
     F: FnMut(&Snapshot),
 {
     let mut seq = 0u64;
-    let result = {
+    let mut result = {
         let regions = &session.regions;
         let hook = |m: &mut sim_cpu::Machine, now: u64| {
             let records = collector.drain(m)?;
@@ -84,6 +84,12 @@ where
             result?;
             return Err(drain_err);
         }
+    }
+    // Teardown accounting: the streaming path bypasses `Session::run`, so
+    // the session would otherwise never fill the report's warnings or
+    // surface dropped-record lines (through its `WarnSink`, if installed).
+    if let Ok(report) = result.as_mut() {
+        session.finalize_report(report);
     }
     result
 }

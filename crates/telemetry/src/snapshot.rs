@@ -71,6 +71,69 @@ impl Snapshot {
             .saturating_sub(self.drained + self.overwritten)
     }
 
+    /// Merges another snapshot into this one — the roll-up operation of
+    /// the fleet hierarchy (per-instance shards → node aggregates → fleet
+    /// aggregate).
+    ///
+    /// Semantics: transport counters (`appended`/`drained`/`dropped`/
+    /// `overwritten`) add, so the conservation invariant
+    /// `appended == drained + overwritten + in_flight` is preserved —
+    /// `in_flight` is derived, and a sum of per-shard invariants is the
+    /// merged invariant. `seq` and `cycle` take the maximum (the frontier
+    /// of the most-advanced shard). Regions merge by id — counts add,
+    /// per-event histograms merge — and the merged rows are re-sorted into
+    /// the canonical order (descending event-0 sum, then ascending id), so
+    /// the result is independent of merge order. Merging assumes both
+    /// snapshots come from sessions sharing one region registry (same
+    /// workload build); on an id collision with differing names, `self`'s
+    /// name wins.
+    ///
+    /// The operation is associative and commutative (property-tested in
+    /// `tests/snapshot_merge_props.rs` against a flat single-aggregate
+    /// reference), which is what makes the shard → node → fleet roll-up
+    /// order-independent: any partition of instances over any worker
+    /// assignment produces the identical fleet aggregate.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.seq = self.seq.max(other.seq);
+        self.cycle = self.cycle.max(other.cycle);
+        self.appended += other.appended;
+        self.drained += other.drained;
+        self.dropped += other.dropped;
+        self.overwritten += other.overwritten;
+        for theirs in &other.regions {
+            match self.regions.iter_mut().find(|r| r.id == theirs.id) {
+                Some(ours) => {
+                    ours.count += theirs.count;
+                    // Event sets match by construction; tolerate a longer
+                    // incoming vector by extending with its tail.
+                    for (h, o) in ours.events.iter_mut().zip(&theirs.events) {
+                        h.merge(o);
+                    }
+                    if theirs.events.len() > ours.events.len() {
+                        ours.events
+                            .extend(theirs.events[ours.events.len()..].iter().cloned());
+                    }
+                }
+                None => self.regions.push(theirs.clone()),
+            }
+        }
+        self.regions
+            .sort_by(|a, b| b.event_sum(0).cmp(&a.event_sum(0)).then(a.id.cmp(&b.id)));
+    }
+
+    /// An empty snapshot — the identity element of [`Snapshot::merge`].
+    pub fn empty() -> Snapshot {
+        Snapshot {
+            seq: 0,
+            cycle: 0,
+            appended: 0,
+            drained: 0,
+            dropped: 0,
+            overwritten: 0,
+            regions: Vec::new(),
+        }
+    }
+
     /// Renders a fixed-width table of the snapshot (one row per region,
     /// `event_names` labelling the delta columns by their mean).
     pub fn render(&self, event_names: &[&str]) -> String {
@@ -134,5 +197,79 @@ mod tests {
         let txt = s.render(&["cycles"]);
         assert!(txt.contains("a.acq"));
         assert!(txt.contains("mean cycles"));
+    }
+
+    #[test]
+    fn merge_sums_transport_and_preserves_invariant() {
+        let mut a = Snapshot {
+            seq: 3,
+            cycle: 500,
+            appended: 10,
+            drained: 8,
+            dropped: 1,
+            overwritten: 1,
+            regions: vec![region("x", 4, &[100, 200])],
+        };
+        let mut y = region("y", 3, &[10, 20, 30]);
+        y.id = 9;
+        let b = Snapshot {
+            seq: 1,
+            cycle: 900,
+            appended: 6,
+            drained: 5,
+            dropped: 0,
+            overwritten: 0,
+            regions: vec![region("x", 2, &[50]), y],
+        };
+        let in_flight_sum = a.in_flight() + b.in_flight();
+        a.merge(&b);
+        assert_eq!(a.seq, 3);
+        assert_eq!(a.cycle, 900);
+        assert_eq!(a.appended, 16);
+        assert_eq!(a.drained, 13);
+        assert_eq!(a.in_flight(), in_flight_sum);
+        // Both "x" rows folded into one (shared id); "y" kept separate.
+        let x = a.region("x").unwrap();
+        assert_eq!(x.count, 6);
+        assert_eq!(x.event_sum(0), 350);
+        assert_eq!(a.region("y").unwrap().count, 3);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_commutes() {
+        let mut a = Snapshot {
+            seq: 2,
+            cycle: 100,
+            appended: 5,
+            drained: 5,
+            dropped: 0,
+            overwritten: 0,
+            regions: vec![region("r", 5, &[1, 2, 4, 8, 16])],
+        };
+        let orig = a.clone();
+        a.merge(&Snapshot::empty());
+        assert_eq!(a, orig);
+        let mut e = Snapshot::empty();
+        e.merge(&orig);
+        assert_eq!(e, orig);
+    }
+
+    #[test]
+    fn merge_keeps_regions_in_canonical_order() {
+        let mut small = region("small", 1, &[5]);
+        small.id = 1;
+        let mut big = region("big", 1, &[1_000]);
+        big.id = 2;
+        let mut a = Snapshot {
+            regions: vec![small],
+            ..Snapshot::empty()
+        };
+        let b = Snapshot {
+            regions: vec![big],
+            ..Snapshot::empty()
+        };
+        a.merge(&b);
+        let names: Vec<&str> = a.regions.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["big", "small"]);
     }
 }

@@ -1,0 +1,143 @@
+//! Property tests for [`Snapshot::merge`] — the fleet roll-up operation.
+//!
+//! The fleet layer merges per-instance snapshots hierarchically (instance
+//! shards → node aggregates → fleet aggregate), with node boundaries and
+//! merge order chosen by the host worker pool. For the fleet aggregate to
+//! be byte-identical across `--jobs` values, merge must be associative and
+//! commutative, and must preserve the transport-conservation invariant
+//! `appended == drained + overwritten + in_flight`. These properties are
+//! checked against a flat single-aggregate reference model: every record
+//! of every instance folded into one snapshot directly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use telemetry::{RegionSnapshot, Snapshot};
+
+/// Builds one instance's snapshot from its record stream
+/// `(region_id, delta0, delta1)` plus transport loss knobs, mirroring what
+/// the collector serves after a final drain (`in_flight == 0`) — except
+/// `pending` records are left in flight to exercise the mid-run case too.
+fn instance_snapshot(
+    seq: u64,
+    cycle: u64,
+    records: &[(u64, u64, u64)],
+    dropped: u64,
+    pending: u64,
+) -> Snapshot {
+    let mut regions: Vec<RegionSnapshot> = Vec::new();
+    for &(id, a, b) in records {
+        let row = match regions.iter_mut().find(|r| r.id == id) {
+            Some(r) => r,
+            None => {
+                regions.push(RegionSnapshot {
+                    id,
+                    name: format!("region.{id}"),
+                    count: 0,
+                    events: vec![sim_core::Histogram::new(); 2],
+                });
+                regions.last_mut().unwrap()
+            }
+        };
+        row.count += 1;
+        row.events[0].record(a);
+        row.events[1].record(b);
+    }
+    regions.sort_by(|a, b| b.event_sum(0).cmp(&a.event_sum(0)).then(a.id.cmp(&b.id)));
+    let drained = records.len() as u64;
+    Snapshot {
+        seq,
+        cycle,
+        appended: drained + pending,
+        drained,
+        dropped,
+        overwritten: 0,
+        regions,
+    }
+}
+
+/// Merges a list of snapshots left-to-right.
+fn merge_all(snaps: &[Snapshot]) -> Snapshot {
+    let mut out = Snapshot::empty();
+    for s in snaps {
+        out.merge(s);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hierarchical_merge_equals_flat_reference(
+        instances in vec(
+            (vec((0u64..5, 0u64..100_000, 0u64..1_000), 0..40), 0u64..3, 0u64..3),
+            1..10,
+        ),
+        node_size in 1usize..4,
+        rot in 0usize..8,
+    ) {
+        let snaps: Vec<Snapshot> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, (recs, dropped, pending))| {
+                instance_snapshot(i as u64 + 1, (i as u64 + 1) * 1000, recs, *dropped, *pending)
+            })
+            .collect();
+
+        // Flat reference: every instance's records folded into one snapshot
+        // (single-aggregate model — no hierarchy at all).
+        let mut flat_records: Vec<(u64, u64, u64)> = Vec::new();
+        let (mut appended, mut drained, mut dropped) = (0u64, 0u64, 0u64);
+        for (recs, d, pending) in &instances {
+            flat_records.extend_from_slice(recs);
+            drained += recs.len() as u64;
+            appended += recs.len() as u64 + pending;
+            dropped += d;
+        }
+        let mut reference =
+            instance_snapshot(0, 0, &flat_records, dropped, appended - drained);
+        reference.seq = snaps.iter().map(|s| s.seq).max().unwrap_or(0);
+        reference.cycle = snaps.iter().map(|s| s.cycle).max().unwrap_or(0);
+
+        // Hierarchy: chunk instances into nodes, merge each node, then merge
+        // the node aggregates in a rotated (arbitrary) order.
+        let nodes: Vec<Snapshot> = snaps.chunks(node_size).map(merge_all).collect();
+        let mut fleet = Snapshot::empty();
+        for i in 0..nodes.len() {
+            fleet.merge(&nodes[(i + rot) % nodes.len()]);
+        }
+        prop_assert_eq!(&fleet, &reference);
+
+        // Invariant preservation: the merged in-flight count is the sum of
+        // the per-instance in-flight counts.
+        let in_flight_sum: u64 = snaps.iter().map(Snapshot::in_flight).sum();
+        prop_assert_eq!(fleet.in_flight(), in_flight_sum);
+        prop_assert_eq!(fleet.appended, fleet.drained + fleet.overwritten + fleet.in_flight());
+
+        // Commutativity at the pair level.
+        if snaps.len() >= 2 {
+            let mut ab = snaps[0].clone();
+            ab.merge(&snaps[1]);
+            let mut ba = snaps[1].clone();
+            ba.merge(&snaps[0]);
+            prop_assert_eq!(ab, ba);
+        }
+
+        // Associativity at the triple level: (a∪b)∪c == a∪(b∪c).
+        if snaps.len() >= 3 {
+            let mut left = snaps[0].clone();
+            left.merge(&snaps[1]);
+            left.merge(&snaps[2]);
+            let mut bc = snaps[1].clone();
+            bc.merge(&snaps[2]);
+            let mut right = snaps[0].clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        // Identity element.
+        let mut with_empty = fleet.clone();
+        with_empty.merge(&Snapshot::empty());
+        prop_assert_eq!(with_empty, fleet);
+    }
+}

@@ -31,8 +31,9 @@ pub struct BenchOptions {
     /// Fail if the measured speedup regresses >20% vs the file's first
     /// (committed baseline) entry.
     pub check: bool,
-    /// Which arms to run: `both` (default), or `single`/`block` alone
-    /// (profiling one interpreter; no file write, no differential gate).
+    /// Which arms to run: `both` (default), `single`/`block` alone
+    /// (profiling one interpreter; no file write, no differential gate),
+    /// or `fleet` (fleet throughput + jobs-scaling entry).
     pub mode: String,
 }
 
@@ -84,6 +85,9 @@ fn run_arm(cfg: &MysqlConfig, exec: ExecMode) -> Result<Arm, String> {
 /// Runs the benchmark, prints the table, appends to the results file, and
 /// (with `--check`) gates on the committed baseline's speedup.
 pub fn run(opts: &BenchOptions) -> Result<(), String> {
+    if opts.mode == "fleet" {
+        return run_fleet_bench(opts);
+    }
     let cfg = MysqlConfig {
         queries_per_thread: opts.queries,
         ..MysqlConfig::default()
@@ -116,7 +120,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "invalid --mode value {other:?} (both|single|block)"
+                "invalid --mode value {other:?} (both|single|block|fleet)"
             ))
         }
     }
@@ -165,6 +169,136 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// `--mode fleet`: fleet throughput and host-parallel scaling.
+///
+/// Runs a small fixed fleet (96 mysqld instances, 2 threads × 25 queries
+/// each — independent of `--queries`, which scales the interpreter
+/// benchmark) once on 1 host job and once on 2, then:
+///
+/// * **hard determinism gate** — the two fleet aggregates and finding
+///   sets must render byte-identically, or the command fails;
+/// * reports instances/s and aggregate guest Minstr/s per arm;
+/// * appends a `kind: "fleet"` entry; `--check` gates the jobs-2/jobs-1
+///   *scaling ratio* at 80% of the committed first fleet entry (a ratio,
+///   like the interpreter speedup gate, so it transfers across machines).
+fn run_fleet_bench(opts: &BenchOptions) -> Result<(), String> {
+    use fleet::{run_fleet, FleetConfig, EVENT_NAMES};
+
+    const INSTANCES: usize = 96;
+    let mk = |jobs: usize| FleetConfig {
+        instances: INSTANCES,
+        threads: 2,
+        queries: 25,
+        jobs,
+        ..FleetConfig::default()
+    };
+    let measure = |jobs: usize| -> Result<(fleet::FleetReport, f64), String> {
+        let started = std::time::Instant::now();
+        let report = run_fleet(&mk(jobs), |_, _| {})?;
+        Ok((report, started.elapsed().as_secs_f64().max(1e-9)))
+    };
+
+    eprintln!("[bench] fleet: {INSTANCES} x mysqld (2 threads x 25 queries), jobs 1 vs 2");
+    let (r1, secs1) = measure(1)?;
+    let (r2, secs2) = measure(2)?;
+
+    // Determinism is the contract the whole fleet layer is built on; a
+    // mismatch here is a bug, not a perf regression.
+    let render = |r: &fleet::FleetReport| {
+        let mut s = r.fleet.render(&EVENT_NAMES);
+        for f in &r.findings {
+            s.push_str(&f.to_string());
+            s.push('\n');
+        }
+        s
+    };
+    if render(&r1) != render(&r2) {
+        return Err(
+            "fleet aggregate diverged between --jobs 1 and --jobs 2 — determinism bug".into(),
+        );
+    }
+
+    let scaling = secs1 / secs2;
+    let row = |label: &str, r: &fleet::FleetReport, secs: f64| {
+        println!(
+            "  {label:<12}  {secs:>8.3} s   {:>8.2} instances/s   {:>8.2} Minstr/s",
+            INSTANCES as f64 / secs,
+            r.total_instructions() as f64 / secs / 1e6
+        );
+    };
+    println!("fleet throughput, {INSTANCES} instances (deterministic aggregate verified):");
+    row("jobs=1", &r1, secs1);
+    row("jobs=2", &r2, secs2);
+    println!("  scaling       {scaling:>8.2}x");
+
+    if !opts.out.is_empty() {
+        append_fleet_entry(opts, &r1, secs1, secs2, scaling)?;
+    }
+    if opts.check {
+        check_fleet_regression(&opts.out, scaling)?;
+    }
+    Ok(())
+}
+
+fn append_fleet_entry(
+    opts: &BenchOptions,
+    r1: &fleet::FleetReport,
+    secs1: f64,
+    secs2: f64,
+    scaling: f64,
+) -> Result<(), String> {
+    let instances = r1.instances.len() as u64;
+    let arm = |secs: f64| {
+        Json::object()
+            .set("wall_s", secs)
+            .set("instances_per_s", instances as f64 / secs)
+    };
+    let entry = Json::object()
+        .set("kind", "fleet")
+        .set("label", opts.label.as_str())
+        .set("workload", "mysqld")
+        .set("instances", instances)
+        .set("guest_instrs", r1.total_instructions())
+        .set("jobs1", arm(secs1))
+        .set("jobs2", arm(secs2))
+        .set("scaling", scaling);
+    append_raw_entry(&opts.out, entry)?;
+    eprintln!(
+        "[bench] appended fleet entry {:?} to {}",
+        opts.label, opts.out
+    );
+    Ok(())
+}
+
+/// Gates the measured jobs-2/jobs-1 scaling at 80% of the committed
+/// baseline's (the file's first `kind: "fleet"` entry).
+fn check_fleet_regression(out: &str, scaling: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(out).map_err(|e| format!("{out}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+    let baseline = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .and_then(|entries| {
+            entries
+                .iter()
+                .find(|e| e.get("kind").and_then(Json::as_str) == Some("fleet"))
+        })
+        .and_then(|e| e.get("scaling"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{out}: no baseline fleet entry with a scaling field"))?;
+    let floor = baseline * 0.8;
+    if scaling < floor {
+        return Err(format!(
+            "fleet scaling regression: measured {scaling:.2}x < {floor:.2}x \
+             (80% of committed baseline {baseline:.2}x)"
+        ));
+    }
+    eprintln!(
+        "[bench] fleet check ok: {scaling:.2}x >= {floor:.2}x (80% of baseline {baseline:.2}x)"
+    );
+    Ok(())
+}
+
 fn entry_json(
     opts: &BenchOptions,
     cfg: &MysqlConfig,
@@ -178,6 +312,7 @@ fn entry_json(
             .set("minstr_per_s", a.instrs as f64 / a.secs / 1e6)
     };
     Json::object()
+        .set("kind", "exec")
         .set("label", opts.label.as_str())
         .set("workload", "mysqld")
         .set("threads", cfg.threads as u64)
@@ -199,23 +334,28 @@ fn append_entry(
     block: &Arm,
     speedup: f64,
 ) -> Result<(), String> {
-    let mut entries: Vec<Json> = match std::fs::read_to_string(&opts.out) {
+    append_raw_entry(&opts.out, entry_json(opts, cfg, single, block, speedup))?;
+    eprintln!("[bench] appended entry {:?} to {}", opts.label, opts.out);
+    Ok(())
+}
+
+/// Appends one entry to the results file, creating it if needed.
+fn append_raw_entry(out: &str, entry: Json) -> Result<(), String> {
+    let mut entries: Vec<Json> = match std::fs::read_to_string(out) {
         Ok(text) => Json::parse(&text)
-            .map_err(|e| format!("{}: {e}", opts.out))?
+            .map_err(|e| format!("{out}: {e}"))?
             .get("entries")
             .and_then(Json::as_array)
             .map(<[Json]>::to_vec)
             .unwrap_or_default(),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(format!("{}: {e}", opts.out)),
+        Err(e) => return Err(format!("{out}: {e}")),
     };
-    entries.push(entry_json(opts, cfg, single, block, speedup));
+    entries.push(entry);
     let doc = Json::object()
         .set("schema", 1u64)
         .set("entries", Json::Array(entries));
-    std::fs::write(&opts.out, doc.pretty()).map_err(|e| format!("{}: {e}", opts.out))?;
-    eprintln!("[bench] appended entry {:?} to {}", opts.label, opts.out);
-    Ok(())
+    std::fs::write(out, doc.pretty()).map_err(|e| format!("{out}: {e}"))
 }
 
 /// Fails if this run's speedup fell more than 20% below the committed

@@ -24,10 +24,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 mod bench_cmd;
+mod fleet_cmd;
 mod monitor;
 mod trace;
 
-const EXPERIMENTS: [(&str, &str); 15] = [
+const EXPERIMENTS: [(&str, &str); 16] = [
     ("e1", "read-cost table (the headline)"),
     ("e2", "instrumentation overhead on mysqld"),
     ("e3", "virtualized-count exactness"),
@@ -45,6 +46,10 @@ const EXPERIMENTS: [(&str, &str); 15] = [
     ("e12", "extension: lock-striping what-if study"),
     ("e13", "live-telemetry streaming overhead"),
     ("e14", "virtualization torture sweep (injection + oracle)"),
+    (
+        "e15",
+        "fleet saturation sweep (open-loop arrival-rate knee)",
+    ),
     (
         "kernels",
         "microbenchmark suite characterization + prefetch ablation",
@@ -147,6 +152,28 @@ fn run_one(name: &str) -> Result<String, String> {
                 .and_then(|r| r.repro.as_ref())
             {
                 let _ = writeln!(w, "shrunk fixup-off repro:\n{repro}");
+            }
+        }
+        "e15" => {
+            let fracs = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+            let r = bench::e15::run(32, &fracs, 2)?;
+            let _ = writeln!(w, "{}", bench::e15::table(&r));
+            match r.knee {
+                Some(k) => {
+                    let _ = writeln!(
+                        w,
+                        "saturation knee at {k:.2} arrivals/Mcycle ({:.2}x of node capacity \
+                         {:.2}/Mcycle)",
+                        k / r.capacity_rate,
+                        r.capacity_rate
+                    );
+                }
+                None => {
+                    let _ = writeln!(w, "no knee inside the swept range");
+                }
+            }
+            if let Some(pop) = &r.top_population {
+                let _ = writeln!(w, "fleet-wide bottleneck: {pop}");
             }
         }
         "kernels" => {
@@ -525,6 +552,11 @@ fn usage() {
   monitor <mysqld|memcached> [--threads N] [--queries N]
           [--interval CYCLES] [--capacity N] [--out-dir DIR]
                                                         live telemetry stream
+  fleet <mysqld|memcached> [--instances N] [--arrival-rate R] [--burst F]
+        [--jobs N] [--slots N] [--threads N] [--queries N] [--seed S]
+        [--interval CYCLES] [--capacity N] [--out-dir DIR]
+                                                        open-loop fleet simulation
+                                                        with hierarchical roll-up
   check-telemetry <file>                                validate NDJSON output
   torture [--schedules N] [--seed S] [--fixup on|off|both] [--spill true|false]
           [--replay SEED,INDEX] [--out-dir DIR]         virtualization torture sweep
@@ -673,6 +705,69 @@ fn main() -> ExitCode {
                 }
             }
             match monitor::run(which, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("fleet") => {
+            let Some(which) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            let mut opts = fleet_cmd::FleetOptions::default();
+            let flags = match parse_flags(
+                &args[2..],
+                &[
+                    "instances",
+                    "threads",
+                    "queries",
+                    "arrival-rate",
+                    "burst",
+                    "slots",
+                    "seed",
+                    "jobs",
+                    "interval",
+                    "capacity",
+                    "out-dir",
+                ],
+            ) {
+                Ok(flags) => flags,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, value) in flags {
+                let parsed: Result<(), String> = (|| {
+                    match key {
+                        "instances" => opts.instances = parse_num(key, value)?,
+                        "threads" => opts.threads = parse_num(key, value)?,
+                        "queries" => opts.queries = parse_num(key, value)?,
+                        "arrival-rate" => opts.arrival_rate = parse_num(key, value)?,
+                        "burst" => opts.burst = parse_num(key, value)?,
+                        "slots" => opts.slots = parse_num(key, value)?,
+                        "seed" => opts.seed = parse_num(key, value)?,
+                        "jobs" => match parse_num::<usize>(key, value)? {
+                            0 => opts.jobs = bench::default_jobs(),
+                            n => opts.jobs = n,
+                        },
+                        "interval" => opts.interval = parse_num(key, value)?,
+                        "capacity" => opts.capacity = parse_num(key, value)?,
+                        "out-dir" => opts.out_dir = value.to_string(),
+                        _ => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = parsed {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match fleet_cmd::run(which, &opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

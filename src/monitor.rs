@@ -27,9 +27,12 @@ pub const EVENTS: [EventKind; 3] = [
 ];
 const EVENT_NAMES: [&str; 3] = ["cycles", "instrs", "llc"];
 
-/// NDJSON schema version written by `monitor` and checked by
-/// `check-telemetry`.
-pub const SCHEMA: u64 = 1;
+/// NDJSON schema version written by `monitor` and `fleet`, checked by
+/// `check-telemetry`. Schema 2 adds the `instance` field: a numeric
+/// instance id on per-instance lines, or the string `"fleet"` on the
+/// fleet roll-up line. Schema-1 files (no `instance`) remain valid input
+/// to `check-telemetry`.
+pub const SCHEMA: u64 = 2;
 
 /// Knobs of a monitored run (all have CLI flags).
 #[derive(Debug, Clone)]
@@ -92,8 +95,16 @@ fn build_session(workload: &str, opts: &MonitorOptions) -> Result<Session, Strin
     }
 }
 
-/// One snapshot (plus its findings) as an NDJSON record.
-fn snapshot_json(workload: &str, snap: &Snapshot, findings: &[Finding]) -> Json {
+/// One snapshot (with pre-rendered findings) as a schema-2 NDJSON record.
+/// `instance` is the per-instance id, or the string `"fleet"` on the
+/// roll-up line. Shared by `monitor` (always instance 0) and the `fleet`
+/// subcommand.
+pub fn snapshot_json_with(
+    workload: &str,
+    instance: Json,
+    snap: &Snapshot,
+    findings_json: Json,
+) -> Json {
     let regions = snap
         .regions
         .iter()
@@ -121,19 +132,10 @@ fn snapshot_json(workload: &str, snap: &Snapshot, findings: &[Finding]) -> Json 
                 .set("hist", Json::Array(hist))
         })
         .collect();
-    let findings_json = findings
-        .iter()
-        .map(|f| {
-            Json::object()
-                .set("kind", f.kind.to_string())
-                .set("region", f.region.as_str())
-                .set("share", f.share)
-                .set("detail", f.detail.as_str())
-        })
-        .collect();
     Json::object()
         .set("schema", SCHEMA)
         .set("workload", workload)
+        .set("instance", instance)
         .set("seq", snap.seq)
         .set("cycle", snap.cycle)
         .set("appended", snap.appended)
@@ -143,7 +145,23 @@ fn snapshot_json(workload: &str, snap: &Snapshot, findings: &[Finding]) -> Json 
         .set("in_flight", snap.in_flight())
         .set("events", EVENT_NAMES.to_vec())
         .set("regions", Json::Array(regions))
-        .set("findings", Json::Array(findings_json))
+        .set("findings", findings_json)
+}
+
+/// Single-instance findings rendered for the NDJSON `findings` array.
+pub fn findings_json(findings: &[Finding]) -> Json {
+    Json::Array(
+        findings
+            .iter()
+            .map(|f| {
+                Json::object()
+                    .set("kind", f.kind.to_string())
+                    .set("region", f.region.as_str())
+                    .set("share", f.share)
+                    .set("detail", f.detail.as_str())
+            })
+            .collect(),
+    )
 }
 
 /// Runs the monitor: streams snapshots to stdout and NDJSON to
@@ -185,7 +203,8 @@ pub fn run(workload: &str, opts: &MonitorOptions) -> Result<(), String> {
             println!();
         }
         total_findings += findings.len();
-        ndjson.push_str(&snapshot_json(workload, snap, &findings).compact());
+        let line = snapshot_json_with(workload, 0u64.into(), snap, findings_json(&findings));
+        ndjson.push_str(&line.compact());
         ndjson.push('\n');
     })
     .map_err(|e| e.to_string())?;
@@ -208,16 +227,27 @@ pub fn run(workload: &str, opts: &MonitorOptions) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-stream progress state inside `check`: schema-2 files interleave
+/// one stream per instance (plus the `"fleet"` roll-up), each with its
+/// own monotone seq/drained sequence.
+struct StreamState {
+    last_seq: u64,
+    last_drained: u64,
+    /// The stream's latest line (the final snapshot once the file ends).
+    last: Json,
+}
+
 /// `limit-repro check-telemetry <file>`: validates an NDJSON stream
-/// written by `monitor` — per-line schema, monotone progress, and the
-/// transport-accounting invariant on the final snapshot.
+/// written by `monitor` or `fleet` — per-line schema (v1 or v2),
+/// per-instance monotone progress, the transport-accounting invariant on
+/// every line, and (for fleet files) conservation between the fleet
+/// roll-up line and the sum of the per-instance lines.
 pub fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut snapshots = 0u64;
     let mut findings = 0u64;
-    let mut last_seq = 0u64;
-    let mut last_drained = 0u64;
-    let mut last: Option<Json> = None;
+    let mut streams: std::collections::HashMap<String, StreamState> =
+        std::collections::HashMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
         let doc = Json::parse(line).map_err(|e| format!("{path}:{n}: {e}"))?;
@@ -226,16 +256,34 @@ pub fn check(path: &str) -> Result<(), String> {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("{path}:{n}: missing numeric field {key:?}"))
         };
-        if field("schema")? != SCHEMA {
-            return Err(format!("{path}:{n}: unsupported schema"));
-        }
+        let schema = field("schema")?;
+        // v1: no instance field, one implicit stream. v2: instance is a
+        // numeric id or the string "fleet".
+        let key = match schema {
+            1 => String::new(),
+            SCHEMA => match doc.get("instance") {
+                Some(v) => match (v.as_u64(), v.as_str()) {
+                    (Some(id), _) => id.to_string(),
+                    (None, Some("fleet")) => "fleet".to_string(),
+                    _ => {
+                        return Err(format!(
+                            "{path}:{n}: instance must be a number or \"fleet\""
+                        ))
+                    }
+                },
+                None => return Err(format!("{path}:{n}: schema 2 line missing instance")),
+            },
+            _ => return Err(format!("{path}:{n}: unsupported schema {schema}")),
+        };
         let seq = field("seq")?;
-        if seq <= last_seq {
-            return Err(format!("{path}:{n}: seq not monotone"));
-        }
         let drained = field("drained")?;
-        if drained < last_drained {
-            return Err(format!("{path}:{n}: drained went backwards"));
+        if let Some(st) = streams.get(&key) {
+            if seq <= st.last_seq {
+                return Err(format!("{path}:{n}: seq not monotone"));
+            }
+            if drained < st.last_drained {
+                return Err(format!("{path}:{n}: drained went backwards"));
+            }
         }
         let (appended, dropped, overwritten, in_flight) = (
             field("appended")?,
@@ -281,12 +329,22 @@ pub fn check(path: &str) -> Result<(), String> {
             .and_then(Json::as_array)
             .ok_or_else(|| format!("{path}:{n}: missing findings array"))?
             .len() as u64;
-        last_seq = seq;
-        last_drained = drained;
         snapshots += 1;
-        last = Some(doc);
+        streams.insert(
+            key,
+            StreamState {
+                last_seq: seq,
+                last_drained: drained,
+                last: doc,
+            },
+        );
     }
-    if snapshots < 3 {
+    let is_fleet = streams.contains_key("fleet");
+    if is_fleet {
+        if streams.len() < 2 {
+            return Err(format!("{path}: fleet roll-up with no instance lines"));
+        }
+    } else if snapshots < 3 {
         return Err(format!(
             "{path}: only {snapshots} snapshots — expected mid-run streaming (>= 3)"
         ));
@@ -294,10 +352,40 @@ pub fn check(path: &str) -> Result<(), String> {
     if findings == 0 {
         return Err(format!("{path}: no bottleneck findings in any snapshot"));
     }
-    let last = last.unwrap();
-    if last.get("in_flight").and_then(Json::as_u64) != Some(0) {
-        return Err(format!("{path}: final snapshot left records in flight"));
+    // Every stream's final snapshot must have drained everything.
+    for (key, st) in &streams {
+        if st.last.get("in_flight").and_then(Json::as_u64) != Some(0) {
+            let who = if key.is_empty() {
+                "final snapshot".to_string()
+            } else {
+                format!("instance {key} final snapshot")
+            };
+            return Err(format!("{path}: {who} left records in flight"));
+        }
     }
-    println!("{path}: ok — {snapshots} snapshots, {findings} findings, final drain clean");
+    // Fleet conservation: the roll-up must equal the sum of the
+    // per-instance final snapshots, field by field.
+    if let Some(fleet) = streams.get("fleet") {
+        for key in ["appended", "drained", "dropped", "overwritten"] {
+            let total: u64 = streams
+                .iter()
+                .filter(|(k, _)| k.as_str() != "fleet")
+                .filter_map(|(_, st)| st.last.get(key).and_then(Json::as_u64))
+                .sum();
+            let rolled = fleet.last.get(key).and_then(Json::as_u64).unwrap_or(0);
+            if total != rolled {
+                return Err(format!(
+                    "{path}: fleet conservation violated: {key} rolls up to {rolled} \
+                     but instances sum to {total}"
+                ));
+            }
+        }
+    }
+    let what = if is_fleet {
+        format!("{} instance streams + fleet roll-up", streams.len() - 1)
+    } else {
+        format!("{snapshots} snapshots")
+    };
+    println!("{path}: ok — {what}, {findings} findings, final drain clean");
     Ok(())
 }
