@@ -1,0 +1,173 @@
+//! Causal bottleneck attribution from what-if sensitivities.
+//!
+//! The what-if engine (`crates/whatif`) re-runs a workload with one
+//! machine knob perturbed per arm — every knob scaled by the same
+//! relative factor — and measures, for every region, how many extra
+//! cycles the region pays per 100% increase of the knob's cost (the
+//! *impact*, comparable across knobs because the perturbations are
+//! equal-relative). This module turns a region's impact vector into a
+//! [`Finding`]: the knob *class* the
+//! region is most sensitive to names the resource it is actually bound on
+//! — which is stronger evidence than the share-based heuristics in
+//! [`crate::online`], because it comes from a controlled intervention
+//! rather than an observational share.
+
+use crate::online::{Finding, FindingKind};
+
+/// The machine resource a knob belongs to; the top-ranked knob's class
+/// decides the finding kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobClass {
+    /// Lock/atomic costs (atomic RMW penalty).
+    Lock,
+    /// Memory-hierarchy latencies (LLC, DRAM, coherence).
+    Memory,
+    /// Plain compute costs (branch mispredicts, counter reads).
+    Cpu,
+    /// Kernel costs (syscalls, context switches).
+    Kernel,
+}
+
+impl KnobClass {
+    /// The finding kind this class maps to. Kernel-bound regions surface
+    /// as cpu-bound: the cycles are spent executing, not waiting on a lock
+    /// or on memory.
+    pub fn finding_kind(self) -> FindingKind {
+        match self {
+            KnobClass::Lock => FindingKind::LockContention,
+            KnobClass::Memory => FindingKind::MemoryBound,
+            KnobClass::Cpu | KnobClass::Kernel => FindingKind::CpuBound,
+        }
+    }
+}
+
+/// One knob's measured sensitivity for one region.
+#[derive(Debug, Clone)]
+pub struct KnobSensitivity {
+    /// Knob name (e.g. `atomic-penalty`).
+    pub knob: String,
+    /// The resource class the knob belongs to.
+    pub class: KnobClass,
+    /// Extra region cycles per +100% knob cost (impact). Any measure
+    /// that is comparable across knobs works; the engine passes impact.
+    pub sensitivity: f64,
+}
+
+/// Attributes a region to the resource it is bound on.
+///
+/// Ranks the knobs by sensitivity; the top knob must be positive and at
+/// least `min_dominance` times the runner-up (knobs the region is *not*
+/// bound on sit near zero, so a clear winner is the signal that the
+/// intervention found a real cause). Returns `None` when no knob moved
+/// the region or the ranking is too close to call.
+pub fn attribute(region: &str, sens: &[KnobSensitivity], min_dominance: f64) -> Option<Finding> {
+    let mut ranked: Vec<&KnobSensitivity> = sens.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.sensitivity
+            .partial_cmp(&a.sensitivity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.knob.cmp(&b.knob))
+    });
+    let top = ranked.first()?;
+    if top.sensitivity <= 0.0 {
+        return None;
+    }
+    let next = ranked.get(1);
+    let dominance = match next {
+        Some(n) if n.sensitivity > 0.0 => top.sensitivity / n.sensitivity,
+        _ => f64::INFINITY,
+    };
+    if dominance < min_dominance {
+        return None;
+    }
+    let positive_total: f64 = ranked
+        .iter()
+        .map(|s| s.sensitivity.max(0.0))
+        .sum::<f64>()
+        .max(f64::MIN_POSITIVE);
+    let detail = match next {
+        Some(n) => format!(
+            "{:.0} cycles per +100% {}, {:.0} for {} (dominance {:.1}x)",
+            top.sensitivity,
+            top.knob,
+            n.sensitivity.max(0.0),
+            n.knob,
+            dominance
+        ),
+        None => format!("{:.0} cycles per +100% {}", top.sensitivity, top.knob),
+    };
+    Some(Finding {
+        kind: top.class.finding_kind(),
+        region: region.to_string(),
+        share: top.sensitivity / positive_total,
+        detail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(knob: &str, class: KnobClass, v: f64) -> KnobSensitivity {
+        KnobSensitivity {
+            knob: knob.to_string(),
+            class,
+            sensitivity: v,
+        }
+    }
+
+    #[test]
+    fn lock_dominated_region_is_lock_bound() {
+        let f = attribute(
+            "mc.lock.acq",
+            &[
+                s("atomic-penalty", KnobClass::Lock, 8.2),
+                s("llc-latency", KnobClass::Memory, 1.1),
+            ],
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(f.kind, FindingKind::LockContention);
+        assert!(f.share > 0.8);
+        assert!(f.detail.contains("atomic-penalty"), "{}", f.detail);
+    }
+
+    #[test]
+    fn memory_dominated_region_is_memory_bound() {
+        let f = attribute(
+            "mysql.bufpool.hold",
+            &[
+                s("dram-latency", KnobClass::Memory, 4.0),
+                s("atomic-penalty", KnobClass::Lock, 0.3),
+            ],
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(f.kind, FindingKind::MemoryBound);
+    }
+
+    #[test]
+    fn close_calls_and_insensitive_regions_yield_nothing() {
+        // Too close to call at 2x dominance.
+        assert!(attribute(
+            "r",
+            &[s("a", KnobClass::Lock, 2.0), s("b", KnobClass::Memory, 1.5)],
+            2.0
+        )
+        .is_none());
+        // Nothing moved the region.
+        assert!(attribute(
+            "r",
+            &[s("a", KnobClass::Lock, 0.0), s("b", KnobClass::Cpu, -0.2)],
+            2.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn single_positive_knob_wins_with_infinite_dominance() {
+        let f = attribute("r", &[s("a", KnobClass::Kernel, 1.0)], 2.0).unwrap();
+        assert_eq!(f.kind, FindingKind::CpuBound);
+        assert_eq!(f.share, 1.0);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`online`] — the same logic applied continuously to mid-run
 //!   telemetry snapshots (lock-contention / memory-bound / cpu-bound
 //!   classification),
+//! * [`causal`] — bottleneck attribution from what-if sensitivities (the
+//!   intervention-based counterpart of [`online`], fed by `crates/whatif`),
 //! * [`fleet`] — the population lift of [`online`]: share-of-instances
 //!   bottleneck roll-ups, session-latency percentiles, and overload
 //!   detection for the fleet driver,
@@ -21,6 +23,7 @@
 pub mod accuracy;
 pub mod attribution;
 pub mod bottleneck;
+pub mod causal;
 pub mod compare;
 pub mod fleet;
 pub mod lockstats;
@@ -33,6 +36,7 @@ pub mod table;
 pub use accuracy::AccuracyReport;
 pub use attribution::{precise_cycles_by_region, samples_by_range, RangeMap};
 pub use bottleneck::{Bottleneck, BottleneckReport};
+pub use causal::{attribute, KnobClass, KnobSensitivity};
 pub use compare::Comparison;
 pub use fleet::{classify_fleet, classify_instances, FleetFinding, FleetFindingKind, QueueStats};
 pub use lockstats::{LockClassStats, LockReport};

@@ -75,6 +75,20 @@ impl Span {
     }
 }
 
+/// Records an externally measured span — for durations timed inside a
+/// crate that cannot depend on `bench` (e.g. the what-if engine's arm
+/// wall times). The span is backdated so it ends now and lasted
+/// `wall_ms`.
+pub fn record(name: impl Into<String>, wall_ms: f64, meta: &[(&str, f64)]) {
+    let now_ms = Instant::now().duration_since(epoch()).as_secs_f64() * 1e3;
+    REGISTRY.lock().unwrap().push(SpanRecord {
+        name: name.into(),
+        start_ms: (now_ms - wall_ms).max(0.0),
+        wall_ms,
+        meta: meta.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    });
+}
+
 /// Removes and returns every span recorded so far, in finish order.
 pub fn drain() -> Vec<SpanRecord> {
     std::mem::take(&mut *REGISTRY.lock().unwrap())

@@ -29,6 +29,7 @@ pub struct SessionBuilder {
     layout: Option<MemLayout>,
     aggregate_regions: usize,
     stream: Option<StreamConfig>,
+    param_warnings: Vec<String>,
 }
 
 impl SessionBuilder {
@@ -43,7 +44,24 @@ impl SessionBuilder {
             layout: None,
             aggregate_regions: 0,
             stream: None,
+            param_warnings: Vec::new(),
         }
+    }
+
+    /// A session built from a full runtime parameter set (the what-if
+    /// engine's entry point). Hard-invalid parameter combinations are
+    /// rejected here; degenerate-but-runnable combinations become warning
+    /// lines the session routes through its [`WarnSink`] at teardown.
+    /// Kernel fields the params do not cover keep the defaults — override
+    /// afterwards via [`SessionBuilder::kernel_config`] if needed, but note
+    /// that replaces the params-derived quantum/switch cost too.
+    pub fn from_params(params: &crate::params::MachineParams) -> SimResult<Self> {
+        let warnings = params.validate()?;
+        let mut b = SessionBuilder::new(params.cores);
+        b.machine_cfg = params.machine_config();
+        b.kernel_cfg = params.kernel_config();
+        b.param_warnings = warnings;
+        Ok(b)
     }
 
     /// Enables stream-mode instrumentation: every spawned thread gets an
@@ -156,6 +174,7 @@ impl SessionBuilder {
             tls_of: HashMap::new(),
             report: None,
             warn_sink: None,
+            param_warnings: self.param_warnings,
         })
     }
 }
@@ -227,6 +246,9 @@ pub struct Session {
     tls_of: HashMap<ThreadId, TlsInfo>,
     report: Option<RunReport>,
     warn_sink: Option<WarnSink>,
+    /// Degenerate-params warnings from [`SessionBuilder::from_params`],
+    /// surfaced at teardown through the warn sink.
+    param_warnings: Vec<String>,
 }
 
 impl Session {
@@ -462,6 +484,14 @@ impl Session {
                 w.rejected_ranges
             ));
         }
+        // Degenerate-params warnings (see `MachineParams::validate`): the
+        // run completed, but under cost orderings the paper's claims do not
+        // hold for.
+        let param_warnings = std::mem::take(&mut self.param_warnings);
+        for line in &param_warnings {
+            self.warn(line);
+        }
+        self.param_warnings = param_warnings;
     }
 
     /// Routes teardown warning lines through the installed sink instead of

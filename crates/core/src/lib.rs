@@ -59,6 +59,7 @@
 
 pub mod harness;
 pub mod instrument;
+pub mod params;
 pub mod reader;
 pub mod report;
 pub mod routine;
@@ -66,6 +67,7 @@ pub mod tls;
 
 pub use harness::{RingHandle, Session, SessionBuilder, WarnSink};
 pub use instrument::{Instrumenter, LogMode, StreamConfig};
+pub use params::MachineParams;
 pub use reader::{CounterReader, LimitReader, NullReader};
 pub use report::{RegionRecord, Regions};
 pub use routine::ReadRoutines;

@@ -141,18 +141,19 @@ impl Instr {
     /// kernel-visible events (see `Machine::run_until`). Returns an upper
     /// bound on the instruction's cycle cost (needed to guarantee the step
     /// cannot cross a sleeper wake-up boundary), or `None` for
-    /// order-sensitive instructions.
-    pub fn run_ahead_bound(&self) -> Option<u64> {
-        use crate::cost;
+    /// order-sensitive instructions. Bounds are computed against the
+    /// machine's runtime [`crate::cost::CostModel`] so what-if arms with
+    /// scaled costs stay correct.
+    pub fn run_ahead_bound(&self, cost: &crate::cost::CostModel) -> Option<u64> {
         match *self {
             Instr::Imm(..) | Instr::Mov(..) | Instr::Alu(..) | Instr::AluImm(..) | Instr::Nop => {
-                Some(cost::ALU)
+                Some(cost.alu)
             }
             Instr::Burst(n) => Some(n.max(1) as u64),
-            Instr::Br(..) => Some(cost::BRANCH + cost::BRANCH_MISS_PENALTY),
-            Instr::Jmp(..) => Some(cost::BRANCH),
-            Instr::Call(..) | Instr::Ret => Some(cost::CALL),
-            Instr::Rdtsc(..) => Some(cost::RDTSC),
+            Instr::Br(..) => Some(cost.branch + cost.branch_miss_penalty),
+            Instr::Jmp(..) => Some(cost.branch),
+            Instr::Call(..) | Instr::Ret => Some(cost.call),
+            Instr::Rdtsc(..) => Some(cost.rdtsc),
             // Memory operations drive the shared cache/coherence model;
             // syscalls and halts enter the kernel; counter reads and tag
             // changes observe/flush architected PMU state. All must execute

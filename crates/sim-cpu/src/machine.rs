@@ -8,7 +8,7 @@
 //! granularity, which is what the LiMiT read-race reproduction requires.
 
 use crate::core::{Core, Mode, Step, Trap};
-use crate::cost;
+use crate::cost::CostModel;
 use crate::events::EventKind;
 use crate::gmem::GuestMem;
 use crate::isa::Instr;
@@ -32,6 +32,9 @@ pub struct MachineConfig {
     pub pmu: PmuConfig,
     /// Memory-hierarchy configuration.
     pub hierarchy: HierarchyConfig,
+    /// Per-instruction cycle costs; defaults reproduce the `cost::*`
+    /// constants bit-for-bit.
+    pub cost: CostModel,
     /// Core clock frequency (for reporting only; timing is in cycles).
     pub freq: Freq,
 }
@@ -43,6 +46,7 @@ impl MachineConfig {
             cores,
             pmu: PmuConfig::default(),
             hierarchy: HierarchyConfig::default(),
+            cost: CostModel::default(),
             freq: Freq::DEFAULT,
         }
     }
@@ -56,6 +60,12 @@ impl MachineConfig {
     /// Replaces the hierarchy configuration.
     pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
         self.hierarchy = hierarchy;
+        self
+    }
+
+    /// Replaces the cycle-cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
         self
     }
 }
@@ -116,6 +126,8 @@ pub struct Machine {
     pub memsys: MemorySystem,
     /// The single program image all threads execute from.
     pub prog: Program,
+    /// Runtime cycle-cost model every charge site reads.
+    cost: CostModel,
     freq: Freq,
     /// Differential oracle for the torture harness; off unless enabled via
     /// [`Machine::enable_oracle`].
@@ -140,6 +152,7 @@ impl Machine {
             mem: GuestMem::new(),
             memsys: MemorySystem::new(config.cores, config.hierarchy)?,
             prog,
+            cost: config.cost,
             freq: config.freq,
             oracle: None,
             flight: None,
@@ -187,6 +200,12 @@ impl Machine {
     /// The core clock frequency.
     pub fn freq(&self) -> Freq {
         self.freq
+    }
+
+    /// The runtime cycle-cost model (the kernel charges syscall entry/exit
+    /// and spill costs through it).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Number of cores.
@@ -283,6 +302,7 @@ impl Machine {
             trap: Some(Trap::Fault(msg)),
         };
         let core_idx = core_id.index();
+        let cost = self.cost;
 
         let pc = self.cores[core_idx].ctx.pc;
         let Some(&instr) = self.prog.fetch(pc) else {
@@ -315,22 +335,22 @@ impl Machine {
 
         match instr {
             Instr::Imm(rd, v) => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
                 self.cores[core_idx].ctx.set(rd, v);
             }
             Instr::Mov(rd, rs) => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
                 let v = self.cores[core_idx].ctx.get(rs);
                 self.cores[core_idx].ctx.set(rd, v);
             }
             Instr::Alu(op, rd, rs) => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
                 let ctx = &mut self.cores[core_idx].ctx;
                 let v = op.apply(ctx.get(rd), ctx.get(rs));
                 ctx.set(rd, v);
             }
             Instr::AluImm(op, rd, v) => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
                 let ctx = &mut self.cores[core_idx].ctx;
                 let nv = op.apply(ctx.get(rd), v);
                 ctx.set(rd, nv);
@@ -353,7 +373,7 @@ impl Machine {
                         core.ctx.set(rd, v);
                         Self::count(core, EventKind::Loads, 1);
                         Self::mem_access_events(core, &acc);
-                        cycles = cost::MEM_ISSUE + acc.latency;
+                        cycles = cost.mem_issue + acc.latency;
                     }
                     Err(e) => {
                         let step = fault(e.message().to_string());
@@ -373,7 +393,7 @@ impl Machine {
                         let core = &mut self.cores[core_idx];
                         Self::count(core, EventKind::Stores, 1);
                         Self::mem_access_events(core, &acc);
-                        cycles = cost::MEM_ISSUE + acc.latency;
+                        cycles = cost.mem_issue + acc.latency;
                     }
                     Err(e) => {
                         let step = fault(e.message().to_string());
@@ -408,7 +428,7 @@ impl Machine {
                 Self::count(core, EventKind::Loads, 1);
                 Self::count(core, EventKind::Stores, 1);
                 Self::mem_access_events(core, &acc);
-                cycles = cost::MEM_ISSUE + acc.latency + cost::ATOMIC_PENALTY;
+                cycles = cost.mem_issue + acc.latency + cost.atomic_penalty;
             }
             Instr::Br(cond, a, b, target) => {
                 let core = &mut self.cores[core_idx];
@@ -417,20 +437,20 @@ impl Machine {
                 if taken {
                     next_pc = target;
                 }
-                cycles = cost::BRANCH + if missed { cost::BRANCH_MISS_PENALTY } else { 0 };
+                cycles = cost.branch + if missed { cost.branch_miss_penalty } else { 0 };
                 Self::count(core, EventKind::Branches, 1);
                 if missed {
                     Self::count(core, EventKind::BranchMisses, 1);
                 }
             }
             Instr::Jmp(target) => {
-                cycles = cost::BRANCH;
+                cycles = cost.branch;
                 next_pc = target;
                 let core = &mut self.cores[core_idx];
                 Self::count(core, EventKind::Branches, 1);
             }
             Instr::Call(target) => {
-                cycles = cost::CALL;
+                cycles = cost.call;
                 let core = &mut self.cores[core_idx];
                 if core.ctx.call_stack.len() >= MAX_CALL_DEPTH {
                     let step = fault("call stack overflow".into());
@@ -441,7 +461,7 @@ impl Machine {
                 next_pc = target;
             }
             Instr::Ret => {
-                cycles = cost::CALL;
+                cycles = cost.call;
                 match self.cores[core_idx].ctx.call_stack.pop() {
                     Some(ra) => next_pc = ra,
                     None => {
@@ -478,7 +498,7 @@ impl Machine {
                 match value {
                     Ok(v) => {
                         core.ctx.set(rd, v);
-                        cycles = cost::RDPMC;
+                        cycles = cost.rdpmc;
                     }
                     Err(e) => {
                         let step = fault(e.message().to_string());
@@ -488,12 +508,12 @@ impl Machine {
                 }
             }
             Instr::Rdtsc(rd) => {
-                cycles = cost::RDTSC;
+                cycles = cost.rdtsc;
                 let clock = self.cores[core_idx].clock;
                 self.cores[core_idx].ctx.set(rd, clock);
             }
             Instr::SetTag(rs) => {
-                cycles = cost::SETTAG;
+                cycles = cost.settag;
                 let core = &mut self.cores[core_idx];
                 if core.pmu.config().ext_tag_filter {
                     // Counts accrued under the old tag must be delivered
@@ -505,14 +525,14 @@ impl Machine {
                 }
             }
             Instr::Syscall(nr) => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
                 trap = Some(Trap::Syscall(nr));
             }
             Instr::Nop => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
             }
             Instr::Halt => {
-                cycles = cost::ALU;
+                cycles = cost.alu;
                 trap = Some(Trap::Halt);
             }
         }
@@ -679,7 +699,7 @@ impl Machine {
             self.mem
                 .fetch_add_u64(spill.addr, spill.amount)
                 .expect("spill address must be aligned");
-            self.cores[core_idx].clock += cost::SPILL;
+            self.cores[core_idx].clock += self.cost.spill;
             let clock = self.cores[core_idx].clock;
             let tid = self.cores[core_idx].running.map(|t| t.0);
             if let Some(fl) = self.flight.as_deref_mut() {
@@ -855,7 +875,11 @@ impl Machine {
                 if in_range {
                     return Ok(None);
                 }
-                match self.prog.fetch(pc).and_then(Instr::run_ahead_bound) {
+                match self
+                    .prog
+                    .fetch(pc)
+                    .and_then(|i| i.run_ahead_bound(&self.cost))
+                {
                     Some(bound) if self.cores[idx].clock.saturating_add(bound) < limits.wake_at => {
                     }
                     _ => return Ok(None),

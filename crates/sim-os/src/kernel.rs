@@ -16,7 +16,7 @@ use crate::thread::{Thread, ThreadState, VCounter};
 use flight::EventData;
 use sim_core::{CoreId, SimError, SimResult, ThreadId};
 use sim_cpu::pmu::CounterCfg;
-use sim_cpu::{cost, Machine, Mode, Reg, Trap};
+use sim_cpu::{Machine, Mode, Reg, Trap};
 
 /// How the kernel drives the machine between its poll points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -932,6 +932,7 @@ impl Kernel {
                     return Ok(());
                 };
                 let t = &self.threads[tid.index()];
+                let spill_cost = self.machine.cost().spill;
                 let sim_cpu::Machine { cores, mem, .. } = &mut self.machine;
                 let mut spilled = 0u64;
                 for (slot, vc) in t.vcounters.iter().enumerate() {
@@ -944,7 +945,7 @@ impl Kernel {
                         spilled += 1;
                     }
                 }
-                cores[i].clock += spilled * cost::SPILL;
+                cores[i].clock += spilled * spill_cost;
                 if spilled > 0 {
                     cores[i].pmu.journal_spills(spilled);
                 }
@@ -1057,7 +1058,8 @@ impl Kernel {
         self.threads[tid.index()].stats.syscalls += 1;
 
         self.machine.cores[i].mode = Mode::Kernel;
-        self.machine.charge(core, cost::SYSCALL_ENTRY, 60);
+        let entry_cost = self.machine.cost().syscall_entry;
+        self.machine.charge(core, entry_cost, 60);
 
         let call = Sys::decode(nr, &self.machine.cores[i].ctx);
         let sys_name = call.as_ref().map_or("invalid", Sys::name);
@@ -1073,7 +1075,8 @@ impl Kernel {
 
         // If the thread is still installed, pay the return-to-user cost.
         if self.machine.cores[i].running == Some(tid) {
-            self.machine.charge(core, cost::SYSCALL_EXIT, 60);
+            let exit_cost = self.machine.cost().syscall_exit;
+            self.machine.charge(core, exit_cost, 60);
             self.machine.cores[i].mode = Mode::User;
         }
         // Emitted even when the caller blocked or exited mid-syscall, so

@@ -1,0 +1,173 @@
+//! The perturbable machine knobs.
+//!
+//! Each [`Knob`] names one cost in a [`MachineParams`] the what-if engine
+//! can scale: one arm per knob, one knob per arm, so the measured cycle
+//! delta is attributable to that cost alone.
+
+use analysis::causal::KnobClass;
+use limit::MachineParams;
+
+/// One perturbable machine parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Knob {
+    /// Extra cycles of an atomic read-modify-write (`cost.atomic_penalty`).
+    AtomicPenalty,
+    /// Branch-mispredict refill cycles (`cost.branch_miss_penalty`).
+    BranchMissPenalty,
+    /// Kernel round trip: syscall entry + exit cost, scaled together.
+    SyscallCost,
+    /// `rdpmc` read cost (`cost.rdpmc`).
+    RdpmcCost,
+    /// LLC hit latency (`hierarchy.llc_latency`).
+    LlcLatency,
+    /// DRAM access latency (`hierarchy.dram.latency`).
+    DramLatency,
+    /// Per-sharer coherence-invalidation penalty
+    /// (`hierarchy.invalidate_penalty`).
+    InvalidatePenalty,
+    /// Direct context-switch cost (`ctx_switch_cost`).
+    CtxSwitchCost,
+}
+
+impl Knob {
+    /// Every knob, in canonical (reporting) order.
+    pub const ALL: [Knob; 8] = [
+        Knob::AtomicPenalty,
+        Knob::BranchMissPenalty,
+        Knob::SyscallCost,
+        Knob::RdpmcCost,
+        Knob::LlcLatency,
+        Knob::DramLatency,
+        Knob::InvalidatePenalty,
+        Knob::CtxSwitchCost,
+    ];
+
+    /// CLI / NDJSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::AtomicPenalty => "atomic-penalty",
+            Knob::BranchMissPenalty => "branch-miss-penalty",
+            Knob::SyscallCost => "syscall-cost",
+            Knob::RdpmcCost => "rdpmc-cost",
+            Knob::LlcLatency => "llc-latency",
+            Knob::DramLatency => "dram-latency",
+            Knob::InvalidatePenalty => "invalidate-penalty",
+            Knob::CtxSwitchCost => "ctx-switch-cost",
+        }
+    }
+
+    /// Parses a CLI / NDJSON name.
+    pub fn parse(s: &str) -> Option<Knob> {
+        Knob::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The resource class the knob belongs to (decides the finding kind
+    /// when this knob tops a region's sensitivity ranking).
+    pub fn class(self) -> KnobClass {
+        match self {
+            Knob::AtomicPenalty => KnobClass::Lock,
+            Knob::LlcLatency | Knob::DramLatency | Knob::InvalidatePenalty => KnobClass::Memory,
+            Knob::BranchMissPenalty | Knob::RdpmcCost => KnobClass::Cpu,
+            Knob::SyscallCost | Knob::CtxSwitchCost => KnobClass::Kernel,
+        }
+    }
+
+    /// The knob's current value in `params` (for [`Knob::SyscallCost`], the
+    /// entry + exit sum — the round trip is what is perturbed).
+    pub fn base(self, p: &MachineParams) -> u64 {
+        match self {
+            Knob::AtomicPenalty => p.cost.atomic_penalty,
+            Knob::BranchMissPenalty => p.cost.branch_miss_penalty,
+            Knob::SyscallCost => p.cost.syscall_entry + p.cost.syscall_exit,
+            Knob::RdpmcCost => p.cost.rdpmc,
+            Knob::LlcLatency => p.hierarchy.llc_latency,
+            Knob::DramLatency => p.hierarchy.dram.latency,
+            Knob::InvalidatePenalty => p.hierarchy.invalidate_penalty,
+            Knob::CtxSwitchCost => p.ctx_switch_cost,
+        }
+    }
+
+    /// Scales the knob in place and returns its new value (summed for
+    /// [`Knob::SyscallCost`]). Values floor at 1 cycle so a down-scale can
+    /// never zero a cost entirely.
+    pub fn apply(self, p: &mut MachineParams, scale: f64) -> u64 {
+        let scaled = |v: u64| ((v as f64 * scale).round() as u64).max(1);
+        match self {
+            Knob::AtomicPenalty => {
+                p.cost.atomic_penalty = scaled(p.cost.atomic_penalty);
+                p.cost.atomic_penalty
+            }
+            Knob::BranchMissPenalty => {
+                p.cost.branch_miss_penalty = scaled(p.cost.branch_miss_penalty);
+                p.cost.branch_miss_penalty
+            }
+            Knob::SyscallCost => {
+                p.cost.syscall_entry = scaled(p.cost.syscall_entry);
+                p.cost.syscall_exit = scaled(p.cost.syscall_exit);
+                p.cost.syscall_entry + p.cost.syscall_exit
+            }
+            Knob::RdpmcCost => {
+                p.cost.rdpmc = scaled(p.cost.rdpmc);
+                p.cost.rdpmc
+            }
+            Knob::LlcLatency => {
+                p.hierarchy.llc_latency = scaled(p.hierarchy.llc_latency);
+                p.hierarchy.llc_latency
+            }
+            Knob::DramLatency => {
+                p.hierarchy.dram.latency = scaled(p.hierarchy.dram.latency);
+                p.hierarchy.dram.latency
+            }
+            Knob::InvalidatePenalty => {
+                p.hierarchy.invalidate_penalty = scaled(p.hierarchy.invalidate_penalty);
+                p.hierarchy.invalidate_penalty
+            }
+            Knob::CtxSwitchCost => {
+                p.ctx_switch_cost = scaled(p.ctx_switch_cost);
+                p.ctx_switch_cost
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Knob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in Knob::ALL {
+            assert_eq!(Knob::parse(k.name()), Some(k));
+        }
+        assert_eq!(Knob::parse("bogus"), None);
+    }
+
+    #[test]
+    fn apply_scales_exactly_one_cost() {
+        let base = MachineParams::new(2);
+        for k in Knob::ALL {
+            let mut p = base.clone();
+            let new = k.apply(&mut p, 4.0);
+            assert_eq!(new, 4 * k.base(&base), "{k}");
+            // Every *other* knob is untouched.
+            for other in Knob::ALL {
+                if other != k {
+                    assert_eq!(other.base(&p), other.base(&base), "{k} leaked into {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_floors_at_one_cycle() {
+        let mut p = MachineParams::new(1);
+        p.cost.atomic_penalty = 1;
+        assert_eq!(Knob::AtomicPenalty.apply(&mut p, 0.1), 1);
+    }
+}

@@ -34,6 +34,13 @@ pub struct MemcachedConfig {
     pub set_per_1024: u64,
     /// Request parse/respond instructions per op.
     pub op_instrs: u32,
+    /// Atomic read-modify-writes on the bucket's bookkeeping word inside
+    /// the critical section (item refcount + stats updates, as in real
+    /// memcached). 0 — the default — emits nothing, keeping the
+    /// instruction stream identical to earlier revisions; E16's
+    /// lock-bound shape raises it so the held section is dominated by
+    /// atomic cost.
+    pub hold_rmws: u64,
     /// Base RNG seed.
     pub seed: u64,
     /// Instrumentation logging mode: per-event record log, bounded
@@ -50,6 +57,7 @@ impl Default for MemcachedConfig {
             stripes: 16,
             set_per_1024: 102, // ~10%
             op_instrs: 250,
+            hold_rmws: 0,
             seed: 0xCAC4E,
             mode: LogMode::Log,
         }
@@ -163,6 +171,11 @@ pub fn emit(
     asm.store(Reg::R8, Reg::R14, 8);
     asm.store(Reg::R9, Reg::R14, 16);
     asm.bind(skip_set);
+    // Item bookkeeping: refcount/stats RMWs on the bucket's fourth word.
+    for _ in 0..cfg.hold_rmws {
+        asm.imm(Reg::R4, 1);
+        asm.xchg(Reg::R4, Reg::R14, 24);
+    }
     if instrumented {
         ins.emit_exit_mode(asm, r.hold, cfg.mode);
     }
@@ -214,14 +227,49 @@ pub fn build(
     events: &[EventKind],
     kernel_cfg: KernelConfig,
 ) -> SimResult<(Session, MemcachedImage)> {
+    let builder = SessionBuilder::new(cores).kernel_config(kernel_cfg);
+    build_on(cfg, reader, builder, events)
+}
+
+/// Like [`build`], on a machine described by a full runtime parameter set
+/// (see [`crate::mysqld::build_with_params`]).
+pub fn build_with_params(
+    cfg: &MemcachedConfig,
+    reader: &dyn CounterReader,
+    params: &limit::MachineParams,
+    events: &[EventKind],
+) -> SimResult<(Session, MemcachedImage)> {
+    build_on(cfg, reader, SessionBuilder::from_params(params)?, events)
+}
+
+/// Like [`build_with_params`], with an explicit interpreter mode (see
+/// [`crate::mysqld::build_with_params_exec`]).
+pub fn build_with_params_exec(
+    cfg: &MemcachedConfig,
+    reader: &dyn CounterReader,
+    params: &limit::MachineParams,
+    events: &[EventKind],
+    exec: sim_os::ExecMode,
+) -> SimResult<(Session, MemcachedImage)> {
+    let builder = SessionBuilder::from_params(params)?;
+    let kcfg = KernelConfig {
+        exec,
+        ..params.kernel_config()
+    };
+    build_on(cfg, reader, builder.kernel_config(kcfg), events)
+}
+
+fn build_on(
+    cfg: &MemcachedConfig,
+    reader: &dyn CounterReader,
+    builder: SessionBuilder,
+    events: &[EventKind],
+) -> SimResult<(Session, MemcachedImage)> {
     let mut layout = MemLayout::default();
     let mut regions = Regions::new();
     let mut asm = Asm::new();
     let image = emit(&mut asm, &mut layout, &mut regions, reader, cfg)?;
-    let mut builder = SessionBuilder::new(cores)
-        .events(events)
-        .with_layout(layout)
-        .kernel_config(kernel_cfg);
+    let mut builder = builder.events(events).with_layout(layout);
     match cfg.mode {
         LogMode::Log => {}
         LogMode::Aggregate => builder = builder.aggregate_regions(regions.len()),

@@ -340,14 +340,51 @@ pub fn build(
     events: &[EventKind],
     kernel_cfg: KernelConfig,
 ) -> SimResult<(Session, MysqlImage)> {
+    let builder = SessionBuilder::new(cores).kernel_config(kernel_cfg);
+    build_on(cfg, reader, builder, events)
+}
+
+/// Like [`build`], on a machine described by a full runtime parameter set
+/// (cores, cycle costs, hierarchy latencies, kernel scheduling costs) —
+/// the what-if engine's per-arm entry point.
+pub fn build_with_params(
+    cfg: &MysqlConfig,
+    reader: &dyn CounterReader,
+    params: &limit::MachineParams,
+    events: &[EventKind],
+) -> SimResult<(Session, MysqlImage)> {
+    build_on(cfg, reader, SessionBuilder::from_params(params)?, events)
+}
+
+/// Like [`build_with_params`], with an explicit interpreter mode — the
+/// entry point for differential tests that pin block-stepped and
+/// single-stepped execution to the same perturbed machine.
+pub fn build_with_params_exec(
+    cfg: &MysqlConfig,
+    reader: &dyn CounterReader,
+    params: &limit::MachineParams,
+    events: &[EventKind],
+    exec: sim_os::ExecMode,
+) -> SimResult<(Session, MysqlImage)> {
+    let builder = SessionBuilder::from_params(params)?;
+    let kcfg = KernelConfig {
+        exec,
+        ..params.kernel_config()
+    };
+    build_on(cfg, reader, builder.kernel_config(kcfg), events)
+}
+
+fn build_on(
+    cfg: &MysqlConfig,
+    reader: &dyn CounterReader,
+    builder: SessionBuilder,
+    events: &[EventKind],
+) -> SimResult<(Session, MysqlImage)> {
     let mut layout = MemLayout::default();
     let mut regions = Regions::new();
     let mut asm = Asm::new();
     let image = emit(&mut asm, &mut layout, &mut regions, reader, cfg)?;
-    let mut builder = SessionBuilder::new(cores)
-        .events(events)
-        .with_layout(layout)
-        .kernel_config(kernel_cfg);
+    let mut builder = builder.events(events).with_layout(layout);
     match cfg.mode {
         LogMode::Log => {}
         LogMode::Aggregate => builder = builder.aggregate_regions(regions.len()),

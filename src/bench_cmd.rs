@@ -33,7 +33,8 @@ pub struct BenchOptions {
     pub check: bool,
     /// Which arms to run: `both` (default), `single`/`block` alone
     /// (profiling one interpreter; no file write, no differential gate),
-    /// or `fleet` (fleet throughput + jobs-scaling entry).
+    /// `fleet` (fleet throughput + jobs-scaling entry), or `whatif`
+    /// (what-if arm throughput + jobs-determinism gate).
     pub mode: String,
 }
 
@@ -88,6 +89,9 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
     if opts.mode == "fleet" {
         return run_fleet_bench(opts);
     }
+    if opts.mode == "whatif" {
+        return run_whatif_bench(opts);
+    }
     let cfg = MysqlConfig {
         queries_per_thread: opts.queries,
         ..MysqlConfig::default()
@@ -120,7 +124,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "invalid --mode value {other:?} (both|single|block|fleet)"
+                "invalid --mode value {other:?} (both|single|block|fleet|whatif)"
             ))
         }
     }
@@ -237,6 +241,123 @@ fn run_fleet_bench(opts: &BenchOptions) -> Result<(), String> {
     if opts.check {
         check_fleet_regression(&opts.out, scaling)?;
     }
+    Ok(())
+}
+
+/// `--mode whatif`: what-if arm throughput and host-parallel scaling.
+///
+/// Runs the E16 lock shape (memcached, 1 stripe, atomic-heavy critical
+/// section; independent of `--queries`) once on 1 host job and once on
+/// 4, then:
+///
+/// * **hard determinism gate** — the ranked causal table and the NDJSON
+///   body must render byte-identically across jobs, or the command
+///   fails (the engine's core contract);
+/// * reports arms/s per arm;
+/// * appends a `kind: "whatif"` entry; `--check` gates the jobs-4/jobs-1
+///   *scaling ratio* at 80% of the committed first whatif entry (a
+///   ratio, so it transfers across machines).
+fn run_whatif_bench(opts: &BenchOptions) -> Result<(), String> {
+    const QUERIES: u64 = 480;
+    let measure = |jobs: usize| -> Result<(whatif::WhatifReport, f64), String> {
+        let cfg = bench::e16::lock_config(QUERIES, jobs);
+        let started = std::time::Instant::now();
+        let report = whatif::run_whatif(&cfg, |_, _| {})?;
+        Ok((report, started.elapsed().as_secs_f64().max(1e-9)))
+    };
+
+    eprintln!("[bench] whatif: E16 lock shape (memcached, {QUERIES} ops/worker), jobs 1 vs 4");
+    let (r1, secs1) = measure(1)?;
+    let (r4, secs4) = measure(4)?;
+
+    // Byte-identical output across --jobs is the engine's contract; a
+    // mismatch is a determinism bug, not a perf regression.
+    let render =
+        |r: &whatif::WhatifReport| format!("{}{}", r.render(), crate::whatif_cmd::render_ndjson(r));
+    if render(&r1) != render(&r4) {
+        return Err(
+            "whatif report diverged between --jobs 1 and --jobs 4 — determinism bug".into(),
+        );
+    }
+
+    let arms = (r1.arms.len() + 1) as f64; // baseline counts as an arm
+    let scaling = secs1 / secs4;
+    println!("whatif throughput, {arms:.0} arms (deterministic report verified):");
+    println!(
+        "  jobs=1        {secs1:>8.3} s   {:>8.2} arms/s",
+        arms / secs1
+    );
+    println!(
+        "  jobs=4        {secs4:>8.3} s   {:>8.2} arms/s",
+        arms / secs4
+    );
+    println!("  scaling       {scaling:>8.2}x");
+
+    if !opts.out.is_empty() {
+        append_whatif_entry(opts, &r1, secs1, secs4, scaling)?;
+    }
+    if opts.check {
+        check_whatif_regression(&opts.out, scaling)?;
+    }
+    Ok(())
+}
+
+fn append_whatif_entry(
+    opts: &BenchOptions,
+    r1: &whatif::WhatifReport,
+    secs1: f64,
+    secs4: f64,
+    scaling: f64,
+) -> Result<(), String> {
+    let arms = (r1.arms.len() + 1) as u64;
+    let arm = |secs: f64| {
+        Json::object()
+            .set("wall_s", secs)
+            .set("arms_per_s", arms as f64 / secs)
+    };
+    let entry = Json::object()
+        .set("kind", "whatif")
+        .set("label", opts.label.as_str())
+        .set("workload", r1.workload)
+        .set("arms", arms)
+        .set("regions", r1.regions.len() as u64)
+        .set("jobs1", arm(secs1))
+        .set("jobs4", arm(secs4))
+        .set("scaling", scaling);
+    append_raw_entry(&opts.out, entry)?;
+    eprintln!(
+        "[bench] appended whatif entry {:?} to {}",
+        opts.label, opts.out
+    );
+    Ok(())
+}
+
+/// Gates the measured jobs-4/jobs-1 scaling at 80% of the committed
+/// baseline's (the file's first `kind: "whatif"` entry).
+fn check_whatif_regression(out: &str, scaling: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(out).map_err(|e| format!("{out}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+    let baseline = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .and_then(|entries| {
+            entries
+                .iter()
+                .find(|e| e.get("kind").and_then(Json::as_str) == Some("whatif"))
+        })
+        .and_then(|e| e.get("scaling"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{out}: no baseline whatif entry with a scaling field"))?;
+    let floor = baseline * 0.8;
+    if scaling < floor {
+        return Err(format!(
+            "whatif scaling regression: measured {scaling:.2}x < {floor:.2}x \
+             (80% of committed baseline {baseline:.2}x)"
+        ));
+    }
+    eprintln!(
+        "[bench] whatif check ok: {scaling:.2}x >= {floor:.2}x (80% of baseline {baseline:.2}x)"
+    );
     Ok(())
 }
 

@@ -27,8 +27,9 @@ mod bench_cmd;
 mod fleet_cmd;
 mod monitor;
 mod trace;
+mod whatif_cmd;
 
-const EXPERIMENTS: [(&str, &str); 16] = [
+const EXPERIMENTS: [(&str, &str); 17] = [
     ("e1", "read-cost table (the headline)"),
     ("e2", "instrumentation overhead on mysqld"),
     ("e3", "virtualized-count exactness"),
@@ -49,6 +50,10 @@ const EXPERIMENTS: [(&str, &str); 16] = [
     (
         "e15",
         "fleet saturation sweep (open-loop arrival-rate knee)",
+    ),
+    (
+        "e16",
+        "causal what-if validation (planted lock/memory bottlenecks)",
     ),
     (
         "kernels",
@@ -174,6 +179,25 @@ fn run_one(name: &str) -> Result<String, String> {
             }
             if let Some(pop) = &r.top_population {
                 let _ = writeln!(w, "fleet-wide bottleneck: {pop}");
+            }
+        }
+        "e16" => {
+            let r = bench::e16::run(480, 2)?;
+            let _ = writeln!(w, "{}", bench::e16::table(&r));
+            for (shape, report) in [("lock", &r.lock), ("memory", &r.memory)] {
+                for f in &report.findings {
+                    let _ = writeln!(
+                        w,
+                        "{shape} finding: {}: {} — {}",
+                        f.region, f.kind, f.detail
+                    );
+                }
+            }
+            if !r.all_ok() {
+                return Err(format!(
+                    "e16 causal verdicts failed:\n{}",
+                    bench::e16::table(&r)
+                ));
             }
         }
         "kernels" => {
@@ -557,6 +581,10 @@ fn usage() {
         [--interval CYCLES] [--capacity N] [--out-dir DIR]
                                                         open-loop fleet simulation
                                                         with hierarchical roll-up
+  whatif <mysqld|memcached> [--knobs K1,K2,...] [--scale F] [--jobs N]
+         [--threads N] [--queries N] [--interval CYCLES] [--capacity N]
+         [--out-dir DIR]                                causal what-if engine:
+                                                        per-region knob sensitivity
   check-telemetry <file>                                validate NDJSON output
   torture [--schedules N] [--seed S] [--fixup on|off|both] [--spill true|false]
           [--replay SEED,INDEX] [--out-dir DIR]         virtualization torture sweep
@@ -768,6 +796,71 @@ fn main() -> ExitCode {
                 }
             }
             match fleet_cmd::run(which, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("whatif") => {
+            let Some(which) = args.get(1) else {
+                usage();
+                return ExitCode::FAILURE;
+            };
+            let mut opts = whatif_cmd::WhatifOptions::default();
+            let flags = match parse_flags(
+                &args[2..],
+                &[
+                    "threads",
+                    "queries",
+                    "knobs",
+                    "scale",
+                    "jobs",
+                    "interval",
+                    "capacity",
+                    "stripes",
+                    "buckets",
+                    "hold-rmws",
+                    "bufpool",
+                    "out-dir",
+                ],
+            ) {
+                Ok(flags) => flags,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, value) in flags {
+                let parsed: Result<(), String> = (|| {
+                    match key {
+                        "threads" => opts.threads = parse_num(key, value)?,
+                        "queries" => opts.queries = parse_num(key, value)?,
+                        "knobs" => opts.knobs = Some(value.to_string()),
+                        "scale" => opts.scale = parse_num(key, value)?,
+                        "jobs" => match parse_num::<usize>(key, value)? {
+                            0 => opts.jobs = bench::default_jobs(),
+                            n => opts.jobs = n,
+                        },
+                        "interval" => opts.interval = parse_num(key, value)?,
+                        "capacity" => opts.capacity = parse_num(key, value)?,
+                        "stripes" => opts.stripes = Some(parse_num(key, value)?),
+                        "buckets" => opts.buckets = Some(parse_num(key, value)?),
+                        "hold-rmws" => opts.hold_rmws = Some(parse_num(key, value)?),
+                        "bufpool" => opts.bufpool = Some(parse_num(key, value)?),
+                        "out-dir" => opts.out_dir = value.to_string(),
+                        _ => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = parsed {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match whatif_cmd::run(which, &opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

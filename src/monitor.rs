@@ -34,6 +34,11 @@ const EVENT_NAMES: [&str; 3] = ["cycles", "instrs", "llc"];
 /// to `check-telemetry`.
 pub const SCHEMA: u64 = 2;
 
+/// NDJSON schema version written by the `whatif` subcommand: one line
+/// per region x arm (baseline lines first), validated by the schema-3
+/// branch of `check-telemetry`.
+pub const WHATIF_SCHEMA: u64 = 3;
+
 /// Knobs of a monitored run (all have CLI flags).
 #[derive(Debug, Clone)]
 pub struct MonitorOptions {
@@ -241,9 +246,20 @@ struct StreamState {
 /// written by `monitor` or `fleet` — per-line schema (v1 or v2),
 /// per-instance monotone progress, the transport-accounting invariant on
 /// every line, and (for fleet files) conservation between the fleet
-/// roll-up line and the sum of the per-instance lines.
+/// roll-up line and the sum of the per-instance lines. Schema-3 files
+/// (written by `whatif`) dispatch to [`check_whatif`].
 pub fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Peek the first line's schema: whatif files are a different record
+    // shape (region x arm diffs, not transport snapshots).
+    if let Some(first) = text.lines().next() {
+        let schema = Json::parse(first)
+            .ok()
+            .and_then(|d| d.get("schema").and_then(Json::as_u64));
+        if schema == Some(WHATIF_SCHEMA) {
+            return check_whatif(path, &text);
+        }
+    }
     let mut snapshots = 0u64;
     let mut findings = 0u64;
     let mut streams: std::collections::HashMap<String, StreamState> =
@@ -387,5 +403,127 @@ pub fn check(path: &str) -> Result<(), String> {
         format!("{snapshots} snapshots")
     };
     println!("{path}: ok — {what}, {findings} findings, final drain clean");
+    Ok(())
+}
+
+/// Validates a schema-3 what-if NDJSON file: one line per region x arm,
+/// baseline lines first. Checks per-line fields, a single workload and
+/// scale across the file, `(region, arm)` uniqueness, and
+/// baseline-vs-arm conservation — every arm line's region must exist in
+/// the baseline block and carry the baseline's exact `base_count` /
+/// `base_cycles`, so a diff can never quietly reference a baseline that
+/// was not in the file.
+fn check_whatif(path: &str, text: &str) -> Result<(), String> {
+    let mut baseline: std::collections::HashMap<String, (u64, u64)> =
+        std::collections::HashMap::new();
+    let mut seen: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
+    let mut arms: Vec<String> = Vec::new();
+    let mut workload: Option<String> = None;
+    let mut scale: Option<f64> = None;
+    let mut in_baseline = true;
+    let mut lines = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{n}: {e}"))?;
+        let num = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}:{n}: missing numeric field {key:?}"))
+        };
+        let fnum = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}:{n}: missing numeric field {key:?}"))
+        };
+        let txt = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{path}:{n}: missing string field {key:?}"))
+        };
+        if num("schema")? != WHATIF_SCHEMA {
+            return Err(format!("{path}:{n}: mixed schemas in a whatif file"));
+        }
+        let wl = txt("workload")?;
+        match &workload {
+            None => workload = Some(wl),
+            Some(w) if *w == wl => {}
+            Some(w) => {
+                return Err(format!("{path}:{n}: workload {wl:?} != {w:?}"));
+            }
+        }
+        let sc = fnum("scale")?;
+        match scale {
+            None => scale = Some(sc),
+            Some(s) if s == sc => {}
+            Some(s) => return Err(format!("{path}:{n}: scale {sc} != {s}")),
+        }
+        let arm = txt("arm")?;
+        let region = txt("region")?;
+        if !seen.insert((region.clone(), arm.clone())) {
+            return Err(format!(
+                "{path}:{n}: duplicate region {region:?} in arm {arm:?}"
+            ));
+        }
+        let (count, cycles) = (num("count")?, num("cycles")?);
+        let (base_count, base_cycles) = (num("base_count")?, num("base_cycles")?);
+        let (knob_base, knob_scaled) = (num("knob_base")?, num("knob_scaled")?);
+        let (sens, impact) = (fnum("sensitivity")?, fnum("impact")?);
+        if arm == "baseline" {
+            if !in_baseline {
+                return Err(format!(
+                    "{path}:{n}: baseline line after arm lines — baseline block must come first"
+                ));
+            }
+            if knob_base != 0 || knob_scaled != 0 || sens != 0.0 || impact != 0.0 {
+                return Err(format!(
+                    "{path}:{n}: baseline line must have zero knob/sensitivity fields"
+                ));
+            }
+            if count != base_count || cycles != base_cycles {
+                return Err(format!(
+                    "{path}:{n}: baseline line disagrees with its own base fields"
+                ));
+            }
+            baseline.insert(region, (count, cycles));
+        } else {
+            in_baseline = false;
+            if !arms.contains(&arm) {
+                arms.push(arm.clone());
+            }
+            if knob_scaled <= knob_base {
+                return Err(format!(
+                    "{path}:{n}: arm {arm:?} knob not scaled up ({knob_base} -> {knob_scaled})"
+                ));
+            }
+            match baseline.get(&region) {
+                None => {
+                    return Err(format!(
+                        "{path}:{n}: arm {arm:?} region {region:?} absent from baseline"
+                    ));
+                }
+                Some(&(bc, bcy)) if bc != base_count || bcy != base_cycles => {
+                    return Err(format!(
+                        "{path}:{n}: arm {arm:?} region {region:?} base fields \
+                         ({base_count}, {base_cycles}) != baseline ({bc}, {bcy})"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        lines += 1;
+    }
+    if baseline.is_empty() {
+        return Err(format!("{path}: no baseline lines"));
+    }
+    if arms.is_empty() {
+        return Err(format!("{path}: no arm lines after the baseline block"));
+    }
+    println!(
+        "{path}: ok — whatif: {} arms x {} baseline regions, {lines} lines, \
+         base fields conserved",
+        arms.len(),
+        baseline.len()
+    );
     Ok(())
 }
