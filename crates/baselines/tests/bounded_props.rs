@@ -1,0 +1,85 @@
+//! Bounded-error property sweeps for the baseline access methods.
+//!
+//! The trust matrix (`torture::matrix`) classifies the syscall readers
+//! ([`baselines::PerfReader`], [`baselines::PapiReader`]) and the
+//! sampling baseline ([`baselines::SamplingSetup`]) as **bounded-error**
+//! with a claimed ε. These properties fuzz that claim across seeds,
+//! event kinds, and injected preemptions/PMIs: if any baseline silently
+//! loses counts (a dropped fold on the syscall path, a sample that never
+//! reaches the fd's record ring), the measured error blows its bound and
+//! the verdict degrades — which these tests turn into a failure.
+//!
+//! The torture harness drives everything, so each case covers both guest
+//! shapes (compute-only and the all-events memory/branch mix) with
+//! disturbances landed at exact instruction boundaries inside the read
+//! probes.
+
+use proptest::prelude::*;
+use sim_cpu::EventKind;
+use torture::matrix::{
+    run_cell, AccessMethod, Cell, Disturb, MatrixConfig, Verdict, SYSCALL_EPSILON,
+};
+
+fn cfg(seed: u64) -> MatrixConfig {
+    MatrixConfig {
+        seed,
+        schedules: 4,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The syscall counting paths never lose counts: under injected
+    /// preemptions and PMIs, every `perf_read`/PAPI read lands within
+    /// [`SYSCALL_EPSILON`] of the oracle's shadow ledger, for every
+    /// event kind.
+    #[test]
+    fn syscall_readers_hold_their_epsilon(
+        seed in 1u64..500,
+        ei in 0usize..EventKind::ALL.len(),
+        papi in any::<bool>(),
+        pmi in any::<bool>(),
+    ) {
+        let cell = Cell {
+            event: EventKind::ALL[ei],
+            method: if papi { AccessMethod::Papi } else { AccessMethod::PerfRead },
+            disturb: if pmi { Disturb::Pmi } else { Disturb::Preempt },
+        };
+        let rep = run_cell(&cfg(seed), cell).unwrap();
+        prop_assert!(rep.bounded_checks > 0, "no reads were checked: {rep:?}");
+        prop_assert!(rep.fired > 0, "no injections fired: {rep:?}");
+        match rep.verdict {
+            Verdict::BoundedError { bound, measured } => {
+                prop_assert_eq!(bound, SYSCALL_EPSILON);
+                prop_assert!(measured <= bound, "measured {} > ε {}", measured, bound);
+            }
+            other => prop_assert!(false, "syscall read degraded to {other:?}: {rep:?}"),
+        }
+    }
+
+    /// The sampling estimator (samples × period) stays within one period
+    /// plus per-sample skid of the true count even when preemptions and
+    /// PMIs disturb the run — i.e. samples are never silently dropped.
+    #[test]
+    fn sampling_estimate_stays_within_period_plus_skid(
+        seed in 1u64..500,
+        ei in 0usize..EventKind::ALL.len(),
+        pmi in any::<bool>(),
+    ) {
+        let cell = Cell {
+            event: EventKind::ALL[ei],
+            method: AccessMethod::Sampling,
+            disturb: if pmi { Disturb::Pmi } else { Disturb::Preempt },
+        };
+        let rep = run_cell(&cfg(seed), cell).unwrap();
+        prop_assert!(rep.bounded_checks > 0, "no estimates were checked: {rep:?}");
+        match rep.verdict {
+            Verdict::BoundedError { bound, measured } => {
+                prop_assert!(measured <= bound, "measured {} > bound {}", measured, bound);
+            }
+            other => prop_assert!(false, "sampling degraded to {other:?}: {rep:?}"),
+        }
+    }
+}

@@ -1114,6 +1114,66 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_overflow_on_two_slots_is_identical_across_exec_paths() {
+        // Two armed slots counting the same event, both 10 events from the
+        // wrap point: they overflow at the same instruction. The block
+        // executor's armed-headroom guard must deliver both PMIs at that
+        // exact instruction boundary (not one flush late), matching
+        // single-step, and in slot order.
+        let run = |block: bool| {
+            let cfg = MachineConfig::new(2)
+                .with_hierarchy(HierarchyConfig::tiny())
+                .with_pmu(PmuConfig {
+                    counter_bits: 8,
+                    ..Default::default()
+                });
+            let mut m = Machine::new(cfg, floor_prog()).unwrap();
+            install(&mut m, 0);
+            let pmu = &mut m.cores[0].pmu;
+            pmu.configure(0, CounterCfg::user(EventKind::Instructions).with_pmi())
+                .unwrap();
+            pmu.configure(1, CounterCfg::user(EventKind::Instructions).with_pmi())
+                .unwrap();
+            pmu.write(0, 256 - 10).unwrap();
+            pmu.write(1, 256 - 10).unwrap();
+            if block {
+                let in_limit = vec![false; 16];
+                let stop = [u64::MAX, u64::MAX];
+                let limits = RunLimits {
+                    stop_at: &stop,
+                    wake_at: u64::MAX,
+                    armed_pcs: None,
+                    in_limit: &in_limit,
+                };
+                let exit = m.run_until(&limits).unwrap();
+                assert_eq!(exit, RunExit::Pmi(CoreId::new(0)));
+            } else {
+                while !m.cores[0].pmu.pmi_pending() {
+                    m.step(CoreId::new(0)).unwrap();
+                }
+            }
+            let core = &mut m.cores[0];
+            let mut pmis = Vec::new();
+            while let Some(i) = core.pmu.take_pmi() {
+                pmis.push(i);
+            }
+            (
+                core.retired,
+                pmis,
+                core.pmu.read(0).unwrap(),
+                core.pmu.read(1).unwrap(),
+            )
+        };
+        let single = run(false);
+        let block = run(true);
+        assert_eq!(
+            single, block,
+            "block-mode simultaneous overflow diverged from single-step"
+        );
+        assert_eq!(single.1, vec![0, 1], "both PMIs, slot order");
+    }
+
+    #[test]
     fn machines_wider_than_64_cores_are_rejected_at_construction() {
         // The coherence sharer set is a u64 bitmask, so MemorySystem (and
         // therefore Machine::new) caps machines at 64 cores. run_until's

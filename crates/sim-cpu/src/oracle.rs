@@ -67,11 +67,21 @@ pub struct Oracle {
     ledger: HashMap<ThreadId, [u64; EventKind::COUNT]>,
     /// Open LiMiT slots: (thread, slot) → (event, ledger baseline at open).
     opens: HashMap<(ThreadId, u8), (EventKind, u64)>,
+    /// Open perf fds: (thread, fd) → (event, ledger baseline at open).
+    /// Entries are *never* removed — fds are allocated monotonically and
+    /// land in the kernel's closed-fd graveyard, so post-run host checks
+    /// (the sampling arm) can still resolve baselines after thread exit.
+    perf_opens: HashMap<(ThreadId, u32), (EventKind, u64)>,
     /// At most one in-flight read sequence per thread.
     pending: HashMap<ThreadId, Pending>,
     /// Reads checked (armed *and* resolved).
     pub checks: u64,
     divergences: Vec<Divergence>,
+    /// Bounded-error checks performed (syscall/sampling access methods,
+    /// where scheduling slack makes exactness the wrong contract).
+    bounded_checks: u64,
+    /// Largest absolute error any bounded check has measured.
+    max_abs_error: u64,
 }
 
 impl Oracle {
@@ -105,6 +115,53 @@ impl Oracle {
     /// The kernel detached `(tid, slot)`.
     pub fn note_close(&mut self, tid: ThreadId, slot: u8) {
         self.opens.remove(&(tid, slot));
+    }
+
+    /// The kernel opened perf fd `fd` counting `event` for `tid`: snapshot
+    /// the ledger baseline, as [`Oracle::note_open`] does for LiMiT slots.
+    pub fn note_perf_open(&mut self, tid: ThreadId, fd: u32, event: EventKind) {
+        let baseline = self.ledger(tid, event);
+        self.perf_opens.insert((tid, fd), (event, baseline));
+    }
+
+    /// The event and ledger baseline recorded at `perf_open` for
+    /// `(tid, fd)`, if that fd was opened under the oracle. Host-side
+    /// checks (the sampling arm) use this to form expectations after the
+    /// run, when only the fd graveyard remains.
+    pub fn perf_open_info(&self, tid: ThreadId, fd: u32) -> Option<(EventKind, u64)> {
+        self.perf_opens.get(&(tid, fd)).copied()
+    }
+
+    /// `tid` read perf fd `fd` via the syscall path and got `actual`.
+    /// Records a bounded-error check against the ledger delta since open
+    /// and returns the absolute error, or `None` if the fd is unknown.
+    /// Unlike the rdpmc path this is *not* a pass/fail: the syscall read
+    /// has no restart range, so instructions retired between the ledger
+    /// snapshot and the kernel's counter fold are honest skew, and the
+    /// caller judges the measured error against its documented bound.
+    pub fn check_perf_read(&mut self, tid: ThreadId, fd: u32, actual: u64) -> Option<u64> {
+        let &(event, baseline) = self.perf_opens.get(&(tid, fd))?;
+        let expected = self.ledger(tid, event) - baseline;
+        let err = expected.abs_diff(actual);
+        self.record_bounded_error(err);
+        Some(err)
+    }
+
+    /// Folds one externally measured bounded-error sample (e.g. the
+    /// host-side sampling check) into the running maximum.
+    pub fn record_bounded_error(&mut self, err: u64) {
+        self.bounded_checks += 1;
+        self.max_abs_error = self.max_abs_error.max(err);
+    }
+
+    /// Number of bounded-error checks performed.
+    pub fn bounded_checks(&self) -> u64 {
+        self.bounded_checks
+    }
+
+    /// Largest absolute error measured across all bounded checks.
+    pub fn max_abs_error(&self) -> u64 {
+        self.max_abs_error
     }
 
     /// The range containing `pc`, if any (ranges are sorted and disjoint).
@@ -252,6 +309,30 @@ mod tests {
         o.observe_read(T, 0, 11);
         o.complete(T, 12, 0, 0);
         assert_eq!(o.checks, 0);
+    }
+
+    #[test]
+    fn perf_reads_record_bounded_error_not_divergence() {
+        let mut o = Oracle::new(&[]);
+        o.record(T, EventKind::Instructions, 50);
+        o.note_perf_open(T, 3, EventKind::Instructions);
+        o.record(T, EventKind::Instructions, 100);
+        assert_eq!(o.check_perf_read(T, 3, 100), Some(0));
+        assert_eq!(o.check_perf_read(T, 3, 95), Some(5));
+        assert_eq!(o.check_perf_read(T, 9, 0), None, "unknown fd");
+        assert_eq!(o.bounded_checks(), 2);
+        assert_eq!(o.max_abs_error(), 5);
+        assert!(o.divergences().is_empty(), "bounded checks never diverge");
+        assert_eq!(o.perf_open_info(T, 3), Some((EventKind::Instructions, 50)));
+    }
+
+    #[test]
+    fn host_side_bounded_samples_share_the_running_max() {
+        let mut o = Oracle::new(&[]);
+        o.record_bounded_error(7);
+        o.record_bounded_error(2);
+        assert_eq!(o.bounded_checks(), 2);
+        assert_eq!(o.max_abs_error(), 7);
     }
 
     #[test]

@@ -255,6 +255,19 @@ impl Pmu {
                 "tag filter requires the tag-filter extension".into(),
             ));
         }
+        if let Some(reload) = cfg.reload {
+            // A reload at or past the wrap point can never be reached by a
+            // real counter: reject it here rather than silently masking it
+            // to a different sampling phase at overflow time.
+            if reload >= self.modulus() {
+                return Err(SimError::Config(format!(
+                    "reload value {reload} does not fit a {}-bit counter \
+                     (must be < {})",
+                    self.config.counter_bits,
+                    self.modulus()
+                )));
+            }
+        }
         let i = self.check_idx(idx)?;
         self.slots[i] = Slot {
             cfg: Some(cfg),
@@ -361,7 +374,8 @@ impl Pmu {
                     break;
                 }
                 remaining -= room;
-                slot.raw = cfg.reload.unwrap_or(0) & (modulus - 1);
+                // Reload fits the width: `configure` rejects anything else.
+                slot.raw = cfg.reload.unwrap_or(0);
                 *overflows += 1;
                 if let Some(addr) = cfg.spill_addr.filter(|_| config.ext_self_virtualizing) {
                     pending_spills.push(Spill {
@@ -631,6 +645,97 @@ mod tests {
         assert_eq!(pmis, 10);
         let expected_residue = 256 - 100; // reload point; 1000 % 100 == 0 extra
         assert_eq!(p.read(0).unwrap(), expected_residue);
+    }
+
+    #[test]
+    fn reload_must_fit_counter_width() {
+        // Width 6: the counter wraps at 64, so 64 is the first invalid
+        // reload. Before validation this silently masked to 0 — a period
+        // change, not the configured phase.
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 6,
+            ..Default::default()
+        })
+        .unwrap();
+        let ok = CounterCfg::user(EventKind::Cycles)
+            .with_pmi()
+            .with_reload(63);
+        assert!(p.configure(0, ok).is_ok());
+        let bad = CounterCfg::user(EventKind::Cycles)
+            .with_pmi()
+            .with_reload(64);
+        let err = p.configure(0, bad).unwrap_err();
+        assert_eq!(err.category(), "config");
+        // The rejected configure must not have clobbered the slot.
+        assert_eq!(p.counter_cfg(0), Some(ok));
+
+        // Width 63: the widest supported counter; 2^63 must be rejected,
+        // 2^63 - 1 accepted.
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 63,
+            ..Default::default()
+        })
+        .unwrap();
+        let ok = CounterCfg::user(EventKind::Cycles)
+            .with_pmi()
+            .with_reload((1u64 << 63) - 1);
+        assert!(p.configure(0, ok).is_ok());
+        let bad = CounterCfg::user(EventKind::Cycles)
+            .with_pmi()
+            .with_reload(1u64 << 63);
+        assert_eq!(p.configure(0, bad).unwrap_err().category(), "config");
+    }
+
+    #[test]
+    fn simultaneous_multi_slot_overflow_orders_pmis_by_slot_index() {
+        // Two slots counting the same event, both one delivery away from
+        // wrapping. A single `count` call must enqueue both PMIs in slot
+        // order (0 then 1) — the deterministic FIFO order the kernel's
+        // PMI handler and the trust matrix rely on.
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        // Configure in *reverse* slot order to pin that delivery order
+        // follows slot index, not configuration order.
+        p.configure(1, CounterCfg::user(EventKind::Cycles).with_pmi())
+            .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Cycles).with_pmi())
+            .unwrap();
+        p.write(0, 255).unwrap();
+        p.write(1, 255).unwrap();
+        p.count(EventKind::Cycles, 1, Mode::User, 0);
+        assert_eq!(p.take_pmi(), Some(0), "slot 0 delivers first");
+        assert_eq!(p.take_pmi(), Some(1));
+        assert_eq!(p.take_pmi(), None);
+        assert_eq!(p.overflows(), 2);
+    }
+
+    #[test]
+    fn coalesced_back_to_back_overflows_stay_fifo_across_slots() {
+        // Slot 0 wraps twice and slot 1 wraps once in one delivery. All of
+        // slot 0's PMIs drain before slot 1's (per-slot work completes
+        // before the next subscriber is visited), and the total matches
+        // one-at-a-time delivery.
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        p.configure(0, CounterCfg::user(EventKind::Cycles).with_pmi())
+            .unwrap();
+        p.configure(1, CounterCfg::user(EventKind::Cycles).with_pmi())
+            .unwrap();
+        p.write(0, 200).unwrap();
+        p.write(1, 10).unwrap();
+        p.count(EventKind::Cycles, 312, Mode::User, 0);
+        assert_eq!(p.take_pmi(), Some(0));
+        assert_eq!(p.take_pmi(), Some(0));
+        assert_eq!(p.take_pmi(), Some(1));
+        assert_eq!(p.take_pmi(), None);
+        assert_eq!(p.read(0).unwrap(), (200 + 312) % 256);
+        assert_eq!(p.read(1).unwrap(), (10 + 312) % 256);
     }
 
     #[test]

@@ -47,6 +47,9 @@ impl ScanPmu {
         if cfg.tag.is_some() && !self.config.ext_tag_filter {
             return false;
         }
+        if cfg.reload.is_some_and(|r| r >= self.modulus()) {
+            return false;
+        }
         let Some(slot) = self.slots.get_mut(idx as usize) else {
             return false;
         };

@@ -1,0 +1,186 @@
+//! Property-fuzzed PMU edge cases (the trust matrix's hardware arm).
+//!
+//! The invariant under test: delivering a burst of `n` events in one
+//! [`Pmu::count`] call leaves the PMU in the same state as delivering the
+//! same `n` events one at a time — same raw counter values, same lifetime
+//! overflow count, same per-slot PMI and spill totals. Side-effect *order*
+//! within one delivery is the pinned coalescing semantics instead: a
+//! multi-event, multi-wrap delivery emits each slot's side effects grouped
+//! together, slots in ascending index order (one-at-a-time interleaves by
+//! event offset — both orders carry the same per-slot streams, and the
+//! grouped order is what the kernel's PMI handler observes for real
+//! multi-event instructions). The fuzz ranges deliberately sit on the
+//! edges the trust matrix worries about: counter widths at both boundaries
+//! (6..=63), counters armed within a few events of `2^width`, reloads near
+//! the wrap point, several slots wrapping simultaneously, and back-to-back
+//! overflows coalesced into one delivery.
+
+use proptest::prelude::*;
+use sim_cpu::pmu::CounterCfg;
+use sim_cpu::{EventKind, Mode, Pmu, PmuConfig};
+
+#[derive(Debug, Clone)]
+struct SlotPlan {
+    /// Events until the slot would wrap from its initial value.
+    headroom: u64,
+    /// Reload distance below the modulus (`None` → reload to zero).
+    reload_back: Option<u64>,
+    pmi: bool,
+}
+
+fn slot_plan() -> impl Strategy<Value = SlotPlan> {
+    (1u64..600, any::<bool>(), 1u64..600, any::<bool>()).prop_map(
+        |(headroom, has_reload, back, pmi)| SlotPlan {
+            headroom,
+            reload_back: has_reload.then_some(back),
+            pmi,
+        },
+    )
+}
+
+/// Builds one PMU from the plan; all slots subscribe to the same event so
+/// a single delivery exercises simultaneous multi-slot overflow.
+fn build(width: u32, plans: &[SlotPlan]) -> Pmu {
+    let mut p = Pmu::new(PmuConfig {
+        counter_bits: width,
+        ..Default::default()
+    })
+    .unwrap();
+    let modulus = p.modulus();
+    for (i, plan) in plans.iter().enumerate() {
+        let mut cfg = CounterCfg::user(EventKind::Instructions);
+        if plan.pmi {
+            cfg = cfg.with_pmi();
+        }
+        if let Some(back) = plan.reload_back {
+            // Reload within `back` events of the wrap point — the
+            // sampling-style arm the width validation (S1) guards.
+            cfg = cfg.with_reload(modulus - back.min(modulus));
+        }
+        p.configure(i as u8, cfg).unwrap();
+        p.write(i as u8, modulus - plan.headroom.min(modulus))
+            .unwrap();
+    }
+    p
+}
+
+fn drain_pmis(p: &mut Pmu) -> Vec<u8> {
+    let mut v = Vec::new();
+    while let Some(idx) = p.take_pmi() {
+        v.push(idx);
+    }
+    v
+}
+
+/// Per-slot histogram of a PMI drain sequence.
+fn pmi_counts(seq: &[u8]) -> [u64; 16] {
+    let mut c = [0u64; 16];
+    for &idx in seq {
+        c[idx as usize] += 1;
+    }
+    c
+}
+
+proptest! {
+    /// Batched delivery leaves identical counter state to one-at-a-time
+    /// delivery at any width — including widths 6 and 63 and counters
+    /// armed within a few events of `2^width` — and its PMI stream is the
+    /// same per-slot multiset, emitted grouped in ascending slot order.
+    #[test]
+    fn burst_delivery_matches_one_at_a_time(
+        width in prop_oneof![Just(6u32), Just(7), Just(32), Just(48), Just(62), Just(63)],
+        plans in prop::collection::vec(slot_plan(), 1..4),
+        bursts in prop::collection::vec(1u64..700, 1..6),
+    ) {
+        let mut batched = build(width, &plans);
+        let mut single = batched.clone();
+        for &n in &bursts {
+            batched.count(EventKind::Instructions, n, Mode::User, 0);
+            for _ in 0..n {
+                single.count(EventKind::Instructions, 1, Mode::User, 0);
+            }
+            // Per-delivery PMI stream: same per-slot counts as the
+            // interleaved one-at-a-time order, grouped slot-ascending.
+            let b = drain_pmis(&mut batched);
+            let s = drain_pmis(&mut single);
+            prop_assert_eq!(pmi_counts(&b), pmi_counts(&s));
+            prop_assert!(
+                b.windows(2).all(|w| w[0] <= w[1]),
+                "coalesced delivery must group PMIs in slot order: {:?}",
+                b
+            );
+        }
+        for i in 0..plans.len() as u8 {
+            prop_assert_eq!(batched.read(i).unwrap(), single.read(i).unwrap());
+        }
+        prop_assert_eq!(batched.overflows(), single.overflows());
+    }
+
+    /// Same invariant for the self-virtualizing (spill) path: per-address
+    /// spill totals and the kernel-visible journal match one-at-a-time
+    /// delivery even when multiple slots spill in one call, and the
+    /// coalesced stream is grouped in ascending slot (address) order.
+    #[test]
+    fn burst_spills_match_one_at_a_time(
+        width in prop_oneof![Just(6u32), Just(8), Just(48), Just(63)],
+        headrooms in prop::collection::vec(1u64..60, 1..4),
+        bursts in prop::collection::vec(1u64..70, 1..5),
+    ) {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: width,
+            ext_self_virtualizing: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let modulus = p.modulus();
+        for (i, &h) in headrooms.iter().enumerate() {
+            let cfg = CounterCfg::user(EventKind::Instructions)
+                .with_spill(0x1000 + 8 * i as u64);
+            p.configure(i as u8, cfg).unwrap();
+            p.write(i as u8, modulus - h).unwrap();
+        }
+        let mut single = p.clone();
+        for &n in &bursts {
+            p.count(EventKind::Instructions, n, Mode::User, 0);
+            for _ in 0..n {
+                single.count(EventKind::Instructions, 1, Mode::User, 0);
+            }
+            let b = p.take_spills();
+            let s = single.take_spills();
+            let total = |v: &[sim_cpu::pmu::Spill], addr: u64| -> u64 {
+                v.iter().filter(|sp| sp.addr == addr).map(|sp| sp.amount).sum()
+            };
+            for i in 0..headrooms.len() {
+                let addr = 0x1000 + 8 * i as u64;
+                prop_assert_eq!(total(&b, addr), total(&s, addr));
+            }
+            prop_assert!(
+                b.windows(2).all(|w| w[0].addr <= w[1].addr),
+                "coalesced spills must group by slot: {:?}",
+                b
+            );
+        }
+        prop_assert_eq!(p.spill_journal(), single.spill_journal());
+        for i in 0..headrooms.len() as u8 {
+            prop_assert_eq!(p.read(i).unwrap(), single.read(i).unwrap());
+        }
+    }
+
+    /// Every in-range width accepts reloads up to `2^width - 1` and
+    /// rejects `2^width` and beyond with a config error (S1 sweep).
+    #[test]
+    fn reload_validation_tracks_width(width in 6u32..=63, over in 0u64..1000) {
+        let mut p = Pmu::new(PmuConfig {
+            counter_bits: width,
+            ..Default::default()
+        })
+        .unwrap();
+        let modulus = p.modulus();
+        let ok = CounterCfg::user(EventKind::Cycles).with_reload(modulus - 1);
+        prop_assert!(p.configure(0, ok).is_ok());
+        let bad = CounterCfg::user(EventKind::Cycles)
+            .with_reload(modulus.saturating_add(over));
+        let err = p.configure(0, bad).unwrap_err();
+        prop_assert_eq!(err.category(), "config");
+    }
+}

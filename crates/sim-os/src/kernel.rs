@@ -1249,6 +1249,9 @@ impl Kernel {
         if sampling {
             pmu.write(slot, modulus - period).expect("slot configured");
         }
+        if let Some(o) = self.machine.oracle_mut() {
+            o.note_perf_open(tid, fd, event);
+        }
         fd as u64
     }
 
@@ -1267,7 +1270,13 @@ impl Kernel {
             .pmu
             .read(f.vslot)
             .expect("owner is running here");
-        f.accum + live
+        let value = f.accum + live;
+        // Bounded-error oracle tap: the syscall path has no restart range,
+        // so the check records measured error instead of pass/fail.
+        if let Some(o) = self.machine.oracle_mut() {
+            o.check_perf_read(tid, fd, value);
+        }
+        value
     }
 
     fn perf_set_enabled(&mut self, core: CoreId, tid: ThreadId, fd: u32, enabled: bool) -> u64 {

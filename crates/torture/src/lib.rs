@@ -37,6 +37,8 @@ use sim_cpu::{Cond, EventKind, Reg};
 use sim_os::inject::{InjectAction, Injection};
 use sim_os::KernelConfig;
 
+pub mod matrix;
+
 /// Instruction-boundary offsets inside the 3-instruction read sequence
 /// (`load`, `rdpmc`, `add`): before the load, between load and rdpmc (the
 /// window the restart fix-up exists for), and between rdpmc and add.

@@ -27,9 +27,10 @@ mod bench_cmd;
 mod fleet_cmd;
 mod monitor;
 mod trace;
+mod trust_cmd;
 mod whatif_cmd;
 
-const EXPERIMENTS: [(&str, &str); 17] = [
+const EXPERIMENTS: [(&str, &str); 18] = [
     ("e1", "read-cost table (the headline)"),
     ("e2", "instrumentation overhead on mysqld"),
     ("e3", "virtualized-count exactness"),
@@ -54,6 +55,10 @@ const EXPERIMENTS: [(&str, &str); 17] = [
     (
         "e16",
         "causal what-if validation (planted lock/memory bottlenecks)",
+    ),
+    (
+        "e17",
+        "event-trust matrix slice (event x access method x disturbance)",
     ),
     (
         "kernels",
@@ -197,6 +202,19 @@ fn run_one(name: &str) -> Result<String, String> {
                 return Err(format!(
                     "e16 causal verdicts failed:\n{}",
                     bench::e16::table(&r)
+                ));
+            }
+        }
+        "e17" => {
+            // Per-cell wall times land in the span registry as
+            // trust/<event>/<method>; `run` folds them into
+            // run-summary.json's `timings` object.
+            let rows = bench::e17::run(10).map_err(fail)?;
+            let _ = writeln!(w, "{}", bench::e17::table(&rows));
+            if !bench::e17::contract_holds(&rows) {
+                return Err(format!(
+                    "e17 trust contract failed:\n{}",
+                    bench::e17::table(&rows)
                 ));
             }
         }
@@ -589,6 +607,10 @@ fn usage() {
   torture [--schedules N] [--seed S] [--fixup on|off|both] [--spill true|false]
           [--replay SEED,INDEX] [--out-dir DIR]         virtualization torture sweep
                                                         (--replay: trace one shrunk schedule)
+  trust [--schedules N] [--seed S] [--jobs N] [--events E1,E2,...]
+        [--methods M1,M2,...] [--disturbs D1,D2,...] [--out-dir DIR]
+                                                        event-trust matrix: verdict per
+                                                        event x access method x disturbance
   trace <workload> [--out-dir DIR] [--buf-slots N] [--categories LIST]
                                                         flight-record a workload run
   check-trace <file>                                    validate an NDJSON flight trace"
@@ -898,6 +920,82 @@ fn main() -> ExitCode {
             }
             match bench_cmd::run(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trust") => {
+            let mut opts = trust_cmd::TrustOptions::default();
+            let flags = match parse_flags(
+                &args[1..],
+                &[
+                    "schedules",
+                    "seed",
+                    "jobs",
+                    "events",
+                    "methods",
+                    "disturbs",
+                    "out-dir",
+                ],
+            ) {
+                Ok(flags) => flags,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (key, value) in flags {
+                let parsed: Result<(), String> = (|| {
+                    match key {
+                        "schedules" => opts.cfg.schedules = parse_num(key, value)?,
+                        "seed" => opts.cfg.seed = parse_num(key, value)?,
+                        "jobs" => match parse_num::<usize>(key, value)? {
+                            0 => opts.jobs = bench::default_jobs(),
+                            n => opts.jobs = n,
+                        },
+                        "events" => {
+                            opts.events = value
+                                .split(',')
+                                .map(|s| {
+                                    torture::matrix::event_by_mnemonic(s.trim())
+                                        .ok_or_else(|| format!("unknown event {s:?}"))
+                                })
+                                .collect::<Result<_, _>>()?
+                        }
+                        "methods" => {
+                            opts.methods = value
+                                .split(',')
+                                .map(|s| {
+                                    torture::matrix::AccessMethod::parse(s.trim())
+                                        .ok_or_else(|| format!("unknown method {s:?}"))
+                                })
+                                .collect::<Result<_, _>>()?
+                        }
+                        "disturbs" => {
+                            opts.disturbs = value
+                                .split(',')
+                                .map(|s| {
+                                    torture::matrix::Disturb::parse(s.trim())
+                                        .ok_or_else(|| format!("unknown disturbance {s:?}"))
+                                })
+                                .collect::<Result<_, _>>()?
+                        }
+                        "out-dir" => opts.out_dir = value.to_string(),
+                        _ => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = parsed {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match trust_cmd::run(&opts) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE

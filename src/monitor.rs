@@ -39,6 +39,11 @@ pub const SCHEMA: u64 = 2;
 /// branch of `check-telemetry`.
 pub const WHATIF_SCHEMA: u64 = 3;
 
+/// NDJSON schema version written by the `trust` subcommand: one line per
+/// trust-matrix cell (event × access method × disturbance), validated by
+/// the schema-4 branch of `check-telemetry`.
+pub const TRUST_SCHEMA: u64 = 4;
+
 /// Knobs of a monitored run (all have CLI flags).
 #[derive(Debug, Clone)]
 pub struct MonitorOptions {
@@ -247,7 +252,8 @@ struct StreamState {
 /// per-instance monotone progress, the transport-accounting invariant on
 /// every line, and (for fleet files) conservation between the fleet
 /// roll-up line and the sum of the per-instance lines. Schema-3 files
-/// (written by `whatif`) dispatch to [`check_whatif`].
+/// (written by `whatif`) dispatch to [`check_whatif`]; schema-4 files
+/// (written by `trust`) dispatch to [`check_trust`].
 pub fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     // Peek the first line's schema: whatif files are a different record
@@ -258,6 +264,9 @@ pub fn check(path: &str) -> Result<(), String> {
             .and_then(|d| d.get("schema").and_then(Json::as_u64));
         if schema == Some(WHATIF_SCHEMA) {
             return check_whatif(path, &text);
+        }
+        if schema == Some(TRUST_SCHEMA) {
+            return check_trust(path, &text);
         }
     }
     let mut snapshots = 0u64;
@@ -524,6 +533,106 @@ fn check_whatif(path: &str, text: &str) -> Result<(), String> {
          base fields conserved",
         arms.len(),
         baseline.len()
+    );
+    Ok(())
+}
+
+/// Validates a schema-4 trust-matrix NDJSON file: one line per
+/// (event, method, disturbance) cell. Checks per-line fields, cell
+/// uniqueness, and that each verdict is consistent with the evidence on
+/// its own line — **exact** requires completed exactness checks and zero
+/// divergences, **bounded-error** requires completed bounded checks and
+/// a measured error within the claimed bound, **unreliable** requires
+/// actual evidence of unreliability (a divergence or a blown bound), and
+/// disturbed cells must have fired at least one injection (a cell that
+/// never disturbed anything proves nothing).
+fn check_trust(path: &str, text: &str) -> Result<(), String> {
+    let mut seen: std::collections::HashSet<(String, String, String)> =
+        std::collections::HashSet::new();
+    let mut lines = 0u64;
+    let mut verdicts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{n}: {e}"))?;
+        let num = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}:{n}: missing numeric field {key:?}"))
+        };
+        let txt = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{path}:{n}: missing string field {key:?}"))
+        };
+        if num("schema")? != TRUST_SCHEMA {
+            return Err(format!("{path}:{n}: mixed schemas in a trust file"));
+        }
+        let (event, method, disturb) = (txt("event")?, txt("method")?, txt("disturb")?);
+        if !seen.insert((event.clone(), method.clone(), disturb.clone())) {
+            return Err(format!(
+                "{path}:{n}: duplicate cell {event}/{method}/{disturb}"
+            ));
+        }
+        let schedules = num("schedules")?;
+        let checks = num("checks")?;
+        let bounded_checks = num("bounded_checks")?;
+        let fired = num("fired")?;
+        let divergences = num("divergences")?;
+        let bound = num("bound")?;
+        let measured = num("measured")?;
+        if schedules == 0 {
+            return Err(format!("{path}:{n}: cell ran no schedules"));
+        }
+        if disturb != "none" && fired == 0 {
+            return Err(format!(
+                "{path}:{n}: disturbed cell {event}/{method}/{disturb} fired no injections"
+            ));
+        }
+        let verdict = txt("verdict")?;
+        match verdict.as_str() {
+            "exact" => {
+                if divergences != 0 {
+                    return Err(format!(
+                        "{path}:{n}: exact verdict with {divergences} divergences"
+                    ));
+                }
+                if checks == 0 {
+                    return Err(format!("{path}:{n}: exact verdict with zero checks"));
+                }
+            }
+            "bounded-error" => {
+                if bounded_checks == 0 {
+                    return Err(format!(
+                        "{path}:{n}: bounded-error verdict with zero bounded checks"
+                    ));
+                }
+                if measured > bound {
+                    return Err(format!(
+                        "{path}:{n}: bounded-error verdict but measured {measured} > bound {bound}"
+                    ));
+                }
+            }
+            "unreliable" => {
+                if divergences == 0 && measured <= bound {
+                    return Err(format!(
+                        "{path}:{n}: unreliable verdict with no divergence and measured \
+                         {measured} <= bound {bound}"
+                    ));
+                }
+            }
+            other => return Err(format!("{path}:{n}: unknown verdict {other:?}")),
+        }
+        *verdicts.entry(verdict).or_insert(0) += 1;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{path}: empty trust file"));
+    }
+    let breakdown: Vec<String> = verdicts.iter().map(|(v, c)| format!("{c} {v}")).collect();
+    println!(
+        "{path}: ok — trust matrix: {lines} cells ({}), verdicts consistent",
+        breakdown.join(", ")
     );
     Ok(())
 }
