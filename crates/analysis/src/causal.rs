@@ -26,6 +26,8 @@ pub enum KnobClass {
     Cpu,
     /// Kernel costs (syscalls, context switches).
     Kernel,
+    /// Blocking-I/O device latencies (disk, net, fsync).
+    Io,
 }
 
 impl KnobClass {
@@ -36,6 +38,7 @@ impl KnobClass {
         match self {
             KnobClass::Lock => FindingKind::LockContention,
             KnobClass::Memory => FindingKind::MemoryBound,
+            KnobClass::Io => FindingKind::IoBound,
             KnobClass::Cpu | KnobClass::Kernel => FindingKind::CpuBound,
         }
     }
@@ -162,6 +165,21 @@ mod tests {
             2.0
         )
         .is_none());
+    }
+
+    #[test]
+    fn io_dominated_region_is_io_bound() {
+        let f = attribute(
+            "store.commit",
+            &[
+                s("fsync-latency", KnobClass::Io, 12.0),
+                s("dram-latency", KnobClass::Memory, 0.8),
+            ],
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(f.kind, FindingKind::IoBound);
+        assert!(f.detail.contains("fsync-latency"), "{}", f.detail);
     }
 
     #[test]

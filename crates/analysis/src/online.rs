@@ -14,6 +14,7 @@
 
 use crate::bottleneck::BottleneckReport;
 use sim_cpu::EventKind;
+use sim_os::io::DEVICE_NAMES;
 use std::fmt;
 use telemetry::Snapshot;
 
@@ -36,6 +37,10 @@ pub struct DetectorConfig {
     /// Share above which a hot, neither-contended-nor-memory-bound region
     /// is reported as plain compute-bound.
     pub cpu_share: f64,
+    /// Fraction of a region's cycles spent blocked on I/O above which the
+    /// region is io-bound (the kernel charges waits into the blocked
+    /// thread's cycle counter, so io-wait ≤ cycles always holds).
+    pub io_share: f64,
 }
 
 impl Default for DetectorConfig {
@@ -46,6 +51,7 @@ impl Default for DetectorConfig {
             contention_ratio: 0.5,
             mpki: 5.0,
             cpu_share: 0.25,
+            io_share: 0.4,
         }
     }
 }
@@ -57,6 +63,8 @@ pub enum FindingKind {
     LockContention,
     /// High LLC MPKI: the region waits on memory, not compute.
     MemoryBound,
+    /// Most of the region's cycles are blocking-I/O waits.
+    IoBound,
     /// Hot but neither of the above: plain compute.
     CpuBound,
 }
@@ -66,6 +74,7 @@ impl fmt::Display for FindingKind {
         f.write_str(match self {
             FindingKind::LockContention => "lock-contention",
             FindingKind::MemoryBound => "memory-bound",
+            FindingKind::IoBound => "io-bound",
             FindingKind::CpuBound => "cpu-bound",
         })
     }
@@ -150,6 +159,47 @@ pub fn classify(snap: &Snapshot, events: &[EventKind], cfg: &DetectorConfig) -> 
         }
     }
 
+    // I/O-bound: the region's cycles are dominated by blocking-I/O waits
+    // (the kernel charges waits into the blocked thread's cycle counter, so
+    // the wait share of a region's cycles is directly comparable). Claimed
+    // before the memory/cpu pass — a region waiting on fsync would
+    // otherwise read as hot compute.
+    for r in &snap.regions {
+        if r.count < cfg.min_count || claimed.contains(&r.name) {
+            continue;
+        }
+        let share = share_of(&r.name);
+        if share < cfg.hot_share {
+            continue;
+        }
+        let cycles = r.event_sum(cyc);
+        let wait = r.io_wait_sum();
+        if cycles == 0 || (wait as f64) < cfg.io_share * cycles as f64 {
+            continue;
+        }
+        let slow = r.io_slow_calls();
+        if slow == 0 {
+            continue;
+        }
+        let top =
+            r.io.iter()
+                .max_by_key(|s| (s.wait_sum(), std::cmp::Reverse(s.device)))
+                .expect("wait > 0 implies a device entry");
+        findings.push(Finding {
+            kind: FindingKind::IoBound,
+            region: r.name.clone(),
+            share,
+            detail: format!(
+                "{:.0}% of region cycles blocked on {} ({} calls, {} slow)",
+                wait as f64 * 100.0 / cycles as f64,
+                DEVICE_NAMES.get(top.device).copied().unwrap_or("?"),
+                r.io_calls(),
+                slow
+            ),
+        });
+        claimed.push(r.name.clone());
+    }
+
     // Memory-bound / compute-bound on the remaining regions.
     for r in &snap.regions {
         if r.count < cfg.min_count || claimed.contains(&r.name) {
@@ -214,7 +264,26 @@ mod tests {
             name: name.to_string(),
             count,
             events,
+            io: Vec::new(),
         }
+    }
+
+    fn with_io(mut r: RegionSnapshot, device: usize, waits: &[u64]) -> RegionSnapshot {
+        let mut hist = Histogram::new();
+        let mut slow_calls = 0;
+        for &w in waits {
+            hist.record(w);
+            if w > sim_os::io::SLOW_IO_CYCLES {
+                slow_calls += 1;
+            }
+        }
+        r.io.push(telemetry::IoStat {
+            device,
+            hist,
+            slow_calls,
+        });
+        r.io.sort_by_key(|s| s.device);
+        r
     }
 
     fn snap(regions: Vec<RegionSnapshot>) -> Snapshot {
@@ -280,6 +349,42 @@ mod tests {
             region("cold", 100, &[1, 1, 0]),         // below hot_share
         ]);
         assert!(classify(&s, &EVENTS, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn wait_dominated_region_is_io_bound_and_names_the_device() {
+        // Commit cycles are almost entirely fsync waits (the kernel charges
+        // waits into the cycle counter, so per-exit cycles include them).
+        let commit = with_io(
+            region("store.commit", 16, &[4_000_000, 2_000, 0]),
+            2,
+            &[3_500_000; 16],
+        );
+        let s = snap(vec![commit, region("store.append", 16, &[5_000, 4_000, 0])]);
+        let f = classify(&s, &EVENTS, &DetectorConfig::default());
+        assert_eq!(f[0].kind, FindingKind::IoBound);
+        assert_eq!(f[0].region, "store.commit");
+        assert!(f[0].detail.contains("fsync"), "{}", f[0].detail);
+        assert!(f[0].detail.contains("16 slow"), "{}", f[0].detail);
+        // Claimed: the waits must not double-report as compute.
+        assert!(f
+            .iter()
+            .all(|x| x.kind != FindingKind::CpuBound || x.region != "store.commit"));
+    }
+
+    #[test]
+    fn fast_io_region_is_not_io_bound() {
+        // Plenty of I/O calls but none slow and waits are a small share of
+        // the region's cycles: the detector stays quiet about I/O.
+        let parse = with_io(
+            region("proxy.parse", 50, &[20_000, 15_000, 0]),
+            1,
+            &[100; 50],
+        );
+        let s = snap(vec![parse]);
+        let f = classify(&s, &EVENTS, &DetectorConfig::default());
+        assert!(f.iter().all(|x| x.kind != FindingKind::IoBound), "{f:?}");
+        assert!(f.iter().any(|x| x.kind == FindingKind::CpuBound));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::tls;
 use flight::{EventData, FlightConfig, RegionMark};
 use sim_core::{CoreId, Freq, SimError, SimResult, ThreadId};
 use sim_cpu::{Asm, EventKind, Machine, MachineConfig, MemLayout};
-use sim_os::{Kernel, KernelConfig, RunReport};
+use sim_os::{IoRing, Kernel, KernelConfig, RunReport};
 use std::collections::HashMap;
 
 /// Configuration for a [`Session`].
@@ -344,6 +344,22 @@ impl Session {
         args.extend_from_slice(extra);
         let pc = self.kernel.machine.prog.entry(entry)?;
         let tid = self.kernel.spawn_at(pc, &args, core);
+        if let Some(cfg) = self.stream {
+            // Let the kernel append blocking-I/O wait records to the same
+            // telemetry ring the thread's instrumentation streams into.
+            self.kernel.set_io_ring(
+                tid,
+                IoRing {
+                    base: ring_base,
+                    head_addr: tls_base + tls::RING_HEAD as u64,
+                    tail_addr: tls_base + tls::RING_TAIL as u64,
+                    dropped_addr: tls_base + tls::DROPPED as u64,
+                    capacity: cfg.capacity,
+                    counters: self.events.len(),
+                    overwrite: cfg.overwrite,
+                },
+            );
+        }
         self.tls_of.insert(
             tid,
             TlsInfo {

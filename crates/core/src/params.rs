@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::{SimError, SimResult};
 use sim_cpu::{CostModel, MachineConfig};
 use sim_mem::HierarchyConfig;
-use sim_os::KernelConfig;
+use sim_os::{IoParams, KernelConfig};
 
 /// Maximum cores the memory system supports (see `sim_mem::MemorySystem`).
 pub const MAX_CORES: usize = 64;
@@ -38,6 +38,9 @@ pub struct MachineParams {
     pub quantum: u64,
     /// Direct cost of a context switch.
     pub ctx_switch_cost: u64,
+    /// Per-device blocking-I/O latency distributions.
+    #[serde(default)]
+    pub io: IoParams,
 }
 
 impl Default for MachineParams {
@@ -49,6 +52,7 @@ impl Default for MachineParams {
             hierarchy: HierarchyConfig::default(),
             quantum: k.quantum,
             ctx_switch_cost: k.ctx_switch_cost,
+            io: k.io,
         }
     }
 }
@@ -75,6 +79,7 @@ impl MachineParams {
         KernelConfig {
             quantum: self.quantum,
             ctx_switch_cost: self.ctx_switch_cost,
+            io: self.io,
             ..KernelConfig::default()
         }
     }
@@ -100,6 +105,7 @@ impl MachineParams {
             ));
         }
         self.hierarchy.validate()?;
+        self.io.validate()?;
 
         let mut warnings = Vec::new();
         let c = &self.cost;

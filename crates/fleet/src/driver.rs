@@ -36,7 +36,7 @@ use sim_os::KernelConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use telemetry::{run_streaming, Collector, Snapshot};
-use workloads::{memcached, mysqld};
+use workloads::{memcached, mysqld, proxy};
 
 /// Counters every fleet instance attaches (same trio as the single-
 /// instance monitor: cycles rank regions, instructions + LLC misses feed
@@ -57,6 +57,10 @@ pub enum Workload {
     Mysqld,
     /// The memcached-like striped hash cache (memory-heavy).
     Memcached,
+    /// The scatter-gather fan-out proxy (network-I/O-heavy; its final
+    /// snapshots carry per-device wait stats, so a proxy fleet exercises
+    /// the io path of the hierarchical roll-up).
+    Proxy,
 }
 
 impl std::str::FromStr for Workload {
@@ -65,7 +69,10 @@ impl std::str::FromStr for Workload {
         match s {
             "mysqld" => Ok(Workload::Mysqld),
             "memcached" => Ok(Workload::Memcached),
-            other => Err(format!("unknown workload {other:?} (mysqld|memcached)")),
+            "proxy" => Ok(Workload::Proxy),
+            other => Err(format!(
+                "unknown workload {other:?} (mysqld|memcached|proxy)"
+            )),
         }
     }
 }
@@ -75,6 +82,7 @@ impl std::fmt::Display for Workload {
         f.write_str(match self {
             Workload::Mysqld => "mysqld",
             Workload::Memcached => "memcached",
+            Workload::Proxy => "proxy",
         })
     }
 }
@@ -88,7 +96,8 @@ pub struct FleetConfig {
     pub instances: usize,
     /// Guest worker threads per instance.
     pub threads: usize,
-    /// Queries (mysqld) / operations (memcached) per guest worker.
+    /// Queries (mysqld) / operations (memcached) / requests (proxy) per
+    /// guest worker.
     pub queries: u64,
     /// Open-loop load: arrival process and target rate.
     pub arrival: ArrivalConfig,
@@ -297,6 +306,18 @@ fn run_instance(cfg: &FleetConfig, index: usize) -> Result<InstanceResult, Strin
                 .map_err(fail)?
                 .0
         }
+        Workload::Proxy => {
+            let wcfg = proxy::ProxyConfig {
+                threads: cfg.threads,
+                requests_per_thread: cfg.queries,
+                seed,
+                mode,
+                ..Default::default()
+            };
+            proxy::build(&wcfg, &reader, cores, &EVENTS, KernelConfig::default())
+                .map_err(fail)?
+                .0
+        }
     };
 
     // Serialize teardown warnings: N instances sharing stderr would
@@ -491,6 +512,40 @@ mod tests {
         assert_eq!(r.instances.len(), 3);
         assert!(r.fleet.drained > 0);
         assert!(r.total_instructions() > 0);
+    }
+
+    #[test]
+    fn proxy_fleet_rolls_up_io_stats() {
+        let cfg = FleetConfig {
+            workload: Workload::Proxy,
+            instances: 3,
+            threads: 2,
+            queries: 8,
+            jobs: 2,
+            ..Default::default()
+        };
+        let r = run_fleet(&cfg, |_, _| {}).unwrap();
+        assert_eq!(r.instances.len(), 3);
+        // The roll-up's per-region io waits must equal the instance sums
+        // (merge_io_stats is the only path that can produce them).
+        for region in &r.fleet.regions {
+            let want: u64 = r
+                .instances
+                .iter()
+                .flat_map(|i| &i.snapshot.regions)
+                .filter(|ir| ir.name == region.name)
+                .map(|ir| ir.io_wait_sum())
+                .sum();
+            assert_eq!(region.io_wait_sum(), want, "{}", region.name);
+        }
+        let fanout_wait: u64 = r
+            .fleet
+            .regions
+            .iter()
+            .filter(|reg| reg.name == "proxy.fanout")
+            .map(|reg| reg.io_wait_sum())
+            .sum();
+        assert!(fanout_wait > 0, "fan-out region recorded no net waits");
     }
 
     #[test]

@@ -156,6 +156,31 @@ pub enum EventData {
         /// Snapshot sequence number.
         seq: u64,
     },
+    /// A blocking I/O request was enqueued on a device service queue. The
+    /// payload carries the resolved timeline: service starts at `start`
+    /// (after queueing behind earlier requests) and completes at
+    /// `complete`; `ts <= start <= complete` always.
+    IoEnqueue {
+        /// Device name (`disk`/`net`/`fsync`).
+        device: &'static str,
+        /// Service-start clock.
+        start: u64,
+        /// Completion clock.
+        complete: u64,
+        /// Requests outstanding on the device after this enqueue.
+        depth: u32,
+    },
+    /// The submitting thread blocked on its I/O request.
+    IoBlock {
+        /// Device name.
+        device: &'static str,
+    },
+    /// The thread resumed after its I/O request completed (paired with the
+    /// thread's preceding `io_block`).
+    IoWake {
+        /// Device name.
+        device: &'static str,
+    },
 }
 
 impl EventData {
@@ -184,6 +209,9 @@ impl EventData {
             EventData::RegionExit { .. } => "region_exit",
             EventData::RingDrain { .. } => "ring_drain",
             EventData::SnapshotPublish { .. } => "snapshot_publish",
+            EventData::IoEnqueue { .. } => "io_enqueue",
+            EventData::IoBlock { .. } => "io_block",
+            EventData::IoWake { .. } => "io_wake",
         }
     }
 
@@ -209,11 +237,14 @@ impl EventData {
             EventData::RingDrain { .. } | EventData::SnapshotPublish { .. } => {
                 Categories::TELEMETRY
             }
+            EventData::IoEnqueue { .. } | EventData::IoBlock { .. } | EventData::IoWake { .. } => {
+                Categories::IO
+            }
         }
     }
 }
 
-/// A set of event categories (a 9-bit mask). Filtering happens at record
+/// A set of event categories (a 10-bit mask). Filtering happens at record
 /// time: an unselected category's events are never stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Categories(u16);
@@ -237,10 +268,12 @@ impl Categories {
     pub const REGION: Categories = Categories(1 << 7);
     /// Telemetry drains and snapshots.
     pub const TELEMETRY: Categories = Categories(1 << 8);
+    /// Blocking-I/O device queues: enqueues, blocks, wakes.
+    pub const IO: Categories = Categories(1 << 9);
     /// Everything.
-    pub const ALL: Categories = Categories(0x1ff);
+    pub const ALL: Categories = Categories(0x3ff);
 
-    const NAMES: [(&'static str, Categories); 9] = [
+    const NAMES: [(&'static str, Categories); 10] = [
         ("sched", Categories::SCHED),
         ("irq", Categories::IRQ),
         ("pmu", Categories::PMU),
@@ -250,6 +283,7 @@ impl Categories {
         ("harness", Categories::HARNESS),
         ("region", Categories::REGION),
         ("telemetry", Categories::TELEMETRY),
+        ("io", Categories::IO),
     ];
 
     /// Parses a comma-separated category list (or `all`).
@@ -355,6 +389,13 @@ mod tests {
             EventData::SessionOpen { threads: 1 },
             EventData::RegionEnter { pc: 0 },
             EventData::SnapshotPublish { seq: 1 },
+            EventData::IoEnqueue {
+                device: "disk",
+                start: 1,
+                complete: 2,
+                depth: 1,
+            },
+            EventData::IoWake { device: "fsync" },
         ];
         for s in samples {
             assert!(Categories::ALL.contains(s.category()), "{:?}", s.kind());

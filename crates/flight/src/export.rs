@@ -96,6 +96,17 @@ fn event_json(core: Option<usize>, ev: &FlightEvent) -> Json {
         EventData::RegionExit { region, pc } => j.set("region", region).set("pc", u64::from(pc)),
         EventData::RingDrain { records } => j.set("records", records),
         EventData::SnapshotPublish { seq } => j.set("seq", seq),
+        EventData::IoEnqueue {
+            device,
+            start,
+            complete,
+            depth,
+        } => j
+            .set("device", device)
+            .set("start", start)
+            .set("complete", complete)
+            .set("depth", u64::from(depth)),
+        EventData::IoBlock { device } | EventData::IoWake { device } => j.set("device", device),
     }
 }
 
@@ -159,6 +170,7 @@ fn name_meta(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Json {
 const PID_THREADS: u64 = 1;
 const PID_CORES: u64 = 2;
 const PID_HOST: u64 = 3;
+const PID_DEVICES: u64 = 4;
 
 /// Builds Chrome trace-event JSON from the recorder. `region_names`
 /// resolves region ids to display names (unresolved ids render as
@@ -337,6 +349,72 @@ pub fn chrome_trace(
         }
     }
 
+    // Device tracks (pid 4), present only when I/O events exist: one row
+    // per device carrying its serialized request spans [start, complete]
+    // (requests on one device never overlap — the service queue is FIFO
+    // with one request in service), plus a queue-depth counter track
+    // rebuilt by sweeping enqueue/complete edges.
+    let mut per_device: BTreeMap<&'static str, Vec<(u64, u64, u64)>> = BTreeMap::new();
+    for ring in &rec.rings()[..cores] {
+        for ev in ring.iter() {
+            if let EventData::IoEnqueue {
+                device,
+                start,
+                complete,
+                ..
+            } = ev.data
+            {
+                per_device
+                    .entry(device)
+                    .or_default()
+                    .push((ev.ts, start, complete));
+            }
+        }
+    }
+    if !per_device.is_empty() {
+        events.push(name_meta("process_name", PID_DEVICES, None, "devices"));
+        for (row, (device, reqs)) in per_device.iter_mut().enumerate() {
+            let d = row as u64;
+            events.push(name_meta("thread_name", PID_DEVICES, Some(d), device));
+            reqs.sort_by_key(|&(ts, start, _)| (start, ts));
+            for &(enq_ts, start, comp) in reqs.iter() {
+                events.push(
+                    complete(
+                        device,
+                        "io",
+                        PID_DEVICES,
+                        d,
+                        us(start),
+                        us(comp.saturating_sub(start)),
+                    )
+                    .set("args", Json::object().set("enqueued", us(enq_ts))),
+                );
+            }
+            // Queue-depth sawtooth: +1 at enqueue, -1 at completion, with
+            // completions applied first on ties so depth never overshoots.
+            let mut edges: Vec<(u64, i64)> = Vec::with_capacity(reqs.len() * 2);
+            for &(enq_ts, _, comp) in reqs.iter() {
+                edges.push((enq_ts, 1));
+                edges.push((comp, -1));
+            }
+            edges.sort_by_key(|&(ts, delta)| (ts, delta));
+            let mut depth: i64 = 0;
+            for (ts, delta) in edges {
+                depth += delta;
+                events.push(
+                    Json::object()
+                        .set("name", format!("{device} queue"))
+                        .set("cat", "io")
+                        .set("ph", "C")
+                        .set("pid", PID_DEVICES)
+                        .set("tid", d)
+                        .set("ts", us(ts))
+                        .set("args", Json::object().set("depth", depth.max(0) as u64)),
+                );
+            }
+        }
+    }
+
     // Host track: lifecycle/telemetry instants (tid 0) and bench spans
     // (tid 1, its own wall-clock time base).
     events.push(name_meta("thread_name", PID_HOST, Some(0), "session"));
@@ -387,9 +465,17 @@ pub struct CheckReport {
     pub region_exits: u64,
     /// Distinct threads observed.
     pub threads: u64,
+    /// I/O enqueues seen.
+    pub io_enqueues: u64,
+    /// I/O blocks seen.
+    pub io_blocks: u64,
+    /// I/O wakes seen.
+    pub io_wakes: u64,
+    /// Distinct I/O devices observed.
+    pub io_devices: u64,
 }
 
-const KNOWN_KINDS: [&str; 22] = [
+const KNOWN_KINDS: [&str; 25] = [
     "switch_in",
     "switch_out",
     "sched_pick",
@@ -412,6 +498,9 @@ const KNOWN_KINDS: [&str; 22] = [
     "region_exit",
     "ring_drain",
     "snapshot_publish",
+    "io_enqueue",
+    "io_block",
+    "io_wake",
 ];
 
 #[derive(Default)]
@@ -465,6 +554,13 @@ pub fn check(text: &str) -> Result<CheckReport, String> {
     };
     let mut core_states: Vec<CoreState> = (0..cores).map(|_| CoreState::default()).collect();
     let mut tids: BTreeMap<u64, TidState> = BTreeMap::new();
+    // Per-device I/O enqueues in line order: (enqueue ts, complete, depth).
+    let mut io_devices: BTreeMap<String, Vec<(u64, u64, u64)>> = BTreeMap::new();
+    // Per-tid io_block/io_wake edges: (ts, is_block). Block and wake may
+    // land on different cores (the thread can migrate across the wait), so
+    // alternation is checked on the thread's own monotone clock, not in
+    // line order.
+    let mut io_edges: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();
 
     for (lineno, line) in lines {
         let n = lineno + 1;
@@ -554,7 +650,111 @@ pub fn check(text: &str) -> Result<CheckReport, String> {
             "migration" => report.migrations += 1,
             "injection" => report.injections += 1,
             "region_exit" => report.region_exits += 1,
+            "io_enqueue" => {
+                let device = doc
+                    .get("device")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: io_enqueue without device"))?;
+                let field = |key: &str| -> Result<u64, String> {
+                    doc.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {n}: io_enqueue missing numeric {key:?}"))
+                };
+                let (start, complete, depth) =
+                    (field("start")?, field("complete")?, field("depth")?);
+                if start < ts || complete < start {
+                    return Err(format!(
+                        "line {n}: io_enqueue on {device} violates enqueue <= start <= complete \
+                         ({ts} / {start} / {complete})"
+                    ));
+                }
+                if depth == 0 {
+                    return Err(format!(
+                        "line {n}: io_enqueue on {device} with depth 0 (the request itself counts)"
+                    ));
+                }
+                io_devices
+                    .entry(device.to_string())
+                    .or_default()
+                    .push((ts, complete, depth));
+                report.io_enqueues += 1;
+            }
+            "io_block" => {
+                let tid = tid.ok_or_else(|| format!("line {n}: io_block without tid"))?;
+                io_edges.entry(tid).or_default().push((ts, true));
+                report.io_blocks += 1;
+            }
+            "io_wake" => {
+                let tid = tid.ok_or_else(|| format!("line {n}: io_wake without tid"))?;
+                io_edges.entry(tid).or_default().push((ts, false));
+                report.io_wakes += 1;
+            }
             _ => {}
+        }
+    }
+
+    // Device conservation: queue depth never negative under the edge
+    // sweep, and when enqueue timestamps are unambiguous (strictly
+    // increasing — the kernel's smallest-clock-first arbitration makes
+    // them non-decreasing in submit order), the recorded depth must equal
+    // exactly the outstanding-request count at enqueue.
+    for (device, reqs) in &mut io_devices {
+        reqs.sort_by_key(|&(ts, complete, _)| (ts, complete));
+        let mut edges: Vec<(u64, i64)> = Vec::with_capacity(reqs.len() * 2);
+        for &(ts, complete, _) in reqs.iter() {
+            edges.push((ts, 1));
+            edges.push((complete, -1));
+        }
+        edges.sort_by_key(|&(ts, delta)| (ts, delta));
+        let mut depth: i64 = 0;
+        for (ts, delta) in edges {
+            depth += delta;
+            if depth < 0 {
+                return Err(format!(
+                    "device {device}: queue depth went negative at ts {ts}"
+                ));
+            }
+        }
+        let unambiguous = reqs.windows(2).all(|w| w[0].0 < w[1].0);
+        for (i, &(ts, _, depth)) in reqs.iter().enumerate() {
+            if unambiguous {
+                // Outstanding = this request plus earlier enqueues whose
+                // completion is still in the future (the kernel prunes
+                // completions at `complete <= now`).
+                let want = 1 + reqs[..i].iter().filter(|&&(_, c, _)| c > ts).count() as u64;
+                if depth != want {
+                    return Err(format!(
+                        "device {device}: enqueue at ts {ts} recorded depth {depth}, \
+                         but {want} requests were outstanding"
+                    ));
+                }
+            } else if depth > reqs.len() as u64 {
+                return Err(format!(
+                    "device {device}: enqueue at ts {ts} recorded depth {depth} \
+                     with only {} requests in the trace",
+                    reqs.len()
+                ));
+            }
+        }
+    }
+    report.io_devices = io_devices.len() as u64;
+
+    // io_block/io_wake must alternate per thread, block first, ending
+    // balanced (every blocked thread woke before the trace ended).
+    for (&tid, edges) in &mut io_edges {
+        edges.sort_by_key(|&(ts, is_block)| (ts, !is_block));
+        let mut blocked = false;
+        for &(ts, is_block) in edges.iter() {
+            if is_block == blocked {
+                return Err(format!(
+                    "tid {tid}: {} at ts {ts} out of order (io_block/io_wake must alternate)",
+                    if is_block { "io_block" } else { "io_wake" }
+                ));
+            }
+            blocked = is_block;
+        }
+        if blocked {
+            return Err(format!("tid {tid}: io_block without a matching io_wake"));
         }
     }
 
@@ -680,6 +880,146 @@ mod tests {
         r.record(0, 1, Some(2), EventData::SyscallEnter { name: "yield" });
         let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
         assert!(err.contains("syscall"), "{err}");
+    }
+
+    fn io_recorder() -> FlightRecorder {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(0, 10, Some(1), EventData::SwitchIn);
+        r.record(
+            0,
+            20,
+            Some(1),
+            EventData::IoEnqueue {
+                device: "fsync",
+                start: 20,
+                complete: 120,
+                depth: 1,
+            },
+        );
+        r.record(0, 20, Some(1), EventData::IoBlock { device: "fsync" });
+        r.record(0, 21, Some(1), EventData::SwitchOut { state: "sleeping" });
+        r.record(0, 120, Some(1), EventData::SwitchIn);
+        r.record(0, 121, Some(1), EventData::IoWake { device: "fsync" });
+        r.record(0, 130, Some(1), EventData::SwitchOut { state: "exited" });
+        r
+    }
+
+    #[test]
+    fn check_accepts_paired_io_and_counts_devices() {
+        let report = check(&ndjson(&io_recorder(), 1_000_000)).unwrap();
+        assert_eq!(report.io_enqueues, 1);
+        assert_eq!(report.io_blocks, 1);
+        assert_eq!(report.io_wakes, 1);
+        assert_eq!(report.io_devices, 1);
+    }
+
+    #[test]
+    fn check_rejects_unpaired_io_block() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(0, 10, Some(1), EventData::IoBlock { device: "disk" });
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("io_block"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_wake_before_block() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(0, 10, Some(1), EventData::IoWake { device: "disk" });
+        r.record(0, 20, Some(1), EventData::IoBlock { device: "disk" });
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("alternate"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_completion_before_enqueue() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(
+            0,
+            50,
+            Some(1),
+            EventData::IoEnqueue {
+                device: "net",
+                start: 50,
+                complete: 40,
+                depth: 1,
+            },
+        );
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("complete"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_wrong_queue_depth() {
+        let mut r = FlightRecorder::new(1, FlightConfig::default());
+        r.record(
+            0,
+            10,
+            Some(1),
+            EventData::IoEnqueue {
+                device: "disk",
+                start: 10,
+                complete: 100,
+                depth: 1,
+            },
+        );
+        r.record(0, 10, Some(1), EventData::IoBlock { device: "disk" });
+        r.record(0, 11, Some(1), EventData::IoWake { device: "disk" });
+        // Second request overlaps the first (complete 100 > ts 20) so its
+        // true depth is 2, not 1.
+        r.record(
+            0,
+            20,
+            Some(2),
+            EventData::IoEnqueue {
+                device: "disk",
+                start: 100,
+                complete: 150,
+                depth: 1,
+            },
+        );
+        r.record(0, 20, Some(2), EventData::IoBlock { device: "disk" });
+        r.record(0, 21, Some(2), EventData::IoWake { device: "disk" });
+        let err = check(&ndjson(&r, 1_000_000)).unwrap_err();
+        assert!(err.contains("outstanding"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_renders_device_tracks() {
+        let doc = chrome_trace(&io_recorder(), 1_000_000, &HashMap::new(), &[]);
+        let text = doc.pretty();
+        let back = Json::parse(&text).unwrap();
+        let evs = back
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // Device request span on pid 4.
+        assert!(evs.iter().any(|e| {
+            e.get("pid").and_then(Json::as_u64) == Some(PID_DEVICES)
+                && e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("fsync")
+        }));
+        // Queue-depth counter track on pid 4.
+        assert!(evs.iter().any(|e| {
+            e.get("pid").and_then(Json::as_u64) == Some(PID_DEVICES)
+                && e.get("ph").and_then(Json::as_str) == Some("C")
+                && e.get("name").and_then(Json::as_str) == Some("fsync queue")
+        }));
+        // The devices process is labelled.
+        assert!(evs.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("pid").and_then(Json::as_u64) == Some(PID_DEVICES)
+        }));
+    }
+
+    #[test]
+    fn chrome_trace_omits_device_process_without_io() {
+        let doc = chrome_trace(&small_recorder(), 1_000_000, &HashMap::new(), &[]);
+        let text = doc.pretty();
+        let back = Json::parse(&text).unwrap();
+        let evs = back.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(evs
+            .iter()
+            .all(|e| e.get("pid").and_then(Json::as_u64) != Some(PID_DEVICES)));
     }
 
     #[test]

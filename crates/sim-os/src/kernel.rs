@@ -8,6 +8,7 @@
 
 use crate::futex::FutexTable;
 use crate::inject::{InjectAction, Injection, Injector};
+use crate::io::{IoDeviceStats, IoParams, IoRing, IoSubsystem, PendingIo, DEVICES, DEVICE_NAMES};
 use crate::limitmod::{LimitMod, RangeReg};
 use crate::perf::{PerfFd, PerfSubsystem, Sample};
 use crate::sched::Scheduler;
@@ -60,6 +61,8 @@ pub struct KernelConfig {
     /// Execution strategy (block-stepped by default; the differential
     /// harness pins `SingleStep` to compare against).
     pub exec: ExecMode,
+    /// Blocking-I/O device latency model.
+    pub io: IoParams,
 }
 
 impl Default for KernelConfig {
@@ -73,6 +76,7 @@ impl Default for KernelConfig {
             restart_fixup: true,
             max_cycles: 20_000_000_000,
             exec: ExecMode::Block,
+            io: IoParams::default(),
         }
     }
 }
@@ -106,6 +110,10 @@ pub struct RunReport {
     pub futex: (u64, u64),
     /// Total cycles threads spent blocked on futexes.
     pub blocked_cycles: u64,
+    /// Blocking I/O requests submitted.
+    pub io_submits: u64,
+    /// Total cycles threads spent blocked on I/O.
+    pub io_wait_cycles: u64,
     /// Structured teardown warnings (mirrored to stderr by the harness).
     pub warnings: TeardownWarnings,
 }
@@ -170,6 +178,7 @@ pub struct Kernel {
     futex: FutexTable,
     perf: PerfSubsystem,
     limit: LimitMod,
+    io: IoSubsystem,
     cfg: KernelConfig,
     /// Guest debug log (`LogValue` syscall).
     log: Vec<u64>,
@@ -198,6 +207,7 @@ impl Kernel {
             futex: FutexTable::new(),
             perf: PerfSubsystem::new(),
             limit: LimitMod::new(cfg.restart_fixup),
+            io: IoSubsystem::new(&cfg.io),
             threads: Vec::new(),
             log: Vec::new(),
             closed_fds: Vec::new(),
@@ -307,6 +317,18 @@ impl Kernel {
     /// The LiMiT extension state.
     pub fn limit(&self) -> &LimitMod {
         &self.limit
+    }
+
+    /// Per-device I/O lifetime totals, indexed by device id.
+    pub fn io_stats(&self) -> [IoDeviceStats; DEVICES] {
+        self.io.stats()
+    }
+
+    /// Registers the telemetry ring the kernel appends `tid`'s I/O wait
+    /// records to. Called by stream-mode harnesses at spawn; without a
+    /// registration the wait is still charged, just not ring-visible.
+    pub fn set_io_ring(&mut self, tid: ThreadId, ring: IoRing) {
+        self.threads[tid.index()].io_ring = Some(ring);
     }
 
     /// Registers a restartable read-sequence PC range host-side (the
@@ -484,6 +506,8 @@ impl Kernel {
             limit_rejected_ranges: self.limit.rejected_ranges,
             futex: self.futex.stats(),
             blocked_cycles: self.threads.iter().map(|t| t.stats.blocked_cycles).sum(),
+            io_submits: self.io.total_submits(),
+            io_wait_cycles: self.io.total_wait_cycles(),
             warnings: TeardownWarnings {
                 rejected_ranges: self.limit.rejected_ranges,
                 unfixed_races: self.limit.unfixed_races,
@@ -741,6 +765,88 @@ impl Kernel {
             );
         }
         self.flight_record_tid(core, Some(tid.0), EventData::SwitchIn);
+
+        // An I/O-blocked thread resumes here: account the completed wait.
+        if let Some(pending) = self.threads[tid.index()].io_pending.take() {
+            self.complete_io(core, tid, pending);
+        }
+    }
+
+    /// Wake-side half of a blocking I/O request, run when the thread is
+    /// switched back in: charges the wait into the thread's virtualized
+    /// cycle counter (so the enclosing instrumented region *sees* the
+    /// blocked time — and per-region I/O-wait sums can never exceed
+    /// per-region cycle sums), appends a device-tagged record to the
+    /// thread's telemetry ring, and emits the `io_wake` flight event that
+    /// closes the `io_block` span.
+    fn complete_io(&mut self, core: CoreId, tid: ThreadId, pending: PendingIo) {
+        let i = core.index();
+        let wait = pending.complete - pending.submitted;
+        let t = &mut self.threads[tid.index()];
+        t.stats.io_waits += 1;
+        t.stats.io_wait_cycles += wait;
+
+        let cycles_accum = t.vcounters.iter().find_map(|vc| match vc {
+            Some(VCounter::Limit {
+                event: sim_cpu::EventKind::Cycles,
+                accum_addr,
+                ..
+            }) => Some(*accum_addr),
+            _ => None,
+        });
+        if let Some(addr) = cycles_accum {
+            self.machine
+                .mem
+                .fetch_add_u64(addr, wait)
+                .expect("aligned at limit_open");
+            self.limit.folds += 1;
+            // Same epilogue as any other fold: the accumulator changed
+            // under a potential reader, so rewind mid-sequence PCs and
+            // bump the seqlock word.
+            let pc = self.machine.cores[i].ctx.pc;
+            self.machine.cores[i].ctx.pc = self.limit.fixup_pc(pc);
+            self.bump_seq(tid);
+        }
+
+        self.append_io_record(tid, &pending, wait);
+        self.flight_record_tid(
+            core,
+            Some(tid.0),
+            EventData::IoWake {
+                device: DEVICE_NAMES[pending.device],
+            },
+        );
+    }
+
+    /// Appends one device-tagged wait record to `tid`'s telemetry ring,
+    /// mirroring the guest producer protocol exactly (head/tail/dropped
+    /// words, drop-newest vs overwrite-oldest policy), so the host-side
+    /// collector drains kernel records and guest records uniformly.
+    fn append_io_record(&mut self, tid: ThreadId, pending: &PendingIo, wait: u64) {
+        let Some(ring) = self.threads[tid.index()].io_ring else {
+            return;
+        };
+        if ring.counters == 0 {
+            return;
+        }
+        let mem = &mut self.machine.mem;
+        let (Ok(head), Ok(tail)) = (mem.read_u64(ring.head_addr), mem.read_u64(ring.tail_addr))
+        else {
+            return;
+        };
+        if head.wrapping_sub(tail) >= ring.capacity && !ring.overwrite {
+            let _ = mem.fetch_add_u64(ring.dropped_addr, 1);
+            return;
+        }
+        let slot_size = (8 * (1 + ring.counters) as u64).next_power_of_two();
+        let addr = ring.base + (head & (ring.capacity - 1)) * slot_size;
+        let word = crate::io::encode_io_region(pending.region, pending.device);
+        let ok = mem.write_u64(addr, word).is_ok()
+            && mem.write_u64(addr + 8, wait).is_ok()
+            && (2..=ring.counters).all(|c| mem.write_u64(addr + 8 * c as u64, 0).is_ok());
+        if ok {
+            let _ = mem.write_u64(ring.head_addr, head + 1);
+        }
     }
 
     /// Removes the running thread from `core`, folding counters and
@@ -1191,6 +1297,51 @@ impl Kernel {
                     self.machine.charge(core, 5_000, 1_500); // clone() cost
                     let child = self.spawn_at(entry as u32, &[arg0, arg1], None);
                     set_r0(self, child.0 as u64);
+                }
+            }
+            Sys::IoSubmit { device, region } => {
+                if device as usize >= DEVICES {
+                    set_r0(self, SYS_ERR);
+                } else {
+                    let d = device as usize;
+                    // Kernel I/O submission path: request setup + enqueue.
+                    self.machine.charge(core, 1_000, 200);
+                    let now = self.machine.cores[i].clock;
+                    let ticket = self.io.submit(d, now);
+                    self.flight_record_tid(
+                        core,
+                        Some(tid.0),
+                        EventData::IoEnqueue {
+                            device: DEVICE_NAMES[d],
+                            start: ticket.start,
+                            complete: ticket.complete,
+                            depth: ticket.depth as u32,
+                        },
+                    );
+                    self.flight_record_tid(
+                        core,
+                        Some(tid.0),
+                        EventData::IoBlock {
+                            device: DEVICE_NAMES[d],
+                        },
+                    );
+                    set_r0(self, ticket.complete - now);
+                    self.threads[tid.index()].io_pending = Some(PendingIo {
+                        device: d,
+                        submitted: now,
+                        start: ticket.start,
+                        complete: ticket.complete,
+                        region,
+                    });
+                    // An I/O-blocked thread is an ordinary sleeper: both
+                    // execution modes already wake sleepers identically, so
+                    // blocking I/O inherits their determinism for free.
+                    self.switch_out(
+                        core,
+                        ThreadState::Sleeping {
+                            until: ticket.complete,
+                        },
+                    )?;
                 }
             }
             Sys::LimitSetSeq { addr } => {

@@ -20,6 +20,7 @@
 
 pub mod futex;
 pub mod inject;
+pub mod io;
 pub mod kernel;
 pub mod limitmod;
 pub mod perf;
@@ -29,6 +30,7 @@ pub mod syscall;
 pub mod thread;
 
 pub use inject::{InjectAction, Injection, Injector};
+pub use io::{IoDeviceStats, IoParams, IoRing, IoSubsystem, LatencyDist, PendingIo};
 pub use kernel::{ExecMode, Kernel, KernelConfig, RunReport, TeardownWarnings};
 pub use limitmod::{LimitMod, RangeReg};
 pub use perf::{PerfFd, PerfSubsystem, Sample};

@@ -114,6 +114,15 @@ pub enum Sys {
         /// Child's second argument (its `r1`).
         arg1: u64,
     },
+    /// Submit a blocking I/O request to device `r0`, attributed to
+    /// telemetry region `r1`. The thread blocks until the request
+    /// completes; returns the wait in cycles.
+    IoSubmit {
+        /// Device id (index into [`crate::io::DEVICE_NAMES`]).
+        device: u64,
+        /// Region id the wait is attributed to in telemetry.
+        region: u64,
+    },
 }
 
 /// Syscall numbers (the immediate of the `Syscall` instruction).
@@ -152,6 +161,8 @@ pub mod nr {
     pub const LIMIT_SET_SEQ: u64 = 15;
     /// `Spawn`
     pub const SPAWN: u64 = 16;
+    /// `IoSubmit`
+    pub const IO_SUBMIT: u64 = 17;
 }
 
 impl Sys {
@@ -175,6 +186,7 @@ impl Sys {
             Sys::LogValue { .. } => "log_value",
             Sys::LimitSetSeq { .. } => "limit_set_seq",
             Sys::Spawn { .. } => "spawn",
+            Sys::IoSubmit { .. } => "io_submit",
         }
     }
 
@@ -220,6 +232,10 @@ impl Sys {
                 entry: a(Reg::R0),
                 arg0: a(Reg::R1),
                 arg1: a(Reg::R2),
+            },
+            nr::IO_SUBMIT => Sys::IoSubmit {
+                device: a(Reg::R0),
+                region: a(Reg::R1),
             },
             _ => return None,
         })

@@ -1,5 +1,6 @@
 //! Kernel thread objects and their virtualized-counter attachments.
 
+use crate::io::{IoRing, PendingIo};
 use sim_core::{CoreId, ThreadId};
 use sim_cpu::regs::Context;
 use sim_cpu::EventKind;
@@ -72,6 +73,10 @@ pub struct ThreadStats {
     pub syscalls: u64,
     /// Cycles spent blocked on futexes (wall time while descheduled).
     pub blocked_cycles: u64,
+    /// Blocking I/O requests completed.
+    pub io_waits: u64,
+    /// Cycles spent blocked on I/O (queueing + service wall time).
+    pub io_wait_cycles: u64,
     /// Global cycle at which the thread exited (0 while live).
     pub exited_at: u64,
 }
@@ -108,6 +113,12 @@ pub struct Thread {
     /// Guest address of the fold-sequence word, if registered (seqlock
     /// read protocols).
     pub seq_addr: Option<u64>,
+    /// Outstanding blocking-I/O request, set at `IoSubmit` and resolved at
+    /// the wake-side switch-in.
+    pub io_pending: Option<PendingIo>,
+    /// Telemetry ring the kernel appends I/O wait records to, if the
+    /// harness registered one (stream-mode sessions).
+    pub io_ring: Option<IoRing>,
 }
 
 impl Thread {
@@ -127,6 +138,8 @@ impl Thread {
             last_core: None,
             blocked_at: 0,
             seq_addr: None,
+            io_pending: None,
+            io_ring: None,
         }
     }
 

@@ -8,7 +8,49 @@
 //! `tests/aggregator_props.rs`).
 
 use sim_core::Histogram;
+use sim_os::io::SLOW_IO_CYCLES;
 use std::collections::HashMap;
+
+/// Per-device blocking-I/O statistics attributed to one region: a
+/// log₂-bucketed wait-latency histogram (call count and wait-cycle sum
+/// included) plus the count of calls whose wait crossed the slow-I/O
+/// threshold ([`SLOW_IO_CYCLES`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoStat {
+    /// Device id (index into `sim_os::io::DEVICE_NAMES`).
+    pub device: usize,
+    /// Wait-cycle distribution across the region's calls to this device.
+    pub hist: Histogram,
+    /// Calls whose wait exceeded the slow-I/O threshold.
+    pub slow_calls: u64,
+}
+
+impl IoStat {
+    /// Blocking calls folded in.
+    pub fn calls(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Total wait cycles folded in.
+    pub fn wait_sum(&self) -> u64 {
+        self.hist.sum() as u64
+    }
+}
+
+/// Merges per-device I/O stats keyed by device id (shared by shard merge
+/// and snapshot roll-up; keeps the vec sorted by device).
+pub fn merge_io_stats(ours: &mut Vec<IoStat>, theirs: &[IoStat]) {
+    for t in theirs {
+        match ours.iter_mut().find(|s| s.device == t.device) {
+            Some(s) => {
+                s.hist.merge(&t.hist);
+                s.slow_calls += t.slow_calls;
+            }
+            None => ours.push(t.clone()),
+        }
+    }
+    ours.sort_by_key(|s| s.device);
+}
 
 /// Streaming statistics for one region: exit count plus one log₂-bucketed
 /// histogram (count/sum/min/max included) per event kind.
@@ -18,6 +60,9 @@ pub struct RegionStats {
     pub count: u64,
     /// Per-event delta distributions, indexed like the session's event set.
     pub events: Vec<Histogram>,
+    /// Per-device blocking-I/O waits attributed to this region (sparse,
+    /// sorted by device; empty for regions that never block).
+    pub io: Vec<IoStat>,
 }
 
 impl RegionStats {
@@ -25,6 +70,7 @@ impl RegionStats {
         RegionStats {
             count: 0,
             events: vec![Histogram::new(); counters],
+            io: Vec::new(),
         }
     }
 
@@ -64,6 +110,36 @@ impl AggShard {
         }
     }
 
+    /// Folds one kernel-emitted I/O wait record: `wait` cycles spent
+    /// blocked on `device`, attributed to `region`. Does not bump the
+    /// region's exit count — I/O records ride alongside exit records.
+    pub fn fold_io(&mut self, region: u64, device: usize, wait: u64) {
+        let stats = self
+            .regions
+            .entry(region)
+            .or_insert_with(|| RegionStats::new(self.counters));
+        let io = match stats.io.iter_mut().find(|s| s.device == device) {
+            Some(s) => s,
+            None => {
+                stats.io.push(IoStat {
+                    device,
+                    hist: Histogram::new(),
+                    slow_calls: 0,
+                });
+                stats.io.sort_by_key(|s| s.device);
+                stats
+                    .io
+                    .iter_mut()
+                    .find(|s| s.device == device)
+                    .expect("just inserted")
+            }
+        };
+        io.hist.record(wait);
+        if wait > SLOW_IO_CYCLES {
+            io.slow_calls += 1;
+        }
+    }
+
     /// Merges another shard into this one.
     pub fn merge(&mut self, other: &AggShard) {
         debug_assert_eq!(other.counters, self.counters);
@@ -76,6 +152,7 @@ impl AggShard {
             for (h, o) in ours.events.iter_mut().zip(&theirs.events) {
                 h.merge(o);
             }
+            merge_io_stats(&mut ours.io, &theirs.io);
         }
     }
 
@@ -129,6 +206,39 @@ mod tests {
         assert_eq!(r7.events[0].min(), Some(10));
         assert_eq!(r7.events[0].max(), Some(30));
         assert!(s.region(8).is_none());
+    }
+
+    #[test]
+    fn fold_io_tracks_slow_calls_separately_from_exits() {
+        let mut s = AggShard::new(1);
+        s.fold(3, &[100]);
+        s.fold_io(3, 2, SLOW_IO_CYCLES + 1);
+        s.fold_io(3, 2, 10);
+        s.fold_io(3, 0, 20);
+        let r = s.region(3).unwrap();
+        assert_eq!(r.count, 1, "io records do not bump the exit count");
+        assert_eq!(r.io.len(), 2);
+        assert_eq!(r.io[0].device, 0);
+        assert_eq!(r.io[1].device, 2);
+        assert_eq!(r.io[1].calls(), 2);
+        assert_eq!(r.io[1].wait_sum(), SLOW_IO_CYCLES + 11);
+        assert_eq!(r.io[1].slow_calls, 1);
+        assert_eq!(r.io[0].slow_calls, 0);
+    }
+
+    #[test]
+    fn merge_combines_io_stats_by_device() {
+        let mut a = AggShard::new(1);
+        a.fold_io(5, 1, 40);
+        let mut b = AggShard::new(1);
+        b.fold_io(5, 1, 60);
+        b.fold_io(5, 0, 10);
+        a.merge(&b);
+        let r = a.region(5).unwrap();
+        assert_eq!(r.io.len(), 2);
+        assert_eq!(r.io[0].device, 0);
+        assert_eq!(r.io[1].wait_sum(), 100);
+        assert_eq!(r.io[1].calls(), 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use limit::tls;
 use limit::Session;
 use sim_core::{SimResult, ThreadId};
 use sim_cpu::Machine;
+use sim_os::io::decode_io_region;
 
 #[derive(Debug)]
 struct RingState {
@@ -113,7 +114,13 @@ impl Collector {
                 for (i, d) in deltas.iter_mut().enumerate().take(h.counters) {
                     *d = mem.read_u64(addr + 8 * (1 + i as u64))?;
                 }
-                shard.fold(region, &deltas[..h.counters]);
+                // Kernel-emitted I/O records are tagged in the region word;
+                // delta 0 carries the wait cycles. They fold into the
+                // region's per-device I/O stats, not its exit stats.
+                match decode_io_region(region) {
+                    Some((rid, device)) => shard.fold_io(rid, device, deltas[0]),
+                    None => shard.fold(region, &deltas[..h.counters]),
+                }
                 visit(h.tid, region, &deltas[..h.counters]);
                 tail += 1;
                 total += 1;
@@ -180,6 +187,7 @@ impl Collector {
                 },
                 count: stats.count,
                 events: stats.events.clone(),
+                io: stats.io.clone(),
             })
             .collect();
         rows.sort_by(|a, b| b.event_sum(0).cmp(&a.event_sum(0)).then(a.id.cmp(&b.id)));

@@ -30,7 +30,7 @@ pub mod collector;
 pub mod runner;
 pub mod snapshot;
 
-pub use aggregate::{AggShard, RegionStats};
+pub use aggregate::{AggShard, IoStat, RegionStats};
 pub use collector::Collector;
 pub use runner::{run_streaming, run_streaming_until};
 pub use snapshot::{RegionSnapshot, Snapshot};

@@ -5,6 +5,7 @@
 //! invariant `appended == drained + dropped + overwritten + in_flight`
 //! holds at every snapshot; after a final drain `in_flight` is zero.
 
+use crate::aggregate::{merge_io_stats, IoStat};
 use sim_core::Histogram;
 
 /// One region's aggregated view inside a snapshot.
@@ -19,6 +20,9 @@ pub struct RegionSnapshot {
     /// Per-event delta histograms (count/sum/min/max/log₂ buckets),
     /// indexed like the session's event set.
     pub events: Vec<Histogram>,
+    /// Per-device blocking-I/O waits (sparse, sorted by device; empty for
+    /// regions that never block).
+    pub io: Vec<IoStat>,
 }
 
 impl RegionSnapshot {
@@ -30,6 +34,21 @@ impl RegionSnapshot {
     /// Mean of event `i`'s deltas, or 0 when empty.
     pub fn event_mean(&self, i: usize) -> f64 {
         self.events.get(i).and_then(|h| h.mean()).unwrap_or(0.0)
+    }
+
+    /// Total wait cycles across all devices.
+    pub fn io_wait_sum(&self) -> u64 {
+        self.io.iter().map(IoStat::wait_sum).sum()
+    }
+
+    /// Total blocking calls across all devices.
+    pub fn io_calls(&self) -> u64 {
+        self.io.iter().map(IoStat::calls).sum()
+    }
+
+    /// Total slow calls across all devices.
+    pub fn io_slow_calls(&self) -> u64 {
+        self.io.iter().map(|s| s.slow_calls).sum()
     }
 }
 
@@ -113,6 +132,7 @@ impl Snapshot {
                         ours.events
                             .extend(theirs.events[ours.events.len()..].iter().cloned());
                     }
+                    merge_io_stats(&mut ours.io, &theirs.io);
                 }
                 None => self.regions.push(theirs.clone()),
             }
@@ -135,7 +155,10 @@ impl Snapshot {
     }
 
     /// Renders a fixed-width table of the snapshot (one row per region,
-    /// `event_names` labelling the delta columns by their mean).
+    /// `event_names` labelling the delta columns by their mean). When any
+    /// region carries blocking-I/O stats, two extra columns render: total
+    /// I/O wait cycles and the renacer-style "Slow I/O" call count —
+    /// existing non-I/O outputs stay byte-identical.
     pub fn render(&self, event_names: &[&str]) -> String {
         let mut out = format!(
             "snapshot #{} @ cycle {} | drained {} dropped {} overwritten {} in-flight {}\n",
@@ -146,15 +169,26 @@ impl Snapshot {
             self.overwritten,
             self.in_flight()
         );
+        let has_io = self.regions.iter().any(|r| !r.io.is_empty());
         out.push_str(&format!("{:<22} {:>8}", "region", "count"));
         for n in event_names {
             out.push_str(&format!(" {:>14}", format!("mean {n}")));
+        }
+        if has_io {
+            out.push_str(&format!(" {:>14} {:>8}", "io wait", "slow io"));
         }
         out.push('\n');
         for r in &self.regions {
             out.push_str(&format!("{:<22} {:>8}", r.name, r.count));
             for i in 0..event_names.len() {
                 out.push_str(&format!(" {:>14.1}", r.event_mean(i)));
+            }
+            if has_io {
+                out.push_str(&format!(
+                    " {:>14} {:>8}",
+                    r.io_wait_sum(),
+                    r.io_slow_calls()
+                ));
             }
             out.push('\n');
         }
@@ -176,6 +210,7 @@ mod tests {
             name: name.to_string(),
             count,
             events: vec![h],
+            io: Vec::new(),
         }
     }
 

@@ -34,6 +34,7 @@ fn instance_snapshot(
                     name: format!("region.{id}"),
                     count: 0,
                     events: vec![sim_core::Histogram::new(); 2],
+                    io: Vec::new(),
                 });
                 regions.last_mut().unwrap()
             }

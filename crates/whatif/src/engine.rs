@@ -19,7 +19,7 @@ use sim_core::parallel::parmap_with;
 use sim_cpu::EventKind;
 use std::sync::{Arc, Mutex};
 use telemetry::{run_streaming, Collector, Snapshot};
-use workloads::{memcached, mysqld};
+use workloads::{logstore, memcached, mysqld, proxy};
 
 /// Counters every arm attaches: cycles feed the sensitivity math,
 /// instructions + LLC misses provide context in the report.
@@ -42,6 +42,10 @@ pub enum Workload {
     Mysqld,
     /// The memcached study: striped bucket locks.
     Memcached,
+    /// The log-structured store: fsync-bound commits (E18).
+    Logstore,
+    /// The fan-out proxy: blocking network round-trips (E18).
+    Proxy,
 }
 
 impl Workload {
@@ -50,6 +54,8 @@ impl Workload {
         match self {
             Workload::Mysqld => "mysqld",
             Workload::Memcached => "memcached",
+            Workload::Logstore => "logstore",
+            Workload::Proxy => "proxy",
         }
     }
 
@@ -58,6 +64,8 @@ impl Workload {
         match s {
             "mysqld" => Some(Workload::Mysqld),
             "memcached" => Some(Workload::Memcached),
+            "logstore" => Some(Workload::Logstore),
+            "proxy" => Some(Workload::Proxy),
             _ => None,
         }
     }
@@ -331,6 +339,28 @@ fn run_arm(cfg: &WhatifConfig, params: &MachineParams, label: &str) -> Result<Ar
                 wcfg.hold_rmws = rmws;
             }
             memcached::build_with_params(&wcfg, &reader, params, &EVENTS)
+                .map_err(fail)?
+                .0
+        }
+        Workload::Logstore => {
+            let wcfg = logstore::LogstoreConfig {
+                threads: cfg.threads,
+                commits_per_thread: cfg.queries,
+                mode,
+                ..Default::default()
+            };
+            logstore::build_with_params(&wcfg, &reader, params, &EVENTS)
+                .map_err(fail)?
+                .0
+        }
+        Workload::Proxy => {
+            let wcfg = proxy::ProxyConfig {
+                threads: cfg.threads,
+                requests_per_thread: cfg.queries,
+                mode,
+                ..Default::default()
+            };
+            proxy::build_with_params(&wcfg, &reader, params, &EVENTS)
                 .map_err(fail)?
                 .0
         }

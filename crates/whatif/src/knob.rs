@@ -27,11 +27,18 @@ pub enum Knob {
     InvalidatePenalty,
     /// Direct context-switch cost (`ctx_switch_cost`).
     CtxSwitchCost,
+    /// Disk service-latency distribution (`io.disk`, whole distribution
+    /// scaled; `base` reports the mean).
+    DiskLatency,
+    /// Network round-trip latency distribution (`io.net`).
+    NetLatency,
+    /// Fsync barrier latency distribution (`io.fsync`).
+    FsyncLatency,
 }
 
 impl Knob {
     /// Every knob, in canonical (reporting) order.
-    pub const ALL: [Knob; 8] = [
+    pub const ALL: [Knob; 11] = [
         Knob::AtomicPenalty,
         Knob::BranchMissPenalty,
         Knob::SyscallCost,
@@ -40,6 +47,9 @@ impl Knob {
         Knob::DramLatency,
         Knob::InvalidatePenalty,
         Knob::CtxSwitchCost,
+        Knob::DiskLatency,
+        Knob::NetLatency,
+        Knob::FsyncLatency,
     ];
 
     /// CLI / NDJSON name.
@@ -53,6 +63,9 @@ impl Knob {
             Knob::DramLatency => "dram-latency",
             Knob::InvalidatePenalty => "invalidate-penalty",
             Knob::CtxSwitchCost => "ctx-switch-cost",
+            Knob::DiskLatency => "disk-latency",
+            Knob::NetLatency => "net-latency",
+            Knob::FsyncLatency => "fsync-latency",
         }
     }
 
@@ -69,6 +82,7 @@ impl Knob {
             Knob::LlcLatency | Knob::DramLatency | Knob::InvalidatePenalty => KnobClass::Memory,
             Knob::BranchMissPenalty | Knob::RdpmcCost => KnobClass::Cpu,
             Knob::SyscallCost | Knob::CtxSwitchCost => KnobClass::Kernel,
+            Knob::DiskLatency | Knob::NetLatency | Knob::FsyncLatency => KnobClass::Io,
         }
     }
 
@@ -84,6 +98,9 @@ impl Knob {
             Knob::DramLatency => p.hierarchy.dram.latency,
             Knob::InvalidatePenalty => p.hierarchy.invalidate_penalty,
             Knob::CtxSwitchCost => p.ctx_switch_cost,
+            Knob::DiskLatency => p.io.disk.mean,
+            Knob::NetLatency => p.io.net.mean,
+            Knob::FsyncLatency => p.io.fsync.mean,
         }
     }
 
@@ -126,8 +143,29 @@ impl Knob {
                 p.ctx_switch_cost = scaled(p.ctx_switch_cost);
                 p.ctx_switch_cost
             }
+            Knob::DiskLatency => {
+                scale_dist(&mut p.io.disk, scale);
+                p.io.disk.mean
+            }
+            Knob::NetLatency => {
+                scale_dist(&mut p.io.net, scale);
+                p.io.net.mean
+            }
+            Knob::FsyncLatency => {
+                scale_dist(&mut p.io.fsync, scale);
+                p.io.fsync.mean
+            }
         }
     }
+}
+
+/// Scales a whole latency distribution uniformly (min, mean, and max
+/// together), preserving its shape and the min ≤ mean ≤ max ordering.
+fn scale_dist(d: &mut sim_os::LatencyDist, scale: f64) {
+    let scaled = |v: u64| ((v as f64 * scale).round() as u64).max(1);
+    d.min = scaled(d.min);
+    d.mean = scaled(d.mean).max(d.min);
+    d.max = scaled(d.max).max(d.mean);
 }
 
 impl std::fmt::Display for Knob {

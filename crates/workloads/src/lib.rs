@@ -20,13 +20,19 @@
 //!   tasks and helper threads (E5/E8).
 //! * [`apache`] — a request-per-thread web server with per-request phases
 //!   (E9).
+//! * [`logstore`] — a log-structured store with fsync-bound commits
+//!   (E18).
+//! * [`proxy`] — a scatter-gather proxy doing blocking network fan-out
+//!   (E18).
 
 pub mod apache;
 pub mod firefox;
 pub mod kernels;
 pub mod locks;
+pub mod logstore;
 pub mod memcached;
 pub mod microbench;
 pub mod mysqld;
 pub mod prng;
+pub mod proxy;
 pub mod suite;

@@ -33,8 +33,9 @@ pub struct BenchOptions {
     pub check: bool,
     /// Which arms to run: `both` (default), `single`/`block` alone
     /// (profiling one interpreter; no file write, no differential gate),
-    /// `fleet` (fleet throughput + jobs-scaling entry), or `whatif`
-    /// (what-if arm throughput + jobs-determinism gate).
+    /// `fleet` (fleet throughput + jobs-scaling entry), `whatif`
+    /// (what-if arm throughput + jobs-determinism gate), or `io`
+    /// (I/O-bound logstore throughput + exec-mode differential gate).
     pub mode: String,
 }
 
@@ -92,6 +93,9 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
     if opts.mode == "whatif" {
         return run_whatif_bench(opts);
     }
+    if opts.mode == "io" {
+        return run_io_bench(opts);
+    }
     let cfg = MysqlConfig {
         queries_per_thread: opts.queries,
         ..MysqlConfig::default()
@@ -124,7 +128,7 @@ pub fn run(opts: &BenchOptions) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "invalid --mode value {other:?} (both|single|block|fleet|whatif)"
+                "invalid --mode value {other:?} (both|single|block|fleet|whatif|io)"
             ))
         }
     }
@@ -299,6 +303,149 @@ fn run_whatif_bench(opts: &BenchOptions) -> Result<(), String> {
     if opts.check {
         check_whatif_regression(&opts.out, scaling)?;
     }
+    Ok(())
+}
+
+/// `--mode io`: I/O-bound workload throughput and the exec-mode
+/// differential gate over the blocking-I/O model.
+///
+/// Runs the fsync-bound logstore (4 threads × 1000 commits; independent of
+/// `--queries`) once single-stepped and once block-stepped, then:
+///
+/// * **hard differential gate** — both [`RunReport`]s (including
+///   `io_submits` and `io_wait_cycles`) and retired instruction totals
+///   must match exactly, so block stepping can never change what the
+///   device queues observe;
+/// * reports wall seconds and guest fsyncs/s per arm (an I/O-bound run
+///   retires few instructions — the interesting rate is commits);
+/// * appends a `kind: "io"` entry; `--check` gates the block/single
+///   *speedup ratio* at 80% of the committed first io entry (a ratio, so
+///   it transfers across machines).
+fn run_io_bench(opts: &BenchOptions) -> Result<(), String> {
+    use workloads::logstore::{self, LogstoreConfig};
+
+    let cfg = LogstoreConfig {
+        commits_per_thread: 1000,
+        ..LogstoreConfig::default()
+    };
+    let measure = |exec: ExecMode| -> Result<Arm, String> {
+        let reader = LimitReader::with_events(EVENTS.to_vec());
+        let kcfg = KernelConfig {
+            exec,
+            ..KernelConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let r = logstore::run(&cfg, &reader, CORES, &EVENTS, kcfg).map_err(|e| e.to_string())?;
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        Ok(Arm {
+            instrs: r.session.kernel.machine.total_retired(),
+            report: r.report,
+            secs,
+        })
+    };
+
+    eprintln!(
+        "[bench] io: logstore, {} threads x {} commits on {CORES} cores",
+        cfg.threads, cfg.commits_per_thread
+    );
+    let single = measure(ExecMode::SingleStep)?;
+    let block = measure(ExecMode::Block)?;
+
+    // The I/O model's exec-mode contract: blocked threads, device queues
+    // and wait accounting must be invisible to the stepping strategy.
+    if single.report != block.report || single.instrs != block.instrs {
+        return Err(format!(
+            "block-stepped io run diverged from single-step: \
+             io_submits {} vs {}, io_wait_cycles {} vs {}, instrs {} vs {}",
+            single.report.io_submits,
+            block.report.io_submits,
+            single.report.io_wait_cycles,
+            block.report.io_wait_cycles,
+            single.instrs,
+            block.instrs
+        ));
+    }
+
+    let fsyncs = cfg.threads as u64 * cfg.commits_per_thread;
+    let speedup = (block.instrs as f64 / block.secs) / (single.instrs as f64 / single.secs);
+    println!(
+        "io-bound throughput, logstore ({} fsyncs, {} io waits, {} wait cycles):",
+        fsyncs, single.report.io_submits, single.report.io_wait_cycles
+    );
+    println!(
+        "  single-step   {:>8.3} s   {:>8.2} fsyncs/s",
+        single.secs,
+        fsyncs as f64 / single.secs
+    );
+    println!(
+        "  block         {:>8.3} s   {:>8.2} fsyncs/s",
+        block.secs,
+        fsyncs as f64 / block.secs
+    );
+    println!("  speedup       {speedup:>8.2}x");
+
+    if !opts.out.is_empty() {
+        append_io_entry(opts, &cfg, &single, &block, speedup)?;
+    }
+    if opts.check {
+        check_io_regression(&opts.out, speedup)?;
+    }
+    Ok(())
+}
+
+fn append_io_entry(
+    opts: &BenchOptions,
+    cfg: &workloads::logstore::LogstoreConfig,
+    single: &Arm,
+    block: &Arm,
+    speedup: f64,
+) -> Result<(), String> {
+    let arm = |a: &Arm| {
+        Json::object()
+            .set("wall_s", a.secs)
+            .set("minstr_per_s", a.instrs as f64 / a.secs / 1e6)
+    };
+    let entry = Json::object()
+        .set("kind", "io")
+        .set("label", opts.label.as_str())
+        .set("workload", "logstore")
+        .set("threads", cfg.threads as u64)
+        .set("commits_per_thread", cfg.commits_per_thread)
+        .set("guest_instrs", single.instrs)
+        .set("io_submits", single.report.io_submits)
+        .set("io_wait_cycles", single.report.io_wait_cycles)
+        .set("single_step", arm(single))
+        .set("block", arm(block))
+        .set("speedup", speedup);
+    append_raw_entry(&opts.out, entry)?;
+    eprintln!("[bench] appended io entry {:?} to {}", opts.label, opts.out);
+    Ok(())
+}
+
+/// Gates the measured block/single speedup at 80% of the committed
+/// baseline's (the file's first `kind: "io"` entry).
+fn check_io_regression(out: &str, speedup: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(out).map_err(|e| format!("{out}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+    let baseline = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .and_then(|entries| {
+            entries
+                .iter()
+                .find(|e| e.get("kind").and_then(Json::as_str) == Some("io"))
+        })
+        .and_then(|e| e.get("speedup"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{out}: no baseline io entry with a speedup field"))?;
+    let floor = baseline * 0.8;
+    if speedup < floor {
+        return Err(format!(
+            "io speedup regression: measured {speedup:.2}x < {floor:.2}x \
+             (80% of committed baseline {baseline:.2}x)"
+        ));
+    }
+    eprintln!("[bench] io check ok: {speedup:.2}x >= {floor:.2}x (80% of baseline {baseline:.2}x)");
     Ok(())
 }
 

@@ -30,7 +30,7 @@ mod trace;
 mod trust_cmd;
 mod whatif_cmd;
 
-const EXPERIMENTS: [(&str, &str); 18] = [
+const EXPERIMENTS: [(&str, &str); 19] = [
     ("e1", "read-cost table (the headline)"),
     ("e2", "instrumentation overhead on mysqld"),
     ("e3", "virtualized-count exactness"),
@@ -59,6 +59,10 @@ const EXPERIMENTS: [(&str, &str); 18] = [
     (
         "e17",
         "event-trust matrix slice (event x access method x disturbance)",
+    ),
+    (
+        "e18",
+        "I/O-wait observability (io-bound classification + device ranking)",
     ),
     (
         "kernels",
@@ -215,6 +219,24 @@ fn run_one(name: &str) -> Result<String, String> {
                 return Err(format!(
                     "e17 trust contract failed:\n{}",
                     bench::e17::table(&rows)
+                ));
+            }
+        }
+        "e18" => {
+            let r = bench::e18::run(24, 2)?;
+            let _ = writeln!(w, "{}", bench::e18::table(&r));
+            let _ = writeln!(w, "{}", bench::e18::wait_table(&r));
+            for f in &r.logstore_findings {
+                let _ = writeln!(
+                    w,
+                    "logstore finding: {}: {} — {}",
+                    f.region, f.kind, f.detail
+                );
+            }
+            if !r.all_ok() {
+                return Err(format!(
+                    "e18 I/O observability contract failed:\n{}",
+                    bench::e18::table(&r)
                 ));
             }
         }
@@ -591,15 +613,16 @@ fn usage() {
   bench [--queries N] [--label S] [--out FILE] [--check true|false]
                                                         guest instr/s microbenchmark
                                                         (single-step vs block-stepped)
-  monitor <mysqld|memcached> [--threads N] [--queries N]
+  monitor <mysqld|memcached|logstore|proxy> [--threads N] [--queries N]
           [--interval CYCLES] [--capacity N] [--out-dir DIR]
                                                         live telemetry stream
-  fleet <mysqld|memcached> [--instances N] [--arrival-rate R] [--burst F]
+                                                        (logstore/proxy add Slow I/O)
+  fleet <mysqld|memcached|proxy> [--instances N] [--arrival-rate R] [--burst F]
         [--jobs N] [--slots N] [--threads N] [--queries N] [--seed S]
         [--interval CYCLES] [--capacity N] [--out-dir DIR]
                                                         open-loop fleet simulation
                                                         with hierarchical roll-up
-  whatif <mysqld|memcached> [--knobs K1,K2,...] [--scale F] [--jobs N]
+  whatif <mysqld|memcached|logstore|proxy> [--knobs K1,K2,...] [--scale F] [--jobs N]
          [--threads N] [--queries N] [--interval CYCLES] [--capacity N]
          [--out-dir DIR]                                causal what-if engine:
                                                         per-region knob sensitivity

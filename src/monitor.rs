@@ -14,9 +14,10 @@ use bench::json::Json;
 use limit::harness::Session;
 use limit::{LimitReader, LogMode, StreamConfig};
 use sim_cpu::EventKind;
+use sim_os::io::DEVICE_NAMES;
 use sim_os::KernelConfig;
 use telemetry::{run_streaming, Collector, Snapshot};
-use workloads::{memcached, mysqld};
+use workloads::{logstore, memcached, mysqld, proxy};
 
 /// Counters every monitored run attaches: cycles rank regions,
 /// instructions + LLC misses feed the memory-bound detector.
@@ -28,11 +29,21 @@ pub const EVENTS: [EventKind; 3] = [
 const EVENT_NAMES: [&str; 3] = ["cycles", "instrs", "llc"];
 
 /// NDJSON schema version written by `monitor` and `fleet`, checked by
-/// `check-telemetry`. Schema 2 adds the `instance` field: a numeric
+/// `check-telemetry`. Schema 2 added the `instance` field: a numeric
 /// instance id on per-instance lines, or the string `"fleet"` on the
-/// fleet roll-up line. Schema-1 files (no `instance`) remain valid input
-/// to `check-telemetry`.
-pub const SCHEMA: u64 = 2;
+/// fleet roll-up line. Schema 5 adds a per-region `io` array — one entry
+/// per device the region blocked on (`{device, calls, wait, slow, hist}`)
+/// — and the I/O conservation invariant: on loss-free lines, a region's
+/// summed device waits can never exceed its cycle sum, because the kernel
+/// charges every wait into the region's cycle accumulator at wake.
+/// Schema-1 (no `instance`) and schema-2 (no `io`) files remain valid
+/// input to `check-telemetry`. (Schemas 3 and 4 belong to `whatif` and
+/// `trust`.)
+pub const SCHEMA: u64 = 5;
+
+/// Legacy monitor/fleet schema (pre-I/O): accepted by `check-telemetry`,
+/// no longer written.
+pub const LEGACY_SCHEMA: u64 = 2;
 
 /// NDJSON schema version written by the `whatif` subcommand: one line
 /// per region x arm (baseline lines first), validated by the schema-3
@@ -49,7 +60,8 @@ pub const TRUST_SCHEMA: u64 = 4;
 pub struct MonitorOptions {
     /// Worker threads in the workload.
     pub threads: usize,
-    /// Queries (mysqld) / operations (memcached) per worker.
+    /// Queries (mysqld) / operations (memcached) / commits (logstore) /
+    /// requests (proxy) per worker.
     pub queries: u64,
     /// Drain cadence in guest cycles.
     pub interval: u64,
@@ -101,11 +113,36 @@ fn build_session(workload: &str, opts: &MonitorOptions) -> Result<Session, Strin
                     .map_err(fail)?;
             Ok(session)
         }
-        other => Err(format!("unknown workload {other:?} (mysqld|memcached)")),
+        "logstore" => {
+            let cfg = logstore::LogstoreConfig {
+                threads: opts.threads,
+                commits_per_thread: opts.queries,
+                mode,
+                ..Default::default()
+            };
+            let (session, _) =
+                logstore::build(&cfg, &reader, cores, &EVENTS, KernelConfig::default())
+                    .map_err(fail)?;
+            Ok(session)
+        }
+        "proxy" => {
+            let cfg = proxy::ProxyConfig {
+                threads: opts.threads,
+                requests_per_thread: opts.queries,
+                mode,
+                ..Default::default()
+            };
+            let (session, _) = proxy::build(&cfg, &reader, cores, &EVENTS, KernelConfig::default())
+                .map_err(fail)?;
+            Ok(session)
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (mysqld|memcached|logstore|proxy)"
+        )),
     }
 }
 
-/// One snapshot (with pre-rendered findings) as a schema-2 NDJSON record.
+/// One snapshot (with pre-rendered findings) as a schema-5 NDJSON record.
 /// `instance` is the per-instance id, or the string `"fleet"` on the
 /// roll-up line. Shared by `monitor` (always instance 0) and the `fleet`
 /// subcommand.
@@ -130,6 +167,22 @@ pub fn snapshot_json_with(
                     )
                 })
                 .collect();
+            let io: Vec<Json> =
+                r.io.iter()
+                    .map(|s| {
+                        let hist: Vec<Json> = s
+                            .hist
+                            .iter_buckets()
+                            .map(|(lo, hi, n)| Json::Array(vec![lo.into(), hi.into(), n.into()]))
+                            .collect();
+                        Json::object()
+                            .set("device", DEVICE_NAMES[s.device])
+                            .set("calls", s.calls())
+                            .set("wait", s.wait_sum())
+                            .set("slow", s.slow_calls)
+                            .set("hist", Json::Array(hist))
+                    })
+                    .collect();
             Json::object()
                 .set("name", r.name.as_str())
                 .set("count", r.count)
@@ -140,6 +193,7 @@ pub fn snapshot_json_with(
                         .collect::<Vec<u64>>(),
                 )
                 .set("hist", Json::Array(hist))
+                .set("io", Json::Array(io))
         })
         .collect();
     Json::object()
@@ -282,11 +336,12 @@ pub fn check(path: &str) -> Result<(), String> {
                 .ok_or_else(|| format!("{path}:{n}: missing numeric field {key:?}"))
         };
         let schema = field("schema")?;
-        // v1: no instance field, one implicit stream. v2: instance is a
-        // numeric id or the string "fleet".
+        // v1: no instance field, one implicit stream. v2/v5: instance is
+        // a numeric id or the string "fleet". v5 additionally carries the
+        // per-region io array.
         let key = match schema {
             1 => String::new(),
-            SCHEMA => match doc.get("instance") {
+            LEGACY_SCHEMA | SCHEMA => match doc.get("instance") {
                 Some(v) => match (v.as_u64(), v.as_str()) {
                     (Some(id), _) => id.to_string(),
                     (None, Some("fleet")) => "fleet".to_string(),
@@ -296,7 +351,7 @@ pub fn check(path: &str) -> Result<(), String> {
                         ))
                     }
                 },
-                None => return Err(format!("{path}:{n}: schema 2 line missing instance")),
+                None => return Err(format!("{path}:{n}: schema {schema} line missing instance")),
             },
             _ => return Err(format!("{path}:{n}: unsupported schema {schema}")),
         };
@@ -348,6 +403,42 @@ pub fn check(path: &str) -> Result<(), String> {
                     }
                 }
             }
+            if schema == SCHEMA {
+                let io = r.get("io").and_then(Json::as_array).ok_or_else(|| {
+                    format!("{path}:{n}: schema {SCHEMA} region missing io array")
+                })?;
+                for d in io {
+                    for key in ["device", "calls", "wait", "slow", "hist"] {
+                        if d.get(key).is_none() {
+                            return Err(format!("{path}:{n}: io entry missing {key:?}"));
+                        }
+                    }
+                    let device = d.get("device").and_then(Json::as_str).unwrap_or("");
+                    if !DEVICE_NAMES.contains(&device) {
+                        return Err(format!("{path}:{n}: unknown io device {device:?}"));
+                    }
+                    let calls = d.get("calls").and_then(Json::as_u64).unwrap_or(0);
+                    let slow = d.get("slow").and_then(Json::as_u64).unwrap_or(0);
+                    if slow > calls {
+                        return Err(format!(
+                            "{path}:{n}: io device {device}: {slow} slow calls > {calls} calls"
+                        ));
+                    }
+                    // The io wait histogram buckets every call once.
+                    let total: u64 = d
+                        .get("hist")
+                        .and_then(Json::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|b| b.as_array()?.get(2)?.as_u64())
+                        .sum();
+                    if total != calls {
+                        return Err(format!(
+                            "{path}:{n}: io device {device}: histogram totals {total} != calls {calls}"
+                        ));
+                    }
+                }
+            }
         }
         findings += doc
             .get("findings")
@@ -386,6 +477,52 @@ pub fn check(path: &str) -> Result<(), String> {
                 format!("instance {key} final snapshot")
             };
             return Err(format!("{path}: {who} left records in flight"));
+        }
+    }
+    // I/O conservation: every wait is charged into the waiter's cycle
+    // accumulator at wake, so once every region has exited the device
+    // waits can never exceed the region's cycle sum. That only holds on
+    // the *final* snapshot of a loss-free stream — mid-run lines can
+    // carry a wake whose region is still in flight (wait counted, exit
+    // cycles not yet), and a dropped or overwritten record can lose the
+    // cycle side while the kernel-folded io side survives.
+    for (key, st) in &streams {
+        let doc = &st.last;
+        if doc.get("schema").and_then(Json::as_u64) != Some(SCHEMA) {
+            continue;
+        }
+        let lossless = doc.get("dropped").and_then(Json::as_u64) == Some(0)
+            && doc.get("overwritten").and_then(Json::as_u64) == Some(0);
+        if !lossless {
+            continue;
+        }
+        for r in doc.get("regions").and_then(Json::as_array).unwrap_or(&[]) {
+            let io_wait: u64 = r
+                .get("io")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|d| d.get("wait").and_then(Json::as_u64))
+                .sum();
+            let cycles = r
+                .get("sums")
+                .and_then(Json::as_array)
+                .and_then(|s| s.first())
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            if io_wait > cycles {
+                let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+                let who = if key.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (instance {key})")
+                };
+                return Err(format!(
+                    "{path}: io conservation violated in final snapshot{who}: region \
+                     {name:?} has {io_wait} wait cycles > {cycles} region cycles on a \
+                     loss-free stream"
+                ));
+            }
         }
     }
     // Fleet conservation: the roll-up must equal the sum of the
@@ -635,4 +772,122 @@ fn check_trust(path: &str, text: &str) -> Result<(), String> {
         breakdown.join(", ")
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_lines(name: &str, lines: &[String]) -> String {
+        let path =
+            std::env::temp_dir().join(format!("limit-check-{}-{name}.ndjson", std::process::id()));
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn io_entry(device: &str, calls: u64, wait: u64, slow: u64) -> String {
+        format!(
+            r#"{{"device":"{device}","calls":{calls},"wait":{wait},"slow":{slow},"hist":[[0,{wait},{calls}]]}}"#
+        )
+    }
+
+    fn mk_line(seq: u64, dropped: u64, cycles: u64, io: &str) -> String {
+        format!(
+            r#"{{"schema":5,"workload":"logstore","instance":0,"seq":{seq},"cycle":{c},"appended":4,"drained":4,"dropped":{dropped},"overwritten":0,"in_flight":0,"events":["cycles","instrs","llc"],"regions":[{{"name":"store.commit","count":2,"sums":[{cycles},50,1],"hist":[[[0,9,2]],[[0,9,2]],[[0,9,2]]],"io":[{io}]}}],"findings":[{{"kind":"io-bound","region":"store.commit","share":0.9,"detail":"t"}}]}}"#,
+            c = seq * 1000
+        )
+    }
+
+    fn run_check(name: &str, lines: &[String]) -> Result<(), String> {
+        let path = write_lines(name, lines);
+        let out = check(&path);
+        std::fs::remove_file(&path).ok();
+        out
+    }
+
+    fn valid_stream(io: &str) -> Vec<String> {
+        (1..=3).map(|s| mk_line(s, 0, 10_000, io)).collect()
+    }
+
+    #[test]
+    fn check_accepts_valid_io_stream() {
+        let lines = valid_stream(&io_entry("fsync", 2, 600, 1));
+        run_check("valid", &lines).unwrap();
+    }
+
+    #[test]
+    fn check_accepts_legacy_schema2_without_io() {
+        let lines: Vec<String> = (1..=3)
+            .map(|s| {
+                format!(
+                    r#"{{"schema":2,"workload":"mysqld","instance":0,"seq":{s},"cycle":{c},"appended":4,"drained":4,"dropped":0,"overwritten":0,"in_flight":0,"events":["cycles","instrs","llc"],"regions":[{{"name":"r","count":2,"sums":[100,50,1],"hist":[[[0,9,2]],[[0,9,2]],[[0,9,2]]]}}],"findings":[{{"kind":"cpu-bound","region":"r","share":0.9,"detail":"t"}}]}}"#,
+                    c = s * 1000
+                )
+            })
+            .collect();
+        run_check("legacy", &lines).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_schema5_region_without_io() {
+        let mut lines = valid_stream(&io_entry("fsync", 2, 600, 1));
+        lines[1] = lines[1].replace(r#","io":[{"#, r#","noio":[{"#);
+        let err = run_check("no-io", &lines).unwrap_err();
+        assert!(err.contains("missing io array"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_unknown_device() {
+        let lines = valid_stream(&io_entry("tape", 2, 600, 1));
+        let err = run_check("bad-dev", &lines).unwrap_err();
+        assert!(err.contains("unknown io device"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_io_hist_total_mismatch() {
+        // One bucket of 5 entries against calls = 2.
+        let entry = r#"{"device":"disk","calls":2,"wait":600,"slow":0,"hist":[[0,600,5]]}"#;
+        let lines = valid_stream(entry);
+        let err = run_check("hist-mismatch", &lines).unwrap_err();
+        assert!(err.contains("histogram totals 5 != calls 2"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_more_slow_calls_than_calls() {
+        let lines = valid_stream(&io_entry("net", 2, 600, 3));
+        let err = run_check("slow-gt-calls", &lines).unwrap_err();
+        assert!(err.contains("slow calls"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_io_wait_exceeding_region_cycles_when_lossless() {
+        // 20k wait cycles against a 10k cycle sum on a loss-free line.
+        let lines = valid_stream(&io_entry("fsync", 2, 20_000, 1));
+        let err = run_check("conservation", &lines).unwrap_err();
+        assert!(err.contains("io conservation violated"), "{err}");
+    }
+
+    #[test]
+    fn check_allows_in_flight_io_wait_mid_run() {
+        // Mid-run snapshots can carry a wake whose region is still in
+        // flight (io wait recorded, exit cycles not yet drained); only
+        // the final snapshot must conserve.
+        let io = io_entry("fsync", 2, 20_000, 1);
+        let lines = vec![
+            mk_line(1, 0, 10_000, &io),
+            mk_line(2, 0, 10_000, &io),
+            mk_line(3, 0, 30_000, &io),
+        ];
+        run_check("in-flight", &lines).unwrap();
+    }
+
+    #[test]
+    fn check_skips_io_conservation_on_lossy_lines() {
+        // Same overflow, but the line reports drops: a dropped cycle
+        // record can legitimately leave the io side larger.
+        let lines: Vec<String> = (1..=3)
+            .map(|s| mk_line(s, 1, 10_000, &io_entry("fsync", 2, 20_000, 1)))
+            .collect();
+        run_check("lossy", &lines).unwrap();
+    }
 }

@@ -11,7 +11,7 @@ use limit::harness::Session;
 use limit::LimitReader;
 use sim_cpu::EventKind;
 use sim_os::KernelConfig;
-use workloads::{apache, firefox, memcached, mysqld};
+use workloads::{apache, firefox, logstore, memcached, mysqld, proxy};
 
 /// Counters attached to every traced run (mirrors `monitor`).
 const EVENTS: [EventKind; 3] = [
@@ -80,8 +80,24 @@ fn build_session(workload: &str) -> Result<Session, String> {
             .map_err(fail)?;
             Ok(s)
         }
+        "logstore" => {
+            let (s, _) = logstore::build(
+                &logstore::LogstoreConfig::default(),
+                &reader,
+                8,
+                &EVENTS,
+                kcfg,
+            )
+            .map_err(fail)?;
+            Ok(s)
+        }
+        "proxy" => {
+            let (s, _) = proxy::build(&proxy::ProxyConfig::default(), &reader, 8, &EVENTS, kcfg)
+                .map_err(fail)?;
+            Ok(s)
+        }
         other => Err(format!(
-            "unknown workload {other:?} (mysqld|firefox|apache|memcached)"
+            "unknown workload {other:?} (mysqld|firefox|apache|memcached|logstore|proxy)"
         )),
     }
 }
@@ -128,7 +144,7 @@ pub fn export_session(session: &Session, stem: &str, out_dir: &str) -> Result<()
     let report = flight::check(&text).map_err(|e| format!("{ndjson_path}: {e}"))?;
     println!(
         "trace valid: {} events across {} cores, {} threads ({} switches, {} syscalls, \
-         {} PMIs, {} migrations, {} injections, {} region exits)",
+         {} PMIs, {} migrations, {} injections, {} region exits, {} io waits on {} devices)",
         report.events,
         report.cores,
         report.threads,
@@ -137,7 +153,9 @@ pub fn export_session(session: &Session, stem: &str, out_dir: &str) -> Result<()
         report.pmis,
         report.migrations,
         report.injections,
-        report.region_exits
+        report.region_exits,
+        report.io_blocks,
+        report.io_devices
     );
     println!("wrote {ndjson_path}");
     println!("wrote {chrome_path} (load in Perfetto or chrome://tracing)");
@@ -214,7 +232,8 @@ pub fn check(path: &str) -> Result<(), String> {
     println!(
         "{path}: ok — {} events, {} cores, {} threads; \
          {}={} switch in/out, {}={} syscall enter/exit, \
-         {} pmis, {} migrations, {} injections, {} region exits",
+         {} pmis, {} migrations, {} injections, {} region exits, \
+         {}/{}/{} io enqueue/block/wake on {} devices",
         r.events,
         r.cores,
         r.threads,
@@ -225,7 +244,11 @@ pub fn check(path: &str) -> Result<(), String> {
         r.pmis,
         r.migrations,
         r.injections,
-        r.region_exits
+        r.region_exits,
+        r.io_enqueues,
+        r.io_blocks,
+        r.io_wakes,
+        r.io_devices
     );
     Ok(())
 }

@@ -192,8 +192,9 @@ pub fn render_ndjson(report: &WhatifReport) -> String {
 
 /// Runs the what-if engine and writes `<out-dir>/whatif-<workload>.json`.
 pub fn run(workload: &str, opts: &WhatifOptions) -> Result<(), String> {
-    let wl = Workload::parse(workload)
-        .ok_or_else(|| format!("unknown workload {workload:?} (mysqld|memcached)"))?;
+    let wl = Workload::parse(workload).ok_or_else(|| {
+        format!("unknown workload {workload:?} (mysqld|memcached|logstore|proxy)")
+    })?;
     let cfg = to_config(wl, opts)?;
     eprintln!(
         "whatif: {} ({} threads x {} queries), {} knobs at scale {:.1}, {} host jobs",
